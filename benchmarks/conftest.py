@@ -1,0 +1,72 @@
+"""Shared benchmark fixtures and experiment-report plumbing.
+
+Each benchmark regenerates one of the paper's tables/figures (see
+DESIGN.md's per-experiment index). Because pytest captures stdout, the
+experiment tables are collected through the ``report`` fixture and
+printed in the terminal summary, as well as written to
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can reference
+stable artefacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import SpeedEstimationSystem
+from repro.datasets.synthetic import synthetic_beijing, synthetic_tianjin
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_collected_reports: list[str] = []
+
+
+@pytest.fixture
+def report():
+    """Record an experiment table: report(experiment_id, text)."""
+
+    def _record(experiment_id: str, text: str) -> None:
+        _collected_reports.append(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _collected_reports:
+        return
+    terminalreporter.write_sep("=", "experiment tables")
+    for text in _collected_reports:
+        terminalreporter.write_line(text)
+        terminalreporter.write_line("")
+
+
+@pytest.fixture(scope="session")
+def beijing():
+    return synthetic_beijing()
+
+
+@pytest.fixture(scope="session")
+def tianjin():
+    return synthetic_tianjin()
+
+
+@pytest.fixture(scope="session")
+def beijing_system(beijing):
+    return SpeedEstimationSystem.from_parts(
+        beijing.network, beijing.store, beijing.graph
+    )
+
+
+@pytest.fixture(scope="session")
+def tianjin_system(tianjin):
+    return SpeedEstimationSystem.from_parts(
+        tianjin.network, tianjin.store, tianjin.graph
+    )
+
+
+def budget_for(dataset, percent: float) -> int:
+    """Budget K as a percentage of the network's road count (>= 1)."""
+    return max(1, round(dataset.network.num_segments * percent / 100.0))

@@ -1,0 +1,74 @@
+"""F10 — Sensitivity to historical-data volume.
+
+How much training history does the system need? Rebuild the Beijing
+stand-in with 3/7/14/21 days of history (same network, same test days)
+and measure estimation accuracy and correlation-graph quality. Shape to
+reproduce: accuracy improves with history and saturates — a week or two
+suffices, matching the practical claim that the method runs on modest
+archives.
+"""
+
+import pytest
+
+from repro.core.pipeline import SpeedEstimationSystem
+from repro.datasets.synthetic import build_dataset
+from repro.evalkit.harness import Evaluation, TwoStepMethod
+from repro.evalkit.reporting import fmt, format_table
+from repro.roadnet.generators import grid_city
+
+HISTORY_DAYS = (3, 7, 14, 21)
+
+
+@pytest.fixture(scope="module")
+def f10_results():
+    rows = []
+    for days in HISTORY_DAYS:
+        dataset = build_dataset(
+            f"beijing-h{days}",
+            grid_city(rows=12, cols=12, block_m=400.0, arterial_every=4),
+            history_days=days,
+            test_days=1,
+            seed=20160516,
+        )
+        system = SpeedEstimationSystem.from_parts(
+            dataset.network, dataset.store, dataset.graph
+        )
+        budget = max(1, round(dataset.network.num_segments * 0.05))
+        seeds = system.select_seeds(budget)
+        evaluation = Evaluation(
+            truth=dataset.test,
+            store=dataset.store,
+            seeds=seeds,
+            intervals=dataset.test_day_intervals(stride=6),
+        )
+        result = evaluation.run(TwoStepMethod(system.estimator))
+        rows.append(
+            (
+                days,
+                dataset.graph.num_edges,
+                result.speed.mae,
+                result.trend.accuracy,
+            )
+        )
+    return rows
+
+
+def test_f10_history_volume(f10_results, report, benchmark):
+    table_rows = [
+        [days, edges, fmt(mae), fmt(acc, 3)]
+        for days, edges, mae, acc in f10_results
+    ]
+    table = format_table(
+        ["history days", "corr edges", "two-step MAE", "trend-acc"],
+        table_rows,
+        title="F10: accuracy vs training-history volume (synthetic-beijing)",
+    )
+    report("f10_history_volume", table)
+
+    maes = [mae for _, _, mae, _ in f10_results]
+    # More history helps overall...
+    assert maes[-1] <= maes[0]
+    # ...but saturates: doubling 14 -> 21+ days buys little.
+    assert abs(maes[-1] - maes[-2]) < 0.35
+
+    benchmark(lambda: maes)

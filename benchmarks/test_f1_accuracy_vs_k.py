@@ -1,0 +1,90 @@
+"""F1 — Estimation error versus budget K.
+
+The paper's budget sweep: how fast does each method's error fall as the
+crowdsourcing budget grows? Shape to reproduce: the two-step curve
+dominates the baselines at every K and all real-time methods converge
+downward while the historical average stays flat.
+"""
+
+import pytest
+
+from benchmarks.conftest import budget_for
+from repro.baselines.historical import HistoricalAverageBaseline
+from repro.baselines.knn import IdwDeviationBaseline
+from repro.baselines.label_prop import LabelPropagationBaseline
+from repro.core.pipeline import SpeedEstimationSystem
+from repro.evalkit.harness import Evaluation, TwoStepMethod
+from repro.evalkit.reporting import fmt, format_table
+
+K_PERCENTS = (1.0, 2.0, 5.0, 10.0, 20.0)
+
+
+@pytest.fixture(scope="module")
+def sweep(beijing):
+    dataset = beijing
+    rows = {}
+    for percent in K_PERCENTS:
+        budget = budget_for(dataset, percent)
+        system = SpeedEstimationSystem.from_parts(
+            dataset.network, dataset.store, dataset.graph
+        )
+        seeds = system.select_seeds(budget)
+        evaluation = Evaluation(
+            truth=dataset.test,
+            store=dataset.store,
+            seeds=seeds,
+            intervals=dataset.test_day_intervals(stride=4),
+        )
+        results = evaluation.run_all(
+            [
+                TwoStepMethod(system.estimator),
+                HistoricalAverageBaseline(dataset.store),
+                IdwDeviationBaseline(dataset.network, dataset.store),
+                LabelPropagationBaseline(dataset.graph, dataset.store),
+            ]
+        )
+        rows[percent] = (budget, {r.method: r for r in results}, system, seeds)
+    return rows
+
+
+def test_f1_accuracy_vs_budget(sweep, beijing, report, benchmark):
+    methods = ["two-step", "historical-average", "idw-deviation",
+               "label-propagation"]
+    table_rows = []
+    for percent, (budget, results, _, _) in sweep.items():
+        table_rows.append(
+            [f"{percent:.0f}% (K={budget})"]
+            + [fmt(results[m].speed.mae) for m in methods]
+        )
+    table = format_table(
+        ["budget"] + [f"MAE {m}" for m in methods],
+        table_rows,
+        title="F1: MAE vs crowdsourcing budget K (synthetic-beijing)",
+    )
+    report("f1_accuracy_vs_k", table)
+
+    # Two-step error decreases with budget...
+    two_step = [
+        results["two-step"].speed.mae for _, results, _, _ in sweep.values()
+    ]
+    assert two_step[-1] < two_step[0]
+    # ...and beats the real-time baselines at every K above the smallest.
+    for percent, (_, results, _, _) in sweep.items():
+        if percent >= 2.0:
+            assert results["two-step"].speed.mae <= (
+                results["idw-deviation"].speed.mae * 1.03
+            )
+            assert results["two-step"].speed.mae < (
+                results["label-propagation"].speed.mae
+            )
+            assert results["two-step"].speed.mae < (
+                results["historical-average"].speed.mae
+            )
+
+    # Benchmark kernel: one estimation round at the largest budget.
+    _, _, system, seeds = sweep[K_PERCENTS[-1]]
+    interval = beijing.test_day_intervals()[34]
+    seed_speeds = {r: beijing.test.speed(r, interval) for r in seeds}
+    benchmark(
+        lambda: system.estimator.estimate_interval(interval, seed_speeds)
+    )

@@ -1,0 +1,141 @@
+"""F2 — Trend-inference accuracy: the Step-1 algorithms compared.
+
+Two parts, matching the paper's evaluation of the graphical model:
+
+1. On a tiny instance, all approximate algorithms are scored against
+   exact enumeration (posterior error) — the correctness check.
+2. On the full city, trend prediction accuracy vs the true trends for
+   the fast propagation method, loopy BP and Gibbs sampling, across
+   budgets. Shape to reproduce: the fast method is at least as accurate
+   as the slow ones on the loopy correlation graph (loopy BP
+   double-counts evidence in dense loops).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import budget_for
+from repro.evalkit.reporting import fmt, format_table
+from repro.seeds.lazy import lazy_greedy_select
+from repro.seeds.objective import SeedSelectionObjective
+from repro.trend.bp import LoopyBeliefPropagation
+from repro.trend.exact import ExactEnumerationInference
+from repro.trend.gibbs import GibbsSamplingInference
+from repro.trend.model import TrendModel
+from repro.trend.propagation import TrendPropagationInference
+
+
+def trend_accuracy(dataset, inference, seeds, intervals) -> float:
+    model = TrendModel(dataset.graph, dataset.store)
+    non_seeds = [r for r in dataset.network.road_ids() if r not in set(seeds)]
+    correct = 0
+    total = 0
+    for interval in intervals:
+        truth = dataset.test.speeds_at(interval)
+        seed_trends = {
+            r: dataset.store.trend_of(r, interval, truth[r]) for r in seeds
+        }
+        posterior = inference.infer(model.instance(interval, seed_trends))
+        for road in non_seeds:
+            actual = dataset.store.trend_of(road, interval, truth[road])
+            correct += posterior.trend(road) == actual
+            total += 1
+    return correct / total
+
+
+@pytest.fixture(scope="module")
+def f2_results(tianjin):
+    dataset = tianjin
+    intervals = dataset.test_day_intervals(stride=12)
+    objective = SeedSelectionObjective(dataset.graph)
+    rows = {}
+    for percent in (2.0, 5.0, 10.0):
+        budget = budget_for(dataset, percent)
+        seeds = list(lazy_greedy_select(objective, budget).seeds)
+        rows[percent] = {
+            "propagation": trend_accuracy(
+                dataset, TrendPropagationInference(), seeds, intervals
+            ),
+            "loopy-bp": trend_accuracy(
+                dataset, LoopyBeliefPropagation(max_iterations=60), seeds,
+                intervals,
+            ),
+            "gibbs": trend_accuracy(
+                dataset,
+                GibbsSamplingInference(num_samples=200, burn_in=60, seed=0),
+                seeds,
+                intervals,
+            ),
+        }
+    return rows
+
+
+def test_f2_posterior_error_vs_exact(report, benchmark):
+    """Approximation quality against the exact oracle on a small MRF."""
+    from repro.core.types import Trend
+    from repro.trend.model import TrendInstance
+
+    rng = np.random.default_rng(42)
+    n = 12
+    edges = [(i, i + 1, float(rng.uniform(0.6, 0.9))) for i in range(n - 1)]
+    edges += [(i, i + 2, float(rng.uniform(0.55, 0.8))) for i in range(n - 2)]
+    instance = TrendInstance(
+        road_ids=tuple(range(n)),
+        prior_rise=rng.uniform(0.3, 0.7, size=n),
+        edges=tuple(edges),
+        evidence={0: Trend.RISE, n - 1: Trend.FALL},
+    )
+    exact = ExactEnumerationInference().infer(instance)
+    rows = []
+    for name, engine in (
+        ("propagation", TrendPropagationInference(min_fidelity=0.01)),
+        ("loopy-bp", LoopyBeliefPropagation(max_iterations=300)),
+        ("gibbs", GibbsSamplingInference(num_samples=4000, burn_in=500, seed=1)),
+    ):
+        posterior = engine.infer(instance)
+        error = float(
+            np.mean(np.abs(posterior.as_array() - exact.as_array()))
+        )
+        map_agree = float(
+            np.mean(
+                [posterior.trend(r) == exact.trend(r) for r in range(n)]
+            )
+        )
+        rows.append([name, fmt(error, 4), fmt(map_agree, 3)])
+        assert map_agree >= 0.8
+    table = format_table(
+        ["algorithm", "mean |p - p_exact|", "MAP agreement"],
+        rows,
+        title="F2a: posterior error vs exact enumeration (12-road loopy MRF)",
+    )
+    report("f2a_posterior_error", table)
+
+    benchmark(
+        lambda: TrendPropagationInference(min_fidelity=0.01).infer(instance)
+    )
+
+
+def test_f2_trend_accuracy_vs_budget(f2_results, report, benchmark):
+    rows = [
+        [f"{percent:.0f}%"]
+        + [fmt(acc[m], 3) for m in ("propagation", "loopy-bp", "gibbs")]
+        for percent, acc in f2_results.items()
+    ]
+    table = format_table(
+        ["budget", "propagation", "loopy-bp", "gibbs"],
+        rows,
+        title="F2b: trend accuracy vs budget (synthetic-tianjin)",
+    )
+    report("f2b_trend_accuracy", table)
+
+    for percent, acc in f2_results.items():
+        # Fast propagation matches or beats the slow algorithms.
+        assert acc["propagation"] >= acc["loopy-bp"] - 0.02
+        assert acc["propagation"] >= acc["gibbs"] - 0.02
+        assert acc["propagation"] > 0.55
+
+    # Accuracy improves (weakly) with budget for the main method.
+    accs = [acc["propagation"] for acc in f2_results.values()]
+    assert accs[-1] >= accs[0] - 0.01
+
+    benchmark(lambda: list(f2_results))

@@ -1,0 +1,82 @@
+"""F6 — Accuracy by time of day.
+
+Urban speeds are hardest to predict at rush hour, when deviations from
+history are largest — exactly when real-time estimation matters. This
+experiment scores the two-step method and the historical average
+separately on rush-hour, midday and night intervals. Shape to
+reproduce: HA degrades sharply at rush hour while the two-step method's
+advantage is *largest* there.
+"""
+
+import pytest
+
+from benchmarks.conftest import budget_for
+from repro.baselines.historical import HistoricalAverageBaseline
+from repro.datasets.splits import is_rush_hour
+from repro.evalkit.harness import Evaluation, TwoStepMethod
+from repro.evalkit.metrics import improvement_percent
+from repro.evalkit.reporting import fmt, fmt_pct, format_table
+
+PERIODS = {
+    "night (0-6h)": lambda h: h < 6.0,
+    "rush hours": is_rush_hour,
+    "midday (10-17h)": lambda h: 10.0 <= h < 17.0,
+    "evening (20-24h)": lambda h: h >= 20.0,
+}
+
+
+@pytest.fixture(scope="module")
+def f6_results(beijing, beijing_system):
+    dataset = beijing
+    budget = budget_for(dataset, 5.0)
+    seeds = beijing_system.select_seeds(budget)
+    results = {}
+    for label, selector in PERIODS.items():
+        intervals = [
+            t
+            for t in dataset.test_day_intervals(stride=2)
+            if selector(dataset.grid.hour_of(t))
+        ]
+        if not intervals:
+            continue
+        evaluation = Evaluation(
+            truth=dataset.test,
+            store=dataset.store,
+            seeds=seeds,
+            intervals=intervals,
+        )
+        ours = evaluation.run(TwoStepMethod(beijing_system.estimator))
+        ha = evaluation.run(HistoricalAverageBaseline(dataset.store))
+        results[label] = (ours, ha)
+    return results
+
+
+def test_f6_time_of_day(f6_results, report, benchmark):
+    rows = []
+    for label, (ours, ha) in f6_results.items():
+        rows.append(
+            [
+                label,
+                fmt(ours.speed.mae),
+                fmt(ha.speed.mae),
+                fmt_pct(improvement_percent(ours.speed.mae, ha.speed.mae)),
+                fmt(ours.trend.accuracy, 3),
+            ]
+        )
+    table = format_table(
+        ["period", "two-step MAE", "HA MAE", "improvement", "trend-acc"],
+        rows,
+        title="F6: accuracy by time of day (synthetic-beijing, K = 5%)",
+    )
+    report("f6_time_of_day", table)
+
+    # Two-step wins in every period.
+    for label, (ours, ha) in f6_results.items():
+        assert ours.speed.mae < ha.speed.mae, label
+
+    # HA is worst at rush hour in absolute error (congestion variance).
+    ha_rush = f6_results["rush hours"][1].speed.mae
+    ha_night = f6_results["night (0-6h)"][1].speed.mae
+    assert ha_rush > ha_night
+
+    benchmark(lambda: {k: v[0].speed.mae for k, v in f6_results.items()})

@@ -1,0 +1,83 @@
+"""F8 — Full-pipeline scalability with network size.
+
+End-to-end cost of every pipeline stage as the city grows: correlation
+mining (offline, once), model fitting, seed selection (daily), and
+per-interval estimation (online, every few minutes). Shape to
+reproduce: the online stage stays in interactive territory while the
+offline stages grow polynomially but remain practical.
+"""
+
+import time
+
+import pytest
+
+from repro.core.pipeline import SpeedEstimationSystem
+from repro.datasets.synthetic import scaled_dataset
+from repro.evalkit.reporting import fmt, format_table
+from repro.history.correlation import mine_correlation_graph
+
+SIZES = (200, 500, 1000, 2000)
+
+
+@pytest.fixture(scope="module")
+def f8_results():
+    rows = []
+    for size in SIZES:
+        dataset = scaled_dataset(size, history_days=7)
+        num_roads = dataset.network.num_segments
+
+        start = time.perf_counter()
+        mine_correlation_graph(dataset.network, dataset.store)
+        mining_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        system = SpeedEstimationSystem.from_parts(
+            dataset.network, dataset.store, dataset.graph
+        )
+        fit_s = time.perf_counter() - start
+
+        budget = max(1, round(num_roads * 0.05))
+        start = time.perf_counter()
+        seeds = system.select_seeds(budget)
+        select_s = time.perf_counter() - start
+
+        intervals = dataset.test_day_intervals(stride=16)
+        # Warm-up builds influence maps and per-road regressions.
+        warm = {r: dataset.test.speed(r, intervals[0]) for r in seeds}
+        system.estimate(intervals[0], warm)
+        start = time.perf_counter()
+        for interval in intervals[1:]:
+            seed_speeds = {r: dataset.test.speed(r, interval) for r in seeds}
+            system.estimate(interval, seed_speeds)
+        estimate_s = (time.perf_counter() - start) / max(1, len(intervals) - 1)
+
+        rows.append((num_roads, budget, mining_s, fit_s, select_s, estimate_s))
+    return rows
+
+
+def test_f8_pipeline_scalability(f8_results, report, benchmark):
+    table_rows = [
+        [
+            roads,
+            budget,
+            fmt(mining_s, 2),
+            fmt(fit_s, 2),
+            fmt(select_s, 2),
+            fmt(estimate_s * 1000, 1),
+        ]
+        for roads, budget, mining_s, fit_s, select_s, estimate_s in f8_results
+    ]
+    table = format_table(
+        ["roads", "K", "mining s", "fit s", "selection s", "estimate ms/interval"],
+        table_rows,
+        title="F8: pipeline-stage cost vs network size (5% budget)",
+    )
+    report("f8_scalability", table)
+
+    # Online estimation stays interactive even on the largest network.
+    *_, largest = f8_results
+    assert largest[-1] < 1.0  # < 1 s per interval
+    # Offline stages stay practical (< 2 min each at 2000 roads here).
+    assert largest[2] < 120 and largest[3] < 120 and largest[4] < 120
+
+    benchmark(lambda: [row[-1] for row in f8_results])

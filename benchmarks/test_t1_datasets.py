@@ -1,0 +1,68 @@
+"""T1 — Dataset statistics table.
+
+Reproduces the paper's dataset-description table for the two synthetic
+cities standing in for Beijing and Tianjin: network size, coverage of
+the correlation graph, and the probe-data sparsity that motivates the
+problem (a taxi fleet observes only a small fraction of road-intervals).
+"""
+
+from repro.evalkit.reporting import fmt, format_table
+from repro.gps.map_matching import HmmMatcher
+from repro.gps.speed_extraction import extract_probe_speeds
+from repro.gps.traces import TraceGenerator
+from repro.gps.trips import generate_trips
+
+
+def probe_coverage(dataset, num_trips: int = 150) -> float:
+    """Fraction of (road, interval) cells a probe fleet observes."""
+    day = dataset.first_test_day
+    trips = generate_trips(dataset.network, num_trips, day=day, seed=1)
+    generator = TraceGenerator(
+        dataset.network, dataset.test, dataset.grid, sample_interval_s=30.0
+    )
+    traces = generator.emit_all(trips, seed=2)
+    matcher = HmmMatcher(dataset.network)
+    table = extract_probe_speeds(
+        dataset.network, [matcher.match(t) for t in traces], dataset.grid
+    )
+    day_intervals = range(day * 96, (day + 1) * 96)
+    return table.coverage(dataset.network.num_segments, day_intervals)
+
+
+def test_t1_dataset_statistics(beijing, tianjin, report, benchmark):
+    rows = []
+    for dataset in (beijing, tianjin):
+        info = dataset.describe()
+        coverage = probe_coverage(dataset)
+        rows.append(
+            [
+                info["name"],
+                info["intersections"],
+                info["roads"],
+                fmt(float(info["total_km"]), 1),
+                info["history_days"],
+                info["test_days"],
+                info["correlation_edges"],
+                fmt(float(info["correlation_avg_degree"]), 1),
+                fmt(coverage * 100, 2) + "%",
+            ]
+        )
+    table = format_table(
+        [
+            "dataset",
+            "nodes",
+            "roads",
+            "km",
+            "hist-days",
+            "test-days",
+            "corr-edges",
+            "avg-deg",
+            "probe-coverage",
+        ],
+        rows,
+        title="T1: dataset statistics (probe coverage from 150 simulated taxi trips)",
+    )
+    report("t1_datasets", table)
+
+    # Benchmark kernel: dataset description (cheap metadata aggregation).
+    benchmark(lambda: beijing.describe())

@@ -1,0 +1,94 @@
+"""T2 — Overall estimation accuracy: two-step vs all baselines, both cities.
+
+The paper's headline accuracy table. Budget K = 5% of roads (greedy
+selection), scored on non-seed roads over a full held-out test day.
+The shape to reproduce: the two-step method has the lowest error, and
+beats the historical average by a large margin (the paper reports ~40%
+over its baselines).
+"""
+
+import pytest
+
+from benchmarks.conftest import budget_for
+from repro.baselines.historical import HistoricalAverageBaseline
+from repro.baselines.knn import IdwDeviationBaseline, KnnSpeedBaseline
+from repro.baselines.label_prop import LabelPropagationBaseline
+from repro.baselines.regression import GlobalRatioBaseline
+from repro.evalkit.harness import Evaluation, TwoStepMethod
+from repro.evalkit.metrics import improvement_percent
+from repro.evalkit.reporting import fmt, fmt_pct, format_table
+
+
+def run_city(dataset, system):
+    budget = budget_for(dataset, 5.0)
+    seeds = system.select_seeds(budget)
+    evaluation = Evaluation(
+        truth=dataset.test,
+        store=dataset.store,
+        seeds=seeds,
+        intervals=dataset.test_day_intervals(stride=2),
+    )
+    methods = [
+        TwoStepMethod(system.estimator),
+        HistoricalAverageBaseline(dataset.store),
+        KnnSpeedBaseline(dataset.network),
+        IdwDeviationBaseline(dataset.network, dataset.store),
+        LabelPropagationBaseline(dataset.graph, dataset.store),
+        GlobalRatioBaseline(dataset.store),
+    ]
+    return budget, evaluation.run_all(methods)
+
+
+@pytest.fixture(scope="module")
+def t2_results(beijing, beijing_system, tianjin, tianjin_system):
+    return {
+        "synthetic-beijing": run_city(beijing, beijing_system),
+        "synthetic-tianjin": run_city(tianjin, tianjin_system),
+    }
+
+
+def test_t2_overall_accuracy(t2_results, report, beijing, beijing_system, benchmark):
+    rows = []
+    for city, (budget, results) in t2_results.items():
+        ha_mae = next(r for r in results if r.method == "historical-average").speed.mae
+        for result in results:
+            rows.append(
+                [
+                    city,
+                    f"K={budget}",
+                    result.method,
+                    fmt(result.speed.mae),
+                    fmt(result.speed.rmse),
+                    fmt_pct(result.speed.mape * 100),
+                    fmt(result.trend.accuracy, 3),
+                    fmt_pct(improvement_percent(result.speed.mae, ha_mae)),
+                ]
+            )
+    table = format_table(
+        ["dataset", "budget", "method", "MAE", "RMSE", "MAPE", "trend-acc",
+         "vs-HA"],
+        rows,
+        title="T2: overall accuracy, K = 5% of roads, full test day",
+    )
+    report("t2_overall_accuracy", table)
+
+    # The paper's shape: two-step wins on both cities.
+    for city, (_, results) in t2_results.items():
+        ours = next(r for r in results if r.method == "two-step")
+        for other in results:
+            if other.method != "two-step":
+                assert ours.speed.mae <= other.speed.mae * 1.02, (
+                    f"{city}: two-step ({ours.speed.mae:.2f}) lost to "
+                    f"{other.method} ({other.speed.mae:.2f})"
+                )
+        ha = next(r for r in results if r.method == "historical-average")
+        assert improvement_percent(ours.speed.mae, ha.speed.mae) > 15.0
+
+    # Benchmark kernel: one full two-step estimation round.
+    interval = beijing.test_day_intervals()[34]
+    seed_speeds = {
+        r: beijing.test.speed(r, interval) for r in beijing_system.seeds
+    }
+    benchmark(
+        lambda: beijing_system.estimator.estimate_interval(interval, seed_speeds)
+    )

@@ -1,0 +1,105 @@
+"""X2 (extension) — Cost-aware seed selection under a money budget.
+
+Crowdsourcing quiet roads costs more (fewer potential reporters). The
+budgeted max(plain, cost-benefit) greedy should buy strictly more
+coverage per dollar than cost-blind greedy truncated to the same spend,
+and translate that into downstream accuracy.
+"""
+
+import pytest
+
+from repro.core.pipeline import SpeedEstimationSystem
+from repro.evalkit.harness import Evaluation, TwoStepMethod
+from repro.evalkit.reporting import fmt, format_table
+from repro.seeds.costaware import (
+    cost_aware_select,
+    default_road_costs,
+    selection_cost,
+)
+from repro.seeds.lazy import lazy_greedy_select
+from repro.seeds.objective import SeedSelectionObjective
+
+
+def cost_blind_under_budget(objective, costs, budget_cost):
+    """Cost-blind lazy greedy, truncated at the money budget."""
+    full = lazy_greedy_select(objective, objective.num_roads // 2)
+    chosen = []
+    spent = 0.0
+    for seed in full.seeds:
+        if spent + costs[seed] > budget_cost:
+            break
+        chosen.append(seed)
+        spent += costs[seed]
+    return chosen
+
+
+def downstream_mae(dataset, seeds):
+    system = SpeedEstimationSystem.from_parts(
+        dataset.network, dataset.store, dataset.graph
+    )
+    evaluation = Evaluation(
+        truth=dataset.test,
+        store=dataset.store,
+        seeds=list(seeds),
+        intervals=dataset.test_day_intervals(stride=8),
+    )
+    return evaluation.run(TwoStepMethod(system.estimator)).speed.mae
+
+
+@pytest.fixture(scope="module")
+def x2_results(beijing):
+    objective = SeedSelectionObjective(beijing.graph)
+    costs = default_road_costs(beijing.network)
+    results = {}
+    for budget_cost in (10.0, 20.0, 40.0):
+        aware = cost_aware_select(objective, costs, budget_cost)
+        blind = cost_blind_under_budget(objective, costs, budget_cost)
+        results[budget_cost] = {
+            "cost-aware": (
+                aware.final_value,
+                len(aware.seeds),
+                selection_cost(aware.seeds, costs),
+                downstream_mae(beijing, aware.seeds),
+            ),
+            "cost-blind": (
+                objective.value(blind),
+                len(blind),
+                selection_cost(tuple(blind), costs),
+                downstream_mae(beijing, blind),
+            ),
+        }
+    return results
+
+
+def test_x2_cost_aware_selection(x2_results, report, benchmark):
+    rows = []
+    for budget_cost, by_method in x2_results.items():
+        for name, (value, count, spent, mae) in by_method.items():
+            rows.append(
+                [
+                    fmt(budget_cost, 0),
+                    name,
+                    count,
+                    fmt(spent, 1),
+                    fmt(value, 1),
+                    fmt(mae),
+                ]
+            )
+    table = format_table(
+        ["money budget", "strategy", "seeds", "spent", "objective Q", "MAE"],
+        rows,
+        title="X2: cost-aware vs cost-blind selection "
+              "(class-based costs, synthetic-beijing)",
+    )
+    report("x2_cost_aware", table)
+
+    for budget_cost, by_method in x2_results.items():
+        aware_q, aware_n, aware_spent, _ = by_method["cost-aware"]
+        blind_q, *_ = by_method["cost-blind"]
+        assert aware_spent <= budget_cost + 1e-9
+        # Cost awareness buys at least as much coverage per dollar.
+        assert aware_q >= blind_q - 1e-9
+        # Typically by fitting in more (cheaper) seeds.
+        assert aware_n >= by_method["cost-blind"][1]
+
+    benchmark(lambda: list(x2_results))

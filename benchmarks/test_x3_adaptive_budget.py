@@ -1,0 +1,85 @@
+"""X3 (extension) — Adaptive budget scheduling over a day.
+
+Consecutive 15-minute intervals are autocorrelated, so querying all K
+seeds every round is wasteful. The drift-triggered scheduler alternates
+sentinel rounds with full rounds; this experiment sweeps its staleness
+deadline and reports queries saved versus accuracy lost relative to
+always-full scheduling.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import budget_for
+from repro.core.pipeline import SpeedEstimationSystem
+from repro.crowd.scheduler import AdaptiveBudgetScheduler
+from repro.evalkit.reporting import fmt, fmt_pct, format_table
+
+
+def run_day(dataset, system, seeds, scheduler):
+    """One scheduled day; returns (mae, queries_saved_fraction)."""
+    errors = []
+    seed_set = set(seeds)
+    for interval in dataset.test_day_intervals(stride=2):
+        truth = dataset.test.speeds_at(interval)
+        if scheduler is None:
+            queried = list(seeds)
+        else:
+            plan = scheduler.plan_round()
+            queried = list(plan.seeds)
+        observed = {r: truth[r] for r in queried}
+        estimates = system.estimate(interval, observed)
+        if scheduler is not None:
+            scheduler.record_round(
+                plan,
+                {
+                    r: dataset.store.deviation_ratio(r, interval, observed[r])
+                    for r in queried
+                },
+            )
+        for road in dataset.network.road_ids():
+            if road not in seed_set:
+                errors.append(abs(estimates[road].speed_kmh - truth[road]))
+    mae = float(np.mean(errors))
+    savings = 0.0 if scheduler is None else scheduler.savings_fraction()
+    return mae, savings
+
+
+@pytest.fixture(scope="module")
+def x3_results(beijing, beijing_system):
+    seeds = beijing_system.select_seeds(budget_for(beijing, 5.0))
+    rows = {}
+    rows["always full"] = run_day(beijing, beijing_system, seeds, None)
+    for deadline in (2, 4, 8):
+        scheduler = AdaptiveBudgetScheduler(
+            seeds, light_fraction=0.3, max_light_rounds=deadline
+        )
+        rows[f"adaptive (deadline {deadline})"] = run_day(
+            beijing, beijing_system, seeds, scheduler
+        )
+    return rows
+
+
+def test_x3_adaptive_budget(x3_results, report, benchmark):
+    full_mae, _ = x3_results["always full"]
+    rows = [
+        [name, fmt(mae), fmt_pct(savings * 100), fmt_pct(100 * (mae / full_mae - 1))]
+        for name, (mae, savings) in x3_results.items()
+    ]
+    table = format_table(
+        ["schedule", "MAE", "queries saved", "MAE increase"],
+        rows,
+        title="X3: adaptive crowd-budget scheduling (synthetic-beijing, K = 5%)",
+    )
+    report("x3_adaptive_budget", table)
+
+    for name, (mae, savings) in x3_results.items():
+        if name == "always full":
+            continue
+        assert savings > 0.2, name
+        assert mae < full_mae * 1.3, name
+    # Longer deadlines save more.
+    saves = [s for n, (_, s) in x3_results.items() if n != "always full"]
+    assert saves == sorted(saves)
+
+    benchmark(lambda: dict(x3_results))

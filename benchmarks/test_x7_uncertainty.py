@@ -1,0 +1,71 @@
+"""X7 (extension) — Prediction-interval quality across budgets.
+
+Coverage (do nominal 90% bands contain the truth ~90% of the time?) and
+sharpness (how narrow are they?) of the Step-2 prediction intervals, as
+the seed budget grows. Shape: coverage stays near nominal at every
+budget while bands *sharpen* with more seeds — more crowdsourcing buys
+narrower honest intervals, not just better point estimates.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import budget_for
+from repro.core.pipeline import SpeedEstimationSystem
+from repro.evalkit.reporting import fmt, fmt_pct, format_table
+from repro.speed.uncertainty import UncertaintyModel, sharpness_kmh
+
+
+@pytest.fixture(scope="module")
+def x7_results(beijing):
+    dataset = beijing
+    results = {}
+    for percent in (2.0, 5.0, 10.0):
+        system = SpeedEstimationSystem.from_parts(
+            dataset.network, dataset.store, dataset.graph
+        )
+        seeds = system.select_seeds(budget_for(dataset, percent))
+        model = UncertaintyModel(
+            system.estimator, dataset.store, confidence=0.90
+        )
+        coverages, widths = [], []
+        for interval in dataset.test_day_intervals(stride=6):
+            truth = dataset.test.speeds_at(interval)
+            seed_speeds = {r: truth[r] for r in seeds}
+            estimates = system.estimate(interval, seed_speeds)
+            bands = model.bands_for(estimates, seed_speeds)
+            coverages.append(
+                model.empirical_coverage(bands, truth, set(seeds))
+            )
+            non_seed_bands = {
+                r: b for r, b in bands.items() if r not in set(seeds)
+            }
+            widths.append(sharpness_kmh(non_seed_bands))
+        results[percent] = (
+            float(np.mean(coverages)),
+            float(np.mean(widths)),
+            len(seeds),
+        )
+    return results
+
+
+def test_x7_prediction_intervals(x7_results, report, benchmark):
+    rows = [
+        [f"{percent:.0f}% (K={k})", fmt_pct(coverage * 100), fmt(width, 1)]
+        for percent, (coverage, width, k) in x7_results.items()
+    ]
+    table = format_table(
+        ["budget", "coverage of 90% bands", "mean band width km/h"],
+        rows,
+        title="X7: prediction-interval quality (synthetic-beijing)",
+    )
+    report("x7_uncertainty", table)
+
+    widths = [width for _, width, _ in x7_results.values()]
+    # Bands sharpen with budget...
+    assert widths == sorted(widths, reverse=True)
+    # ...while staying honest at every budget.
+    for percent, (coverage, _, _) in x7_results.items():
+        assert 0.75 <= coverage <= 0.99, percent
+
+    benchmark(lambda: dict(x7_results))

@@ -1,0 +1,74 @@
+"""Budget planning: how many crowdsourced roads do you need?
+
+An operator deciding on a crowdsourcing budget wants the accuracy-vs-
+cost curve. This example sweeps K from 1% to 20% of roads, comparing
+greedy seed selection against random placement, and prints the point of
+diminishing returns.
+
+Run:  python examples/budget_planning.py
+"""
+
+import numpy as np
+
+from repro import SpeedEstimationSystem
+from repro.datasets import synthetic_tianjin
+from repro.evalkit import Evaluation, TwoStepMethod, format_table, fmt
+
+
+def mae_for(city, seeds) -> float:
+    system = SpeedEstimationSystem.from_parts(
+        city.network, city.store, city.graph
+    )
+    evaluation = Evaluation(
+        truth=city.test,
+        store=city.store,
+        seeds=list(seeds),
+        intervals=city.test_day_intervals(stride=4),
+    )
+    return evaluation.run(TwoStepMethod(system.estimator)).speed.mae
+
+
+def main() -> None:
+    city = synthetic_tianjin()
+    num_roads = city.network.num_segments
+    print(f"Planning budgets for {city.name} ({num_roads} roads)\n")
+
+    selector = SpeedEstimationSystem.from_parts(
+        city.network, city.store, city.graph
+    )
+    ha_mae = mae_for(city, [city.network.road_ids()[0]])  # ~no information
+
+    rows = []
+    previous_mae = None
+    for percent in (1, 2, 5, 10, 20):
+        budget = max(1, round(num_roads * percent / 100))
+        greedy_seeds = selector.select_seeds(budget, method="lazy")
+        random_seeds = selector.select_seeds(budget, method="random",
+                                             random_seed=3)
+        greedy_mae = mae_for(city, greedy_seeds)
+        random_mae = mae_for(city, random_seeds)
+        marginal = (
+            "-" if previous_mae is None else fmt(previous_mae - greedy_mae, 3)
+        )
+        previous_mae = greedy_mae
+        rows.append(
+            [
+                f"{percent}% (K={budget})",
+                fmt(greedy_mae),
+                fmt(random_mae),
+                marginal,
+            ]
+        )
+    print(format_table(
+        ["budget", "greedy MAE", "random MAE", "marginal gain"],
+        rows,
+        title="Accuracy vs crowdsourcing budget (synthetic-tianjin)",
+    ))
+    print(f"\n(near-zero-information reference MAE: {ha_mae:.2f} km/h)")
+    print("Reading: the marginal-gain column is the km/h bought by the "
+          "budget step;\nbudgets past ~10% buy little — the influence "
+          "coverage has saturated.")
+
+
+if __name__ == "__main__":
+    main()

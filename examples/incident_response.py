@@ -1,0 +1,131 @@
+"""Incident response: catching a localized slowdown history cannot see.
+
+Injects a severe 90-minute incident around one of the *seed* roads of
+the test day, then compares what the historical average and the
+two-step system report for the affected neighbourhood while the
+incident is active. The point of the paper in one picture: history says
+"normal Tuesday"; the crowdsourced seed observes the anomaly and trend
+propagation spreads the FALL through the correlated neighbourhood.
+
+(Try moving the incident away from every seed — detection collapses,
+which is exactly why seed *selection* maximises influence coverage.)
+
+Run:  python examples/incident_response.py
+"""
+
+import numpy as np
+
+from repro import SpeedEstimationSystem
+from repro.core.field import SpeedField
+from repro.datasets import synthetic_beijing
+from repro.evalkit import format_table, fmt
+from repro.traffic.events import CongestionEvent, render_event_factors
+
+
+def inject_incident(city, centre_road: int, start_hour: float):
+    """A severe incident on centre_road spilling two hops around it."""
+    day = city.first_test_day
+    start = city.grid.interval_at(day, start_hour)
+    affected = city.network.roads_within_hops(centre_road, 2)
+    severities = {
+        road: max(0.05, 0.75 * (1.0 - hops / 3.0))
+        for road, hops in affected.items()
+    }
+    event = CongestionEvent("incident", start, start + 6, severities)
+
+    road_index = {r: i for i, r in enumerate(city.test.road_ids)}
+    factors = render_event_factors([event], road_index, city.test.intervals)
+    perturbed = SpeedField(
+        city.test.matrix * factors, city.test.road_ids,
+        city.test.intervals.start,
+    )
+    return perturbed, event, sorted(affected)
+
+
+def main() -> None:
+    city = synthetic_beijing()
+    system = SpeedEstimationSystem.from_parts(
+        city.network, city.store, city.graph
+    )
+    seeds = system.select_seeds(round(city.network.num_segments * 0.05))
+
+    # Centre the incident on the best-covered seed so the crowd sees it.
+    centre_road = max(seeds, key=city.graph.degree)
+    truth, event, affected = inject_incident(city, centre_road, start_hour=14.0)
+    interval = event.start_interval + 2  # mid-incident
+    print(f"Incident injected around road {centre_road}: "
+          f"{len(affected)} roads affected, "
+          f"{city.grid.hour_of(interval):.2f}h\n")
+
+    crowd_speeds = {r: truth.speed(r, interval) for r in seeds}
+    estimates = system.estimate(interval, crowd_speeds)
+
+    rows = []
+    for road in affected:
+        if road in crowd_speeds or len(rows) >= 10:
+            continue
+        est = estimates[road]
+        rows.append(
+            [
+                road,
+                fmt(truth.speed(road, interval), 1),
+                fmt(city.store.historical_speed(road, interval), 1),
+                fmt(est.speed_kmh, 1),
+                fmt(1.0 - est.trend_probability, 2),
+            ]
+        )
+    print(format_table(
+        ["road", "true", "HA says", "two-step says", "P(fall)"],
+        rows,
+        title="Affected non-seed roads, mid-incident",
+    ))
+
+    # Alerting view: the incident's fingerprint is the *shift* it causes
+    # in the trend posterior plus the gap to expected speeds. The
+    # anomaly detector compares against a reference round (here the
+    # counterfactual same-day run without the incident) and ranks roads.
+    from repro.core.anomaly import CongestionAnomalyDetector, precision_at_k
+
+    detector = CongestionAnomalyDetector(city.store, min_score=0.0)
+    counterfactual_speeds = {r: city.test.speed(r, interval) for r in seeds}
+    detector.update_reference(system.estimate(interval, counterfactual_speeds))
+    alerts = detector.score_round(estimates)
+
+    affected_set = {r for r in affected if r not in crowd_speeds}
+    k = len(affected_set)
+    precision = precision_at_k(
+        [a for a in alerts if not estimates[a.road_id].is_seed],
+        affected_set,
+        k,
+    )
+    base_rate = k / (city.network.num_segments - len(crowd_speeds))
+    print()
+    print(f"Alert ranking (anomaly detector): precision@{k} = "
+          f"{precision:.2f} vs {base_rate:.2f} for random ranking")
+
+    ours = np.mean([
+        abs(estimates[r].speed_kmh - truth.speed(r, interval))
+        for r in affected_set
+    ])
+    ha_err = np.mean([
+        abs(city.store.historical_speed(r, interval) - truth.speed(r, interval))
+        for r in affected_set
+    ])
+    print(f"MAE on affected roads: two-step {ours:.1f} km/h "
+          f"vs historical average {ha_err:.1f} km/h")
+
+    # A console view of where the system believes the city is slow.
+    from repro.evalkit.ascii_map import render_deviation_map
+
+    estimated_speeds = {r: e.speed_kmh for r, e in estimates.items()}
+    historical = {
+        r: city.store.historical_speed(r, interval)
+        for r in city.network.road_ids()
+    }
+    print("\nEstimated congestion map (dense = far below usual speed):")
+    print(render_deviation_map(city.network, estimated_speeds, historical,
+                               width=48))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""The probe-data pipeline: taxi GPS traces → road speeds → free seeds.
+
+Demonstrates the data substrate the original paper built on: simulate a
+taxi fleet driving through true traffic, emit noisy GPS fixes, map-match
+them back onto the road network with the HMM matcher, extract per-road
+speeds — and then use those *free* probe observations as bonus seeds
+alongside the crowdsourced ones.
+
+Run:  python examples/probe_pipeline.py
+"""
+
+import numpy as np
+
+from repro import SpeedEstimationSystem
+from repro.datasets import synthetic_beijing
+from repro.evalkit import format_table, fmt
+from repro.gps import (
+    HmmMatcher,
+    TraceGenerator,
+    extract_probe_speeds,
+    generate_trips,
+)
+
+
+def main() -> None:
+    city = synthetic_beijing()
+    day = city.first_test_day
+
+    # --- 1. A 250-trip taxi fleet drives through the true traffic.
+    trips = generate_trips(city.network, 250, day=day, seed=31)
+    generator = TraceGenerator(
+        city.network, city.test, city.grid,
+        sample_interval_s=30.0, noise_std_m=15.0,
+    )
+    traces = generator.emit_all(trips, seed=32)
+    total_fixes = sum(len(t.points) for t in traces)
+    print(f"Fleet: {len(trips)} trips, {total_fixes} GPS fixes")
+
+    # --- 2. Map matching (HMM/Viterbi) and speed extraction.
+    matcher = HmmMatcher(city.network)
+    matched = [matcher.match(t) for t in traces]
+    match_rate = float(np.mean([m.match_rate for m in matched]))
+    table = extract_probe_speeds(city.network, matched, city.grid)
+    day_intervals = range(day * 96, (day + 1) * 96)
+    coverage = table.coverage(city.network.num_segments, day_intervals)
+    print(f"Match rate: {match_rate:.1%}; probe speed entries: "
+          f"{table.num_entries} ({coverage:.2%} of road-intervals)")
+    print("-> the sparsity that motivates the paper: probes alone cannot "
+          "cover the city.\n")
+
+    # --- 3. Use probe speeds as free extra seeds for one interval.
+    system = SpeedEstimationSystem.from_parts(
+        city.network, city.store, city.graph
+    )
+    budget = round(city.network.num_segments * 0.02)  # small paid budget
+    paid_seeds = system.select_seeds(budget)
+
+    interval = city.grid.interval_at(day, 8.5)
+    probe_roads = [
+        r for r in table.observed_roads(interval) if r not in paid_seeds
+    ]
+    crowd_only = {r: city.test.speed(r, interval) for r in paid_seeds}
+    with_probes = dict(crowd_only)
+    for road in probe_roads:
+        with_probes[road] = table.speed(road, interval)
+
+    rows = []
+    for label, seed_speeds in (
+        (f"crowd only (K={len(crowd_only)})", crowd_only),
+        (f"crowd + {len(probe_roads)} probe roads", with_probes),
+    ):
+        estimates = system.estimate(interval, seed_speeds)
+        errors = [
+            abs(estimates[r].speed_kmh - city.test.speed(r, interval))
+            for r in city.network.road_ids()
+            if r not in with_probes  # same scored set for fairness
+        ]
+        rows.append([label, fmt(float(np.mean(errors)))])
+    print(format_table(
+        ["seed source", "MAE km/h (common non-seed roads)"],
+        rows,
+        title="Probe observations as free seeds, 08:30",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Quickstart: estimate citywide speeds from K crowdsourced roads.
+
+Builds a small synthetic city, fits the system on three weeks of
+simulated history, greedily selects a 5% seed budget, and estimates
+every road's speed for one morning-rush interval — then scores the
+estimates against the simulator's ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SpeedEstimationSystem
+from repro.datasets import synthetic_beijing
+from repro.evalkit import format_table, fmt
+
+
+def main() -> None:
+    # 1. Data: a synthetic city with 21 days of history + 2 unseen days.
+    city = synthetic_beijing()
+    print(f"Loaded {city.name}: {city.network.num_segments} roads, "
+          f"{city.graph.num_edges} correlation edges")
+
+    # 2. Fit: the store and correlation graph are prebuilt by the dataset;
+    #    the system wires trend inference + the hierarchical linear model.
+    system = SpeedEstimationSystem.from_parts(
+        city.network, city.store, city.graph
+    )
+
+    # 3. Select the budget-K crowdsourcing seeds (lazy greedy).
+    budget = round(city.network.num_segments * 0.05)
+    seeds = system.select_seeds(budget)
+    print(f"Selected {len(seeds)} seed roads "
+          f"(coverage objective = {system.selection.final_value:.1f})")
+
+    # 4. One crowdsourcing round at 08:30 on the first unseen day. Here
+    #    the "crowd" answers with the true speeds; see city_monitoring.py
+    #    for the noisy-worker version.
+    interval = city.grid.interval_at(city.first_test_day, 8.5)
+    crowd_speeds = {r: city.test.speed(r, interval) for r in seeds}
+    estimates = system.estimate(interval, crowd_speeds)
+
+    # 5. Score against ground truth on non-seed roads.
+    rows = []
+    errors, ha_errors = [], []
+    for road in city.network.road_ids():
+        if road in crowd_speeds:
+            continue
+        truth = city.test.speed(road, interval)
+        estimate = estimates[road]
+        errors.append(abs(estimate.speed_kmh - truth))
+        ha_errors.append(abs(city.store.historical_speed(road, interval) - truth))
+        if len(rows) < 8:
+            rows.append(
+                [
+                    road,
+                    fmt(truth, 1),
+                    fmt(estimate.speed_kmh, 1),
+                    estimate.trend.name,
+                    fmt(estimate.trend_probability, 2),
+                ]
+            )
+    print()
+    print(format_table(
+        ["road", "true km/h", "estimated", "trend", "P(rise)"],
+        rows,
+        title="Sample estimates at 08:30 (first unseen day)",
+    ))
+    mae = sum(errors) / len(errors)
+    ha_mae = sum(ha_errors) / len(ha_errors)
+    print()
+    print(f"Two-step MAE over {len(errors)} non-seed roads: {mae:.2f} km/h")
+    print(f"Historical-average MAE:                       {ha_mae:.2f} km/h")
+    print(f"Improvement: {100 * (1 - mae / ha_mae):.1f}%")
+
+
+if __name__ == "__main__":
+    main()

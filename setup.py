@@ -1,0 +1,7 @@
+"""Thin setup.py kept for environments without the `wheel` package,
+where PEP-517 editable installs cannot build. All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""repro — Crowdsourcing-based real-time urban traffic speed estimation.
+
+A from-scratch reproduction of Hu, Li, Bao, Cui & Feng, ICDE 2016
+("From trends to speeds"): given a budget K, select K seed roads to
+crowdsource, infer every other road's traffic *trend* with a graphical
+model over the mined correlation graph, then its *speed* with a
+hierarchical linear model.
+
+Quick start::
+
+    from repro import SpeedEstimationSystem, PipelineConfig
+    from repro.datasets import synthetic_beijing
+
+    city = synthetic_beijing()
+    system = SpeedEstimationSystem.from_parts(
+        city.network, city.store, city.graph
+    )
+    seeds = system.select_seeds(budget=25)
+    interval = city.test_day_intervals()[34]
+    truth = {r: city.test.speed(r, interval) for r in seeds}
+    estimates = system.estimate(interval, truth)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduced evaluation.
+"""
+
+from repro.core.config import PipelineConfig
+from repro.core.errors import (
+    ConfigError,
+    CrowdsourcingError,
+    DataError,
+    InferenceError,
+    NetworkError,
+    ReproError,
+    SelectionError,
+)
+from repro.core.field import SpeedField
+from repro.core.pipeline import SpeedEstimationSystem
+from repro.core.routing import RoutePlan, RoutePlanner, route_travel_time_s
+from repro.core.types import CrowdAnswer, SpeedEstimate, SpeedObservation, Trend
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigError",
+    "CrowdAnswer",
+    "CrowdsourcingError",
+    "DataError",
+    "InferenceError",
+    "NetworkError",
+    "PipelineConfig",
+    "ReproError",
+    "RoutePlan",
+    "RoutePlanner",
+    "SelectionError",
+    "route_travel_time_s",
+    "SpeedEstimate",
+    "SpeedEstimationSystem",
+    "SpeedField",
+    "SpeedObservation",
+    "Trend",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Speed-estimation baselines: the paper's comparison set."""
+
+from repro.baselines.base import SpeedBaseline, check_seed_speeds
+from repro.baselines.historical import HistoricalAverageBaseline
+from repro.baselines.knn import IdwDeviationBaseline, KnnSpeedBaseline
+from repro.baselines.label_prop import LabelPropagationBaseline
+from repro.baselines.regression import GlobalRatioBaseline
+
+__all__ = [
+    "GlobalRatioBaseline",
+    "HistoricalAverageBaseline",
+    "IdwDeviationBaseline",
+    "KnnSpeedBaseline",
+    "LabelPropagationBaseline",
+    "SpeedBaseline",
+    "check_seed_speeds",
+]

@@ -1,0 +1,36 @@
+"""The common interface for speed-estimation baselines.
+
+Every baseline implements the same contract as the two-step estimator's
+core query: given an interval and the crowdsourced seed speeds, return a
+speed for *every* road. The evaluation harness treats all methods
+uniformly through this interface.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.errors import InferenceError
+
+
+@runtime_checkable
+class SpeedBaseline(Protocol):
+    """Structural interface for estimation methods."""
+
+    #: Human-readable method name used in result tables.
+    name: str
+
+    def estimate_interval(
+        self, interval: int, seed_speeds: dict[int, float]
+    ) -> dict[int, float]:
+        """Speed (km/h) for every road, given seed observations."""
+        ...
+
+
+def check_seed_speeds(seed_speeds: dict[int, float]) -> None:
+    """Shared validation of a seed-observation mapping."""
+    if not seed_speeds:
+        raise InferenceError("at least one seed observation is required")
+    for road, speed in seed_speeds.items():
+        if speed < 0:
+            raise InferenceError(f"negative seed speed {speed} on road {road}")

@@ -1,0 +1,32 @@
+"""Historical-average baseline (HA).
+
+Predicts every road's bucket-mean speed, ignoring the seeds entirely.
+This is the floor every real-time method must beat: it is exactly right
+on an average day and exactly wrong whenever something unusual happens —
+which is the regime the paper targets.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import check_seed_speeds
+from repro.history.store import HistoricalSpeedStore
+
+
+class HistoricalAverageBaseline:
+    """Bucket-mean prediction; seeds pass through verbatim."""
+
+    name = "historical-average"
+
+    def __init__(self, store: HistoricalSpeedStore) -> None:
+        self._store = store
+
+    def estimate_interval(
+        self, interval: int, seed_speeds: dict[int, float]
+    ) -> dict[int, float]:
+        check_seed_speeds(seed_speeds)
+        estimates = {
+            road: self._store.historical_speed(road, interval)
+            for road in self._store.road_ids
+        }
+        estimates.update(seed_speeds)
+        return estimates

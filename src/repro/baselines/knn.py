@@ -1,0 +1,105 @@
+"""Spatial interpolation baselines: kNN and inverse-distance deviation.
+
+Two classic "sensor interpolation" approaches:
+
+* :class:`KnnSpeedBaseline` — each road takes the inverse-distance-
+  weighted mean of the **raw speeds** of its k nearest seeds (by segment
+  midpoint). Simple and common, but blind to road heterogeneity: a local
+  street next to a highway seed inherits highway speeds.
+* :class:`IdwDeviationBaseline` — interpolates **deviation ratios**
+  instead and multiplies by the road's own historical mean, removing the
+  heterogeneity failure while remaining a purely spatial method (no
+  correlation graph, no trends).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import check_seed_speeds
+from repro.core.errors import InferenceError
+from repro.history.store import HistoricalSpeedStore
+from repro.roadnet.network import RoadNetwork
+
+
+class _SpatialInterpolator:
+    """Shared machinery: k nearest seeds by midpoint distance."""
+
+    def __init__(self, network: RoadNetwork, k: int) -> None:
+        if k < 1:
+            raise InferenceError(f"k must be >= 1, got {k}")
+        self._network = network
+        self._k = k
+        self._midpoints = {
+            road: network.segment_midpoint(road) for road in network.road_ids()
+        }
+
+    def nearest_seeds(
+        self, road: int, seeds: list[int]
+    ) -> list[tuple[int, float]]:
+        """Up to k nearest (seed, weight) pairs by inverse distance."""
+        mid = self._midpoints[road]
+        distances = sorted(
+            ((self._midpoints[s].distance_to(mid), s) for s in seeds),
+        )[: self._k]
+        return [(s, 1.0 / max(d, 1.0)) for d, s in distances]
+
+
+class KnnSpeedBaseline:
+    """IDW of raw seed speeds over the k nearest seeds."""
+
+    name = "knn-speed"
+
+    def __init__(self, network: RoadNetwork, k: int = 5) -> None:
+        self._interp = _SpatialInterpolator(network, k)
+        self._road_ids = network.road_ids()
+
+    def estimate_interval(
+        self, interval: int, seed_speeds: dict[int, float]
+    ) -> dict[int, float]:
+        check_seed_speeds(seed_speeds)
+        seeds = sorted(seed_speeds)
+        estimates: dict[int, float] = {}
+        for road in self._road_ids:
+            if road in seed_speeds:
+                estimates[road] = seed_speeds[road]
+                continue
+            pairs = self._interp.nearest_seeds(road, seeds)
+            weights = np.array([w for _, w in pairs])
+            values = np.array([seed_speeds[s] for s, _ in pairs])
+            estimates[road] = float((weights * values).sum() / weights.sum())
+        return estimates
+
+
+class IdwDeviationBaseline:
+    """IDW of seed deviation ratios, re-anchored to each road's history."""
+
+    name = "idw-deviation"
+
+    def __init__(
+        self, network: RoadNetwork, store: HistoricalSpeedStore, k: int = 5
+    ) -> None:
+        self._interp = _SpatialInterpolator(network, k)
+        self._store = store
+        self._road_ids = network.road_ids()
+
+    def estimate_interval(
+        self, interval: int, seed_speeds: dict[int, float]
+    ) -> dict[int, float]:
+        check_seed_speeds(seed_speeds)
+        seeds = sorted(seed_speeds)
+        deviations = {
+            s: self._store.deviation_ratio(s, interval, seed_speeds[s])
+            for s in seeds
+        }
+        estimates: dict[int, float] = {}
+        for road in self._road_ids:
+            if road in seed_speeds:
+                estimates[road] = seed_speeds[road]
+                continue
+            pairs = self._interp.nearest_seeds(road, seeds)
+            weights = np.array([w for _, w in pairs])
+            values = np.array([deviations[s] for s, _ in pairs])
+            ratio = float((weights * values).sum() / weights.sum())
+            estimates[road] = ratio * self._store.historical_speed(road, interval)
+        return estimates

@@ -1,0 +1,40 @@
+"""Global-ratio regression baseline.
+
+Estimates one citywide congestion factor per interval — the seed-count-
+weighted mean deviation ratio — and applies it to every road's
+historical mean. Captures whole-city shifts (weather, a slow day)
+perfectly and local structure not at all; it brackets the value of
+*spatially resolved* inference in the comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import check_seed_speeds
+from repro.history.store import HistoricalSpeedStore
+
+
+class GlobalRatioBaseline:
+    """One shared deviation ratio per interval, from all seeds."""
+
+    name = "global-ratio"
+
+    def __init__(self, store: HistoricalSpeedStore) -> None:
+        self._store = store
+
+    def estimate_interval(
+        self, interval: int, seed_speeds: dict[int, float]
+    ) -> dict[int, float]:
+        check_seed_speeds(seed_speeds)
+        ratios = [
+            self._store.deviation_ratio(road, interval, speed)
+            for road, speed in sorted(seed_speeds.items())
+        ]
+        global_ratio = float(np.mean(ratios))
+        estimates = {
+            road: global_ratio * self._store.historical_speed(road, interval)
+            for road in self._store.road_ids
+        }
+        estimates.update(seed_speeds)
+        return estimates

@@ -1,0 +1,38 @@
+"""Core types, errors, configuration and the end-to-end pipeline."""
+
+from repro.core.errors import (
+    ConfigError,
+    CrowdsourcingError,
+    DataError,
+    InferenceError,
+    NetworkError,
+    ReproError,
+    SelectionError,
+)
+from repro.core.anomaly import (
+    AnomalyScore,
+    CongestionAnomalyDetector,
+    precision_at_k,
+)
+from repro.core.routing import RoutePlan, RoutePlanner, route_travel_time_s
+from repro.core.types import CrowdAnswer, SpeedEstimate, SpeedObservation, Trend
+
+__all__ = [
+    "AnomalyScore",
+    "CongestionAnomalyDetector",
+    "ConfigError",
+    "CrowdAnswer",
+    "CrowdsourcingError",
+    "DataError",
+    "InferenceError",
+    "NetworkError",
+    "ReproError",
+    "RoutePlan",
+    "RoutePlanner",
+    "route_travel_time_s",
+    "precision_at_k",
+    "SelectionError",
+    "SpeedEstimate",
+    "SpeedObservation",
+    "Trend",
+]

@@ -1,0 +1,135 @@
+"""Congestion-anomaly detection on top of the trend posterior.
+
+Formalises what the incident-response example demonstrates: an
+unexpected local slowdown leaves a fingerprint in the *shift* of the
+trend posterior relative to a recent reference round, and in the gap
+between estimated and historically expected speeds. The detector ranks
+roads by a combined anomaly score so a dispatcher can inspect the top
+of the list.
+
+Scores combine two signals per road:
+
+* **trend lift** — drop in P(rise) versus the reference posterior
+  (how much more the model now believes the road is slowing);
+* **speed gap** — the estimated deviation below the historical mean,
+  as a fraction (how severe the slowdown is believed to be).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import InferenceError
+from repro.core.types import SpeedEstimate
+from repro.history.store import HistoricalSpeedStore
+
+
+@dataclass(frozen=True, slots=True)
+class AnomalyScore:
+    """One road's anomaly assessment for one interval."""
+
+    road_id: int
+    interval: int
+    score: float
+    trend_lift: float  # increase in P(fall) vs the reference round
+    speed_gap: float  # fractional shortfall vs historical mean
+
+    def __post_init__(self) -> None:
+        if self.score < 0:
+            raise InferenceError("anomaly score must be non-negative")
+
+
+class CongestionAnomalyDetector:
+    """Ranks roads by unexpected-slowdown evidence between rounds."""
+
+    def __init__(
+        self,
+        store: HistoricalSpeedStore,
+        lift_weight: float = 1.0,
+        gap_weight: float = 1.0,
+        min_score: float = 0.02,
+    ) -> None:
+        if lift_weight < 0 or gap_weight < 0:
+            raise InferenceError("weights must be non-negative")
+        if lift_weight == 0 and gap_weight == 0:
+            raise InferenceError("at least one signal weight must be positive")
+        self._store = store
+        self._lift_weight = lift_weight
+        self._gap_weight = gap_weight
+        self._min_score = min_score
+        self._reference: dict[int, float] | None = None
+
+    def update_reference(self, estimates: dict[int, SpeedEstimate]) -> None:
+        """Record a round's posterior as the comparison baseline.
+
+        In steady operation call this every round *after* scoring, so
+        each round is compared to the previous one; alerts then flag
+        changes rather than persistent conditions.
+        """
+        self._reference = {
+            road: est.trend_probability for road, est in estimates.items()
+        }
+
+    @property
+    def has_reference(self) -> bool:
+        return self._reference is not None
+
+    def score_round(
+        self, estimates: dict[int, SpeedEstimate]
+    ) -> list[AnomalyScore]:
+        """Anomaly scores for one round, strongest first.
+
+        Requires a reference (see :meth:`update_reference`); seed roads
+        are scored too — a seed observing a crash is the strongest
+        anomaly signal of all. Roads below ``min_score`` are omitted.
+        """
+        if self._reference is None:
+            raise InferenceError(
+                "no reference round: call update_reference first"
+            )
+        scores: list[AnomalyScore] = []
+        for road, estimate in estimates.items():
+            reference_p = self._reference.get(road)
+            if reference_p is None:
+                raise InferenceError(
+                    f"road {road} missing from the reference round"
+                )
+            lift = max(0.0, reference_p - estimate.trend_probability)
+            historical = self._store.historical_speed(road, estimate.interval)
+            gap = max(0.0, 1.0 - estimate.speed_kmh / max(historical, 1e-9))
+            score = self._lift_weight * lift + self._gap_weight * gap
+            if score >= self._min_score:
+                scores.append(
+                    AnomalyScore(
+                        road_id=road,
+                        interval=estimate.interval,
+                        score=score,
+                        trend_lift=lift,
+                        speed_gap=gap,
+                    )
+                )
+        scores.sort(key=lambda s: (-s.score, s.road_id))
+        return scores
+
+    def top_alerts(
+        self, estimates: dict[int, SpeedEstimate], limit: int = 10
+    ) -> list[AnomalyScore]:
+        """The ``limit`` strongest anomalies this round."""
+        if limit < 1:
+            raise InferenceError("limit must be >= 1")
+        return self.score_round(estimates)[:limit]
+
+
+def precision_at_k(
+    alerts: list[AnomalyScore], truly_anomalous: set[int], k: int
+) -> float:
+    """Fraction of the top-k alerts that are true anomalies.
+
+    The alerting quality metric used by the incident experiments.
+    """
+    if k < 1:
+        raise InferenceError("k must be >= 1")
+    top = alerts[:k]
+    if not top:
+        return 0.0
+    return sum(1 for a in top if a.road_id in truly_anomalous) / len(top)

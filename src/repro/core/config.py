@@ -1,0 +1,50 @@
+"""Configuration for the end-to-end pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigError
+from repro.speed.hlm import HlmParams
+
+#: Seed-selection algorithms the pipeline can run, by name.
+SELECTION_METHODS = ("greedy", "lazy", "partition", "random", "top-degree", "k-center")
+
+#: Trend-inference algorithms the pipeline can run, by name.
+INFERENCE_METHODS = ("propagation", "bp", "gibbs")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """All knobs of :class:`~repro.core.pipeline.SpeedEstimationSystem`.
+
+    Defaults reproduce the paper's configuration: 15-minute intervals,
+    2-hop correlation candidates with a 0.6 agreement threshold, the
+    fast propagation inference, and lazy-greedy seed selection.
+    """
+
+    interval_minutes: int = 15
+    correlation_max_hops: int = 2
+    correlation_min_agreement: float = 0.6
+    selection_method: str = "lazy"
+    inference_method: str = "propagation"
+    num_partitions: int = 8
+    hlm: HlmParams = field(default_factory=HlmParams)
+
+    def __post_init__(self) -> None:
+        if self.selection_method not in SELECTION_METHODS:
+            raise ConfigError(
+                f"unknown selection method {self.selection_method!r}; "
+                f"choose from {SELECTION_METHODS}"
+            )
+        if self.inference_method not in INFERENCE_METHODS:
+            raise ConfigError(
+                f"unknown inference method {self.inference_method!r}; "
+                f"choose from {INFERENCE_METHODS}"
+            )
+        if self.correlation_max_hops < 1:
+            raise ConfigError("correlation_max_hops must be >= 1")
+        if not 0.5 <= self.correlation_min_agreement <= 1.0:
+            raise ConfigError("correlation_min_agreement must be in [0.5, 1]")
+        if self.num_partitions < 1:
+            raise ConfigError("num_partitions must be >= 1")

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single type at the API boundary while still getting
+precise subtypes for programmatic handling.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class NetworkError(ReproError):
+    """Invalid road-network structure or reference."""
+
+
+class DataError(ReproError):
+    """Malformed or insufficient input data (history, traces, speeds)."""
+
+
+class InferenceError(ReproError):
+    """A trend- or speed-inference model was misused or failed to converge."""
+
+
+class SelectionError(ReproError):
+    """Invalid seed-selection request (e.g. budget larger than network)."""
+
+
+class CrowdsourcingError(ReproError):
+    """Crowdsourcing platform misuse (no workers, unknown task...)."""
+
+
+class ConfigError(ReproError):
+    """Invalid pipeline configuration."""

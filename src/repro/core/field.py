@@ -1,0 +1,105 @@
+"""The dense per-road per-interval speed container.
+
+:class:`SpeedField` is the lingua franca between the traffic simulator
+(which produces it as ground truth), the GPS speed-extraction pipeline
+(which produces a sparse variant), the historical store (which aggregates
+training fields) and the evaluation harness (which scores estimates
+against it). It lives in ``core`` because all of those packages depend
+on it and on nothing else shared.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.errors import DataError
+from repro.core.types import SpeedObservation
+
+
+class SpeedField:
+    """A dense matrix of speeds: intervals × roads.
+
+    Columns follow ``road_ids`` (ascending road id); rows are consecutive
+    global intervals starting at ``first_interval``.
+    """
+
+    def __init__(
+        self, speeds: np.ndarray, road_ids: list[int], first_interval: int
+    ) -> None:
+        if speeds.ndim != 2:
+            raise DataError(f"speed matrix must be 2-D, got shape {speeds.shape}")
+        if speeds.shape[1] != len(road_ids):
+            raise DataError(
+                f"speed matrix has {speeds.shape[1]} columns "
+                f"but {len(road_ids)} road ids were given"
+            )
+        if first_interval < 0:
+            raise DataError(f"negative first interval {first_interval}")
+        self._speeds = speeds
+        self._road_ids = list(road_ids)
+        self._road_index = {road: i for i, road in enumerate(road_ids)}
+        self._first_interval = first_interval
+
+    @property
+    def road_ids(self) -> list[int]:
+        return list(self._road_ids)
+
+    @property
+    def intervals(self) -> range:
+        return range(
+            self._first_interval, self._first_interval + self._speeds.shape[0]
+        )
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The raw (intervals × roads) array. Treat as read-only."""
+        return self._speeds
+
+    def road_column(self, road_id: int) -> int:
+        try:
+            return self._road_index[road_id]
+        except KeyError:
+            raise DataError(f"road {road_id} not in this speed field") from None
+
+    def speed(self, road_id: int, interval: int) -> float:
+        """Speed of one road at one interval, km/h."""
+        row = self._row(interval)
+        return float(self._speeds[row, self.road_column(road_id)])
+
+    def speeds_at(self, interval: int) -> dict[int, float]:
+        """road id -> speed for every road at ``interval``."""
+        row = self._speeds[self._row(interval)]
+        return {road: float(row[i]) for i, road in enumerate(self._road_ids)}
+
+    def series(self, road_id: int) -> np.ndarray:
+        """The full speed time series of one road."""
+        return self._speeds[:, self.road_column(road_id)].copy()
+
+    def observations_at(self, interval: int) -> list[SpeedObservation]:
+        """All speeds at ``interval`` as observation records."""
+        row = self._speeds[self._row(interval)]
+        return [
+            SpeedObservation(road, interval, float(row[i]))
+            for i, road in enumerate(self._road_ids)
+        ]
+
+    def iter_observations(self) -> Iterator[SpeedObservation]:
+        """Every (road, interval, speed) triple in the field."""
+        for interval in self.intervals:
+            yield from self.observations_at(interval)
+
+    def _row(self, interval: int) -> int:
+        row = interval - self._first_interval
+        if not 0 <= row < self._speeds.shape[0]:
+            raise DataError(
+                f"interval {interval} outside field range {self.intervals}"
+            )
+        return row
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"SpeedField(roads={len(self._road_ids)}, "
+            f"intervals={self.intervals.start}..{self.intervals.stop - 1})"
+        )

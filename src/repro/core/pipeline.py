@@ -1,0 +1,208 @@
+"""The end-to-end speed-estimation system — the package's front door.
+
+:class:`SpeedEstimationSystem` composes everything the paper describes:
+
+1. **fit** — from a road network and historical speed data, build the
+   historical store, mine the correlation graph, and fit the two-step
+   model (trend MRF + hierarchical linear model);
+2. **select_seeds(K)** — choose the budgeted crowdsourcing roads with
+   the configured selection algorithm;
+3. **estimate(interval, seed_speeds)** — turn one round of crowdsourced
+   seed speeds into a speed estimate for every road.
+
+A convenience :meth:`run_round` drives a whole crowdsourcing round
+against a simulated truth field and worker pool, which is what the
+examples and the live-monitoring style deployments do.
+
+Typical use::
+
+    system = SpeedEstimationSystem.fit(network, grid, [history_field])
+    seeds = system.select_seeds(budget=50)
+    estimates = system.estimate(interval, crowd_speeds_for(seeds))
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import PipelineConfig
+from repro.core.errors import ConfigError, SelectionError
+from repro.core.field import SpeedField
+from repro.core.types import SpeedEstimate
+from repro.crowd.platform import CrowdsourcingPlatform
+from repro.history.correlation import CorrelationGraph, mine_correlation_graph
+from repro.history.store import HistoricalSpeedStore
+from repro.history.timebuckets import TimeGrid
+from repro.roadnet.network import RoadNetwork
+from repro.seeds.baselines import k_center_select, random_select, top_degree_select
+from repro.seeds.greedy import SelectionResult, greedy_select
+from repro.seeds.lazy import lazy_greedy_select
+from repro.seeds.objective import SeedSelectionObjective
+from repro.seeds.partition import partition_greedy_select
+from repro.speed.estimator import TwoStepEstimator
+from repro.trend.bp import LoopyBeliefPropagation
+from repro.trend.gibbs import GibbsSamplingInference
+from repro.trend.propagation import TrendPropagationInference
+
+
+class SpeedEstimationSystem:
+    """The fitted system. Construct with :meth:`fit` or :meth:`from_parts`."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        store: HistoricalSpeedStore,
+        graph: CorrelationGraph,
+        config: PipelineConfig,
+    ) -> None:
+        self._network = network
+        self._store = store
+        self._graph = graph
+        self._config = config
+        self._estimator = TwoStepEstimator(
+            network,
+            store,
+            graph,
+            trend_inference=self._build_inference(config),
+            hlm_params=config.hlm,
+        )
+        self._objective = SeedSelectionObjective(
+            graph, min_fidelity=config.hlm.min_fidelity
+        )
+        self._seeds: list[int] = []
+        self._selection: SelectionResult | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(
+        cls,
+        network: RoadNetwork,
+        grid: TimeGrid,
+        history: Sequence[SpeedField],
+        config: PipelineConfig | None = None,
+    ) -> "SpeedEstimationSystem":
+        """Build the full system from raw historical speed fields."""
+        config = config or PipelineConfig()
+        if grid.interval_minutes != config.interval_minutes:
+            raise ConfigError(
+                f"grid interval {grid.interval_minutes} does not match "
+                f"config interval {config.interval_minutes}"
+            )
+        store = HistoricalSpeedStore.from_fields(grid, list(history))
+        graph = mine_correlation_graph(
+            network,
+            store,
+            max_hops=config.correlation_max_hops,
+            min_agreement=config.correlation_min_agreement,
+        )
+        return cls(network, store, graph, config)
+
+    @classmethod
+    def from_parts(
+        cls,
+        network: RoadNetwork,
+        store: HistoricalSpeedStore,
+        graph: CorrelationGraph,
+        config: PipelineConfig | None = None,
+    ) -> "SpeedEstimationSystem":
+        """Build from pre-computed store and correlation graph."""
+        return cls(network, store, graph, config or PipelineConfig())
+
+    @staticmethod
+    def _build_inference(config: PipelineConfig):
+        if config.inference_method == "propagation":
+            return TrendPropagationInference(min_fidelity=config.hlm.min_fidelity)
+        if config.inference_method == "bp":
+            return LoopyBeliefPropagation()
+        return GibbsSamplingInference()
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> RoadNetwork:
+        return self._network
+
+    @property
+    def store(self) -> HistoricalSpeedStore:
+        return self._store
+
+    @property
+    def graph(self) -> CorrelationGraph:
+        return self._graph
+
+    @property
+    def config(self) -> PipelineConfig:
+        return self._config
+
+    @property
+    def estimator(self) -> TwoStepEstimator:
+        return self._estimator
+
+    @property
+    def objective(self) -> SeedSelectionObjective:
+        return self._objective
+
+    @property
+    def seeds(self) -> list[int]:
+        """The currently selected seed roads (empty before selection)."""
+        return list(self._seeds)
+
+    @property
+    def selection(self) -> SelectionResult | None:
+        return self._selection
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def select_seeds(
+        self, budget: int, method: str | None = None, random_seed: int = 0
+    ) -> list[int]:
+        """Select and remember the budget-K crowdsourcing seed roads."""
+        method = method or self._config.selection_method
+        if method == "greedy":
+            result = greedy_select(self._objective, budget)
+        elif method == "lazy":
+            result = lazy_greedy_select(self._objective, budget)
+        elif method == "partition":
+            result = partition_greedy_select(
+                self._objective, budget, num_partitions=self._config.num_partitions
+            )
+        elif method == "random":
+            result = random_select(self._objective, budget, seed=random_seed)
+        elif method == "top-degree":
+            result = top_degree_select(self._objective, budget)
+        elif method == "k-center":
+            result = k_center_select(self._objective, budget, self._network)
+        else:
+            raise SelectionError(f"unknown selection method {method!r}")
+        self._selection = result
+        self._seeds = list(result.seeds)
+        return self.seeds
+
+    def estimate(
+        self, interval: int, seed_speeds: dict[int, float]
+    ) -> dict[int, SpeedEstimate]:
+        """One estimation round from crowdsourced seed speeds."""
+        return self._estimator.estimate_interval(interval, seed_speeds)
+
+    def run_round(
+        self,
+        interval: int,
+        truth: SpeedField,
+        platform: CrowdsourcingPlatform,
+        crowd_seed: int = 0,
+    ) -> dict[int, SpeedEstimate]:
+        """Full round: crowdsource the selected seeds, then estimate.
+
+        Requires :meth:`select_seeds` to have been called. The platform
+        perturbs the truth with worker noise before estimation, so this
+        is the realistic end-to-end path.
+        """
+        if not self._seeds:
+            raise SelectionError("call select_seeds before run_round")
+        true_speeds = {road: truth.speed(road, interval) for road in self._seeds}
+        observed = platform.collect_speeds(interval, true_speeds, seed=crowd_seed)
+        return self.estimate(interval, observed)

@@ -1,0 +1,140 @@
+"""Routing on estimated speeds: the downstream application.
+
+The paper motivates citywide speed estimation with navigation: a route
+planner is only as good as the speeds it plans on. This module turns a
+per-road speed map (from the two-step estimator, a baseline, or ground
+truth) into travel times and fastest routes, so the examples and
+benchmarks can measure end-user impact (ETA error, route choice)
+rather than only per-road speed error.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.errors import NetworkError
+from repro.roadnet.network import RoadNetwork
+
+#: Speeds below this are clamped when converting to travel time, so a
+#: blocked road is "very slow" rather than an infinite wall.
+MIN_PLANNING_SPEED_KMH = 2.0
+
+
+def road_travel_time_s(
+    network: RoadNetwork, road_id: int, speed_kmh: float
+) -> float:
+    """Seconds to traverse one road at ``speed_kmh`` (floored)."""
+    segment = network.segment(road_id)
+    speed = max(MIN_PLANNING_SPEED_KMH, speed_kmh)
+    return segment.length_m / (speed / 3.6)
+
+
+def route_travel_time_s(
+    network: RoadNetwork,
+    route: list[int],
+    speeds: Mapping[int, float],
+) -> float:
+    """Total travel time of ``route`` under the given speed map.
+
+    Roads missing from ``speeds`` fall back to their free-flow speed
+    (the planner's assumption for unknown roads).
+    """
+    if not route:
+        return 0.0
+    total = 0.0
+    node = network.segment(route[0]).start_node
+    for road_id in route:
+        segment = network.segment(road_id)
+        if segment.start_node != node:
+            raise NetworkError(
+                f"route breaks at road {road_id}: starts at "
+                f"{segment.start_node}, expected {node}"
+            )
+        node = segment.end_node
+        speed = speeds.get(road_id, segment.free_flow_kmh)
+        total += road_travel_time_s(network, road_id, speed)
+    return total
+
+
+@dataclass(frozen=True, slots=True)
+class RoutePlan:
+    """A planned route with its expected travel time."""
+
+    origin_node: int
+    destination_node: int
+    route: tuple[int, ...]
+    eta_s: float
+
+    @property
+    def eta_minutes(self) -> float:
+        return self.eta_s / 60.0
+
+
+class RoutePlanner:
+    """Fastest-route search over a per-road speed map."""
+
+    def __init__(self, network: RoadNetwork) -> None:
+        self._network = network
+
+    def fastest_route(
+        self,
+        origin_node: int,
+        destination_node: int,
+        speeds: Mapping[int, float],
+    ) -> RoutePlan | None:
+        """Dijkstra over travel times under ``speeds``.
+
+        Returns None when the destination is unreachable. Roads missing
+        from ``speeds`` are planned at free flow.
+        """
+        network = self._network
+        if origin_node == destination_node:
+            return RoutePlan(origin_node, destination_node, (), 0.0)
+        network.intersection(origin_node)
+        network.intersection(destination_node)
+
+        best: dict[int, float] = {origin_node: 0.0}
+        via: dict[int, int] = {}
+        heap: list[tuple[float, int]] = [(0.0, origin_node)]
+        while heap:
+            cost, node = heapq.heappop(heap)
+            if node == destination_node:
+                break
+            if cost > best.get(node, float("inf")):
+                continue
+            for segment in network.outgoing(node):
+                speed = speeds.get(segment.road_id, segment.free_flow_kmh)
+                new_cost = cost + road_travel_time_s(
+                    network, segment.road_id, speed
+                )
+                if new_cost < best.get(segment.end_node, float("inf")):
+                    best[segment.end_node] = new_cost
+                    via[segment.end_node] = segment.road_id
+                    heapq.heappush(heap, (new_cost, segment.end_node))
+
+        if destination_node not in via:
+            return None
+        route: list[int] = []
+        node = destination_node
+        while node != origin_node:
+            road_id = via[node]
+            route.append(road_id)
+            node = network.segment(road_id).start_node
+        route.reverse()
+        return RoutePlan(
+            origin_node,
+            destination_node,
+            tuple(route),
+            best[destination_node],
+        )
+
+    def eta_error_s(
+        self,
+        plan: RoutePlan,
+        true_speeds: Mapping[int, float],
+    ) -> float:
+        """Signed ETA error: planned minus actual time on the same route."""
+        actual = route_travel_time_s(self._network, list(plan.route), true_speeds)
+        return plan.eta_s - actual

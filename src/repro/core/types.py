@@ -1,0 +1,83 @@
+"""Shared value types used across the package.
+
+These are deliberately tiny frozen dataclasses: they cross every module
+boundary (simulator → history → trend → speed → evaluation), so keeping
+them dependency-free avoids import cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Trend(enum.IntEnum):
+    """Direction of a road's current speed relative to its historical mean.
+
+    The paper's key observation is that correlated roads *rise* or *fall*
+    together; this binary state is what the Step-1 graphical model infers.
+    Values are ±1 so that products express agreement naturally.
+    """
+
+    RISE = 1
+    FALL = -1
+
+    @classmethod
+    def from_speeds(cls, current_kmh: float, historical_kmh: float) -> "Trend":
+        """Trend of ``current`` relative to ``historical`` mean.
+
+        Exact equality counts as RISE by convention (ties are rare with
+        continuous speeds and the choice is symmetric for the model).
+        """
+        return cls.RISE if current_kmh >= historical_kmh else cls.FALL
+
+    @property
+    def opposite(self) -> "Trend":
+        return Trend.FALL if self is Trend.RISE else Trend.RISE
+
+
+@dataclass(frozen=True, slots=True)
+class SpeedObservation:
+    """A single per-road speed measurement for one time interval."""
+
+    road_id: int
+    interval: int
+    speed_kmh: float
+
+    def __post_init__(self) -> None:
+        if self.speed_kmh < 0:
+            raise ValueError(f"negative speed {self.speed_kmh} on road {self.road_id}")
+
+
+@dataclass(frozen=True, slots=True)
+class SpeedEstimate:
+    """An inferred speed for one road at one interval.
+
+    ``trend_probability`` is the Step-1 posterior probability that the
+    road's trend is RISE; ``is_seed`` marks roads whose speed came from
+    crowdsourcing rather than inference.
+    """
+
+    road_id: int
+    interval: int
+    speed_kmh: float
+    trend: Trend
+    trend_probability: float
+    is_seed: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.trend_probability <= 1.0:
+            raise ValueError(
+                f"trend probability {self.trend_probability} outside [0, 1]"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class CrowdAnswer:
+    """An aggregated crowdsourced speed for a seed road."""
+
+    road_id: int
+    interval: int
+    speed_kmh: float
+    num_workers: int
+    cost: float

@@ -1,0 +1,23 @@
+"""Crowdsourcing substrate: workers, aggregation, budgeted platform."""
+
+from repro.crowd.aggregation import (
+    mad_filtered_mean,
+    mean_aggregate,
+    median_aggregate,
+)
+from repro.crowd.platform import CrowdsourcingPlatform, SpeedQueryTask
+from repro.crowd.scheduler import AdaptiveBudgetScheduler, RoundPlan
+from repro.crowd.workers import Worker, WorkerPool, WorkerPoolParams
+
+__all__ = [
+    "AdaptiveBudgetScheduler",
+    "CrowdsourcingPlatform",
+    "RoundPlan",
+    "SpeedQueryTask",
+    "Worker",
+    "WorkerPool",
+    "WorkerPoolParams",
+    "mad_filtered_mean",
+    "mean_aggregate",
+    "median_aggregate",
+]

@@ -1,0 +1,123 @@
+"""The budgeted crowdsourcing platform.
+
+One :meth:`CrowdsourcingPlatform.collect` call is one crowdsourcing
+round: for every seed road it assigns ``workers_per_task`` workers,
+gathers their noisy answers against the true speed, aggregates them
+robustly, and returns a :class:`~repro.core.types.CrowdAnswer` per task
+with the money spent. This is the layer that turns "true speeds of the
+K seeds" (what the evaluation needs) into "what the system actually
+sees" (noisy aggregates), so the full pipeline is exercised under
+realistic observation error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.errors import CrowdsourcingError
+from repro.core.types import CrowdAnswer
+from repro.crowd.aggregation import mad_filtered_mean
+from repro.crowd.workers import WorkerPool
+
+
+@dataclass(frozen=True, slots=True)
+class SpeedQueryTask:
+    """One crowdsourcing task: report the speed on a road now."""
+
+    road_id: int
+    interval: int
+    true_speed_kmh: float
+
+    def __post_init__(self) -> None:
+        if self.true_speed_kmh < 0:
+            raise CrowdsourcingError(
+                f"task on road {self.road_id} has negative true speed"
+            )
+
+
+class CrowdsourcingPlatform:
+    """Assigns tasks to workers and aggregates their answers."""
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        workers_per_task: int = 5,
+        cost_per_answer: float = 1.0,
+        aggregator: Callable[[list[float]], float] = mad_filtered_mean,
+    ) -> None:
+        if workers_per_task < 1:
+            raise CrowdsourcingError("workers_per_task must be >= 1")
+        if workers_per_task > pool.size:
+            raise CrowdsourcingError(
+                f"workers_per_task {workers_per_task} exceeds pool size {pool.size}"
+            )
+        if cost_per_answer < 0:
+            raise CrowdsourcingError("cost per answer must be non-negative")
+        self._pool = pool
+        self._workers_per_task = workers_per_task
+        self._cost_per_answer = cost_per_answer
+        self._aggregator = aggregator
+        self.total_cost = 0.0
+        self.total_answers = 0
+
+    def collect_one(
+        self, task: SpeedQueryTask, rng: np.random.Generator
+    ) -> CrowdAnswer:
+        """Run one task; always produces an answer.
+
+        If every assigned worker fails to respond, replacement workers
+        are drawn until at least one answer arrives (platforms re-post
+        unanswered tasks); only delivered answers are paid for.
+        """
+        answers: list[float] = []
+        attempts = 0
+        while not answers and attempts < 10:
+            attempts += 1
+            for worker in self._pool.draw(self._workers_per_task, rng):
+                answer = worker.answer(task.true_speed_kmh, rng)
+                if answer is not None:
+                    answers.append(answer)
+        if not answers:
+            raise CrowdsourcingError(
+                f"no worker answered the task on road {task.road_id} "
+                f"after {attempts} postings"
+            )
+        cost = len(answers) * self._cost_per_answer
+        self.total_cost += cost
+        self.total_answers += len(answers)
+        return CrowdAnswer(
+            road_id=task.road_id,
+            interval=task.interval,
+            speed_kmh=self._aggregator(answers),
+            num_workers=len(answers),
+            cost=cost,
+        )
+
+    def collect(
+        self, tasks: list[SpeedQueryTask], seed: int
+    ) -> dict[int, CrowdAnswer]:
+        """Run a full round; returns road id -> aggregated answer."""
+        if not tasks:
+            raise CrowdsourcingError("a crowdsourcing round needs tasks")
+        roads = [t.road_id for t in tasks]
+        if len(set(roads)) != len(roads):
+            raise CrowdsourcingError("duplicate roads in one round")
+        rng = np.random.default_rng(seed)
+        return {task.road_id: self.collect_one(task, rng) for task in tasks}
+
+    def collect_speeds(
+        self,
+        interval: int,
+        true_speeds: dict[int, float],
+        seed: int,
+    ) -> dict[int, float]:
+        """Convenience: seed road -> aggregated crowd speed for a round."""
+        tasks = [
+            SpeedQueryTask(road, interval, speed)
+            for road, speed in sorted(true_speeds.items())
+        ]
+        answers = self.collect(tasks, seed)
+        return {road: answer.speed_kmh for road, answer in answers.items()}

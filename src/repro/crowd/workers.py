@@ -1,0 +1,113 @@
+"""Simulated crowd workers.
+
+Stands in for the paper's human reporters: each worker answers a speed
+query with multiplicative noise, a personal bias (some people always
+report optimistically), a reliability (probability of responding at
+all), and a small spammer population that answers uniformly at random.
+The aggregation layer is expected to survive all of this — experiment
+F9 sweeps these parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import CrowdsourcingError
+
+
+@dataclass(frozen=True, slots=True)
+class Worker:
+    """One crowd worker's response model."""
+
+    worker_id: int
+    noise_std_frac: float  # multiplicative noise std (fraction of truth)
+    bias_frac: float  # persistent multiplicative bias
+    reliability: float  # probability of answering an assigned task
+    is_spammer: bool = False
+
+    def __post_init__(self) -> None:
+        if self.noise_std_frac < 0:
+            raise CrowdsourcingError("noise std must be non-negative")
+        if not 0.0 <= self.reliability <= 1.0:
+            raise CrowdsourcingError("reliability must be in [0, 1]")
+
+    def answer(
+        self, true_speed_kmh: float, rng: np.random.Generator
+    ) -> float | None:
+        """The worker's reported speed, or None if they do not respond."""
+        if rng.random() > self.reliability:
+            return None
+        if self.is_spammer:
+            return float(rng.uniform(1.0, 100.0))
+        noise = rng.normal(0.0, self.noise_std_frac)
+        reported = true_speed_kmh * (1.0 + self.bias_frac + noise)
+        return max(0.5, float(reported))
+
+
+@dataclass(frozen=True)
+class WorkerPoolParams:
+    """Distributional parameters for sampling a worker pool."""
+
+    noise_std_frac: float = 0.10
+    bias_std_frac: float = 0.03
+    mean_reliability: float = 0.9
+    spammer_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.spammer_fraction < 0.5:
+            raise CrowdsourcingError("spammer fraction must be in [0, 0.5)")
+        if not 0.0 < self.mean_reliability <= 1.0:
+            raise CrowdsourcingError("mean reliability must be in (0, 1]")
+
+
+class WorkerPool:
+    """A fixed population of workers sampled from pool parameters."""
+
+    def __init__(self, workers: list[Worker]) -> None:
+        if not workers:
+            raise CrowdsourcingError("worker pool cannot be empty")
+        self._workers = list(workers)
+
+    @classmethod
+    def sample(
+        cls, size: int, params: WorkerPoolParams | None = None, seed: int = 0
+    ) -> "WorkerPool":
+        """Sample a heterogeneous pool, deterministic given ``seed``."""
+        if size < 1:
+            raise CrowdsourcingError("pool size must be >= 1")
+        params = params or WorkerPoolParams()
+        rng = np.random.default_rng(seed)
+        workers = []
+        for worker_id in range(size):
+            workers.append(
+                Worker(
+                    worker_id=worker_id,
+                    noise_std_frac=abs(
+                        float(rng.normal(params.noise_std_frac, params.noise_std_frac / 3))
+                    ),
+                    bias_frac=float(rng.normal(0.0, params.bias_std_frac)),
+                    reliability=float(
+                        np.clip(rng.normal(params.mean_reliability, 0.05), 0.3, 1.0)
+                    ),
+                    is_spammer=bool(rng.random() < params.spammer_fraction),
+                )
+            )
+        return cls(workers)
+
+    @property
+    def size(self) -> int:
+        return len(self._workers)
+
+    def workers(self) -> list[Worker]:
+        return list(self._workers)
+
+    def draw(self, count: int, rng: np.random.Generator) -> list[Worker]:
+        """``count`` distinct workers chosen uniformly."""
+        if count > len(self._workers):
+            raise CrowdsourcingError(
+                f"requested {count} workers from a pool of {len(self._workers)}"
+            )
+        picks = rng.choice(len(self._workers), size=count, replace=False)
+        return [self._workers[int(i)] for i in picks]

@@ -1,0 +1,104 @@
+"""ASCII rendering of per-road values over the city.
+
+A terminal-friendly "heat map": road midpoints are rasterised onto a
+character grid and coloured by a density ramp, so a monitoring console
+can glance at where the city is slow (deviation ratios), where the
+estimator is unsure (band widths), or where alerts cluster (anomaly
+scores) without a plotting stack. Used by the examples and the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.errors import DataError
+from repro.roadnet.network import RoadNetwork
+
+#: Low-to-high character ramp (space = no road in the cell).
+DEFAULT_RAMP = " .:-=+*#%@"
+
+
+def render_road_values(
+    network: RoadNetwork,
+    values: Mapping[int, float],
+    width: int = 60,
+    ramp: str = DEFAULT_RAMP,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """Render ``road id -> value`` as an ASCII heat map.
+
+    Cells covered by several roads show their mean value. ``lo``/``hi``
+    pin the colour scale (default: the data range); values outside are
+    clamped. Rows are emitted north-up (max y first).
+    """
+    if width < 4:
+        raise DataError("map width must be at least 4 characters")
+    if len(ramp) < 2:
+        raise DataError("ramp needs at least 2 characters")
+    if not values:
+        raise DataError("no road values to render")
+    for road in values:
+        if not network.has_segment(road):
+            raise DataError(f"unknown road id {road}")
+
+    bbox = network.bounding_box(margin=1.0)
+    # Terminal cells are ~2x taller than wide; halve the row count.
+    cell_w = bbox.width / width
+    height = max(2, int(bbox.height / (2.0 * cell_w)) + 1)
+    cell_h = bbox.height / height
+
+    sums = [[0.0] * width for _ in range(height)]
+    counts = [[0] * width for _ in range(height)]
+    for road, value in values.items():
+        mid = network.segment_midpoint(road)
+        col = min(width - 1, int((mid.x - bbox.min_x) / cell_w))
+        row = min(height - 1, int((mid.y - bbox.min_y) / cell_h))
+        sums[row][col] += float(value)
+        counts[row][col] += 1
+
+    cell_values = [
+        [sums[r][c] / counts[r][c] if counts[r][c] else None for c in range(width)]
+        for r in range(height)
+    ]
+    present = [v for row in cell_values for v in row if v is not None]
+    scale_lo = min(present) if lo is None else lo
+    scale_hi = max(present) if hi is None else hi
+    if scale_hi <= scale_lo:
+        scale_hi = scale_lo + 1e-9
+
+    lines = []
+    for r in range(height - 1, -1, -1):  # north-up
+        chars = []
+        for c in range(width):
+            v = cell_values[r][c]
+            if v is None:
+                chars.append(ramp[0] if ramp[0] == " " else " ")
+            else:
+                t = (v - scale_lo) / (scale_hi - scale_lo)
+                t = min(1.0, max(0.0, t))
+                chars.append(ramp[min(len(ramp) - 1, int(t * len(ramp)))])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def render_deviation_map(
+    network: RoadNetwork,
+    speeds: Mapping[int, float],
+    historical: Mapping[int, float],
+    width: int = 60,
+) -> str:
+    """Congestion view: 1 − speed/historical, clamped to [0, 0.6].
+
+    Dense characters mark roads running far below their usual speed.
+    """
+    missing = set(speeds) - set(historical)
+    if missing:
+        raise DataError(f"no historical speed for roads {sorted(missing)[:3]}")
+    deviations = {
+        road: max(0.0, 1.0 - speeds[road] / max(historical[road], 1e-9))
+        for road in speeds
+    }
+    return render_road_values(
+        network, deviations, width=width, lo=0.0, hi=0.6
+    )

@@ -1,0 +1,74 @@
+"""Error breakdowns by road attribute.
+
+Aggregate MAE hides structure: a method that nails arterials but
+butchers local streets has a different failure mode from one that is
+uniformly mediocre. These helpers slice paired (estimate, truth) values
+by road class — the axis the hierarchy and profiles are organised
+around — for reporting and for the class-level regression tests.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.errors import DataError
+from repro.evalkit.metrics import SpeedErrors, speed_errors
+from repro.roadnet.network import RoadNetwork
+
+
+def errors_by_road_class(
+    network: RoadNetwork,
+    estimates: Mapping[int, float],
+    truths: Mapping[int, float],
+    exclude: set[int] | None = None,
+) -> dict[str, SpeedErrors]:
+    """Per-road-class error metrics over paired estimate/truth maps.
+
+    Roads present in ``estimates`` but missing from ``truths`` (or vice
+    versa) are an error — partial scoring silently biases comparisons.
+    ``exclude`` (typically the seed set) is removed before pairing.
+    """
+    exclude = exclude or set()
+    scored = [r for r in estimates if r not in exclude]
+    missing = [r for r in scored if r not in truths]
+    if missing:
+        raise DataError(f"no truth for roads {sorted(missing)[:3]}")
+
+    by_class: dict[str, tuple[list[float], list[float]]] = {}
+    for road in scored:
+        road_class = network.segment(road).road_class
+        est_list, tru_list = by_class.setdefault(road_class, ([], []))
+        est_list.append(float(estimates[road]))
+        tru_list.append(float(truths[road]))
+    if not by_class:
+        raise DataError("no roads to score after exclusions")
+    return {
+        road_class: speed_errors(est_list, tru_list)
+        for road_class, (est_list, tru_list) in sorted(by_class.items())
+    }
+
+
+def worst_roads(
+    estimates: Mapping[int, float],
+    truths: Mapping[int, float],
+    limit: int = 10,
+    exclude: set[int] | None = None,
+) -> list[tuple[int, float]]:
+    """The ``limit`` roads with the largest absolute error, descending.
+
+    The triage view: where should an operator add seeds or suspect a
+    data problem?
+    """
+    if limit < 1:
+        raise DataError("limit must be >= 1")
+    exclude = exclude or set()
+    pairs = []
+    for road, estimate in estimates.items():
+        if road in exclude:
+            continue
+        truth = truths.get(road)
+        if truth is None:
+            raise DataError(f"no truth for road {road}")
+        pairs.append((road, abs(float(estimate) - float(truth))))
+    pairs.sort(key=lambda p: (-p[1], p[0]))
+    return pairs[:limit]

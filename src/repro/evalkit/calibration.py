@@ -1,0 +1,101 @@
+"""Probability calibration of the trend posterior.
+
+The Step-1 posterior is used both for MAP trends and as a *confidence*
+(the HLM weighs seeds by it; the incident example ranks alerts by it),
+so it matters whether "P(rise) = 0.8" really means 80%. This module
+computes the standard calibration diagnostics — reliability bins,
+expected calibration error (ECE) and the Brier score — for a stream of
+(P(rise), actual trend) pairs. Experiment X1 reports them for each
+inference algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import DataError
+from repro.core.types import Trend
+
+
+@dataclass(frozen=True, slots=True)
+class ReliabilityBin:
+    """One probability bin of the reliability diagram."""
+
+    lower: float
+    upper: float
+    mean_predicted: float
+    observed_rise_rate: float
+    count: int
+
+    @property
+    def gap(self) -> float:
+        """|predicted − observed|: this bin's miscalibration."""
+        return abs(self.mean_predicted - self.observed_rise_rate)
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Reliability bins plus scalar summaries."""
+
+    bins: tuple[ReliabilityBin, ...]
+    expected_calibration_error: float
+    brier_score: float
+    count: int
+
+
+def calibration_report(
+    p_rise: list[float], actual: list[Trend], num_bins: int = 10
+) -> CalibrationReport:
+    """Build the calibration report for paired predictions and outcomes.
+
+    ECE is the count-weighted mean of per-bin |predicted − observed|;
+    the Brier score is the mean squared error of the probability against
+    the binary outcome (lower is better for both; a perfectly calibrated
+    fair-coin predictor has ECE 0 and Brier 0.25).
+    """
+    if len(p_rise) != len(actual):
+        raise DataError(
+            f"{len(p_rise)} probabilities vs {len(actual)} outcomes"
+        )
+    if not p_rise:
+        raise DataError("cannot calibrate zero predictions")
+    if num_bins < 1:
+        raise DataError("need at least one bin")
+    probs = np.asarray(p_rise, dtype=np.float64)
+    if np.any(probs < 0.0) or np.any(probs > 1.0):
+        raise DataError("probabilities must lie in [0, 1]")
+    outcomes = np.array([1.0 if t is Trend.RISE else 0.0 for t in actual])
+
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    # Bin membership: [edge_i, edge_{i+1}), last bin closed at 1.0.
+    indices = np.clip(np.digitize(probs, edges[1:-1], right=False), 0, num_bins - 1)
+
+    bins: list[ReliabilityBin] = []
+    ece = 0.0
+    for b in range(num_bins):
+        mask = indices == b
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        mean_predicted = float(probs[mask].mean())
+        observed = float(outcomes[mask].mean())
+        bins.append(
+            ReliabilityBin(
+                lower=float(edges[b]),
+                upper=float(edges[b + 1]),
+                mean_predicted=mean_predicted,
+                observed_rise_rate=observed,
+                count=count,
+            )
+        )
+        ece += (count / len(probs)) * abs(mean_predicted - observed)
+
+    brier = float(np.mean((probs - outcomes) ** 2))
+    return CalibrationReport(
+        bins=tuple(bins),
+        expected_calibration_error=float(ece),
+        brier_score=brier,
+        count=len(p_rise),
+    )

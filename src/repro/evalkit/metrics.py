@@ -1,0 +1,110 @@
+"""Accuracy metrics for speed estimates and trend predictions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import DataError
+from repro.core.types import Trend
+
+
+@dataclass(frozen=True, slots=True)
+class SpeedErrors:
+    """Aggregate error metrics over a set of (estimate, truth) pairs."""
+
+    mae: float
+    rmse: float
+    mape: float
+    count: int
+
+    def __str__(self) -> str:
+        return (
+            f"MAE {self.mae:.2f} km/h, RMSE {self.rmse:.2f} km/h, "
+            f"MAPE {self.mape * 100:.1f}% (n={self.count})"
+        )
+
+
+def speed_errors(estimates: list[float], truths: list[float]) -> SpeedErrors:
+    """MAE / RMSE / MAPE of paired estimates against truth.
+
+    MAPE guards against near-zero truths by flooring the denominator at
+    1 km/h, the standard practice for traffic speeds.
+    """
+    if len(estimates) != len(truths):
+        raise DataError(
+            f"{len(estimates)} estimates vs {len(truths)} truths"
+        )
+    if not estimates:
+        raise DataError("cannot score zero pairs")
+    est = np.asarray(estimates, dtype=np.float64)
+    tru = np.asarray(truths, dtype=np.float64)
+    errors = est - tru
+    return SpeedErrors(
+        mae=float(np.abs(errors).mean()),
+        rmse=float(np.sqrt((errors * errors).mean())),
+        mape=float((np.abs(errors) / np.maximum(np.abs(tru), 1.0)).mean()),
+        count=len(estimates),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class TrendMetrics:
+    """Trend-classification quality (FALL = congestion = positive class)."""
+
+    accuracy: float
+    fall_precision: float
+    fall_recall: float
+    fall_f1: float
+    count: int
+
+    def __str__(self) -> str:
+        return (
+            f"trend acc {self.accuracy:.3f}, FALL P/R/F1 "
+            f"{self.fall_precision:.3f}/{self.fall_recall:.3f}/"
+            f"{self.fall_f1:.3f} (n={self.count})"
+        )
+
+
+def trend_metrics(predicted: list[Trend], actual: list[Trend]) -> TrendMetrics:
+    """Accuracy plus precision/recall/F1 for detecting FALL trends.
+
+    FALL (slower than usual) is the operationally interesting class —
+    missing congestion is worse than a false alarm — so it is scored as
+    the positive class.
+    """
+    if len(predicted) != len(actual):
+        raise DataError(f"{len(predicted)} predictions vs {len(actual)} actuals")
+    if not predicted:
+        raise DataError("cannot score zero trend pairs")
+    pred = np.array([int(t) for t in predicted])
+    act = np.array([int(t) for t in actual])
+    accuracy = float((pred == act).mean())
+    tp = int(((pred == -1) & (act == -1)).sum())
+    fp = int(((pred == -1) & (act == 1)).sum())
+    fn = int(((pred == 1) & (act == -1)).sum())
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    return TrendMetrics(
+        accuracy=accuracy,
+        fall_precision=precision,
+        fall_recall=recall,
+        fall_f1=f1,
+        count=len(predicted),
+    )
+
+
+def improvement_percent(method_error: float, baseline_error: float) -> float:
+    """Relative improvement of ``method`` over ``baseline``, in percent.
+
+    Positive means the method is better (lower error).
+    """
+    if baseline_error <= 0:
+        raise DataError("baseline error must be positive")
+    return 100.0 * (1.0 - method_error / baseline_error)

@@ -1,0 +1,135 @@
+"""From matched traces to per-road per-interval probe speeds.
+
+Consecutive fixes matched to the *same* road give a within-road speed
+sample: distance travelled along the segment divided by elapsed time.
+Samples are pooled per ``(road, interval)`` and aggregated with a
+trimmed mean to resist matching glitches.
+
+The output :class:`ProbeSpeedTable` is deliberately **sparse** — most
+road-intervals receive no probe at all. That sparsity is the paper's
+motivation: real probe fleets cover a small fraction of the network at
+any moment, which is why a budget-K crowdsourcing + inference scheme is
+needed for the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import DataError
+from repro.gps.map_matching import MatchedTrace
+from repro.history.timebuckets import TimeGrid
+from repro.roadnet.network import RoadNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeSample:
+    """One raw speed sample derived from two consecutive fixes."""
+
+    road_id: int
+    interval: int
+    speed_kmh: float
+
+
+class ProbeSpeedTable:
+    """Sparse (road, interval) -> aggregated probe speed."""
+
+    def __init__(self, speeds: dict[tuple[int, int], float], counts: dict[tuple[int, int], int]) -> None:
+        if set(speeds) != set(counts):
+            raise DataError("speed and count tables must share keys")
+        self._speeds = dict(speeds)
+        self._counts = dict(counts)
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._speeds)
+
+    def speed(self, road_id: int, interval: int) -> float | None:
+        return self._speeds.get((road_id, interval))
+
+    def count(self, road_id: int, interval: int) -> int:
+        return self._counts.get((road_id, interval), 0)
+
+    def observed_roads(self, interval: int) -> list[int]:
+        """Road ids with at least one probe at ``interval``."""
+        return sorted(road for road, t in self._speeds if t == interval)
+
+    def coverage(self, num_roads: int, intervals: range) -> float:
+        """Fraction of (road, interval) cells with a probe speed."""
+        if num_roads <= 0 or len(intervals) == 0:
+            raise DataError("coverage needs a non-empty road/interval space")
+        in_range = sum(1 for (_, t) in self._speeds if t in intervals)
+        return in_range / (num_roads * len(intervals))
+
+    def items(self) -> list[tuple[tuple[int, int], float]]:
+        return sorted(self._speeds.items())
+
+
+def extract_samples(
+    network: RoadNetwork,
+    matched: MatchedTrace,
+    grid: TimeGrid,
+    min_dt_s: float = 5.0,
+    max_speed_kmh: float = 150.0,
+) -> list[ProbeSample]:
+    """Raw speed samples from one matched trace.
+
+    Only pairs of consecutive points matched to the same road are used
+    (cross-road pairs would need route interpolation, which real systems
+    do but adds little for our purposes). Implausible speeds are dropped.
+    """
+    samples: list[ProbeSample] = []
+    interval_s = grid.interval_minutes * 60.0
+    for a, b in zip(matched.points, matched.points[1:]):
+        if a.road_id is None or a.road_id != b.road_id:
+            continue
+        dt = b.timestamp_s - a.timestamp_s
+        if dt < min_dt_s:
+            continue
+        segment = network.segment(a.road_id)
+        distance_m = abs(b.position - a.position) * segment.length_m
+        speed_kmh = distance_m / dt * 3.6
+        if speed_kmh <= 0.0 or speed_kmh > max_speed_kmh:
+            continue
+        midpoint_t = (a.timestamp_s + b.timestamp_s) / 2.0
+        samples.append(
+            ProbeSample(a.road_id, int(midpoint_t // interval_s), speed_kmh)
+        )
+    return samples
+
+
+def aggregate_samples(
+    samples: list[ProbeSample], trim_fraction: float = 0.1
+) -> ProbeSpeedTable:
+    """Pool samples per (road, interval) with a trimmed mean."""
+    if not 0.0 <= trim_fraction < 0.5:
+        raise DataError(f"trim fraction {trim_fraction} outside [0, 0.5)")
+    pooled: dict[tuple[int, int], list[float]] = {}
+    for sample in samples:
+        pooled.setdefault((sample.road_id, sample.interval), []).append(
+            sample.speed_kmh
+        )
+    speeds: dict[tuple[int, int], float] = {}
+    counts: dict[tuple[int, int], int] = {}
+    for key, values in pooled.items():
+        arr = np.sort(np.asarray(values))
+        k = int(len(arr) * trim_fraction)
+        trimmed = arr[k : len(arr) - k] if len(arr) > 2 * k else arr
+        speeds[key] = float(trimmed.mean())
+        counts[key] = len(values)
+    return ProbeSpeedTable(speeds, counts)
+
+
+def extract_probe_speeds(
+    network: RoadNetwork,
+    matched_traces: list[MatchedTrace],
+    grid: TimeGrid,
+    trim_fraction: float = 0.1,
+) -> ProbeSpeedTable:
+    """Full extraction: all matched traces -> one probe speed table."""
+    samples: list[ProbeSample] = []
+    for matched in matched_traces:
+        samples.extend(extract_samples(network, matched, grid))
+    return aggregate_samples(samples, trim_fraction=trim_fraction)

@@ -1,0 +1,145 @@
+"""GPS trace emission: drive trips through the true speed field.
+
+A vehicle follows its planned route at the ground-truth speed of each
+road at the interval it is traversing it, emitting a position fix every
+``sample_interval_s`` seconds with Gaussian position noise — the classic
+taxi-probe data shape (sparse in time, noisy in space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import DataError
+from repro.core.field import SpeedField
+from repro.history.timebuckets import TimeGrid
+from repro.gps.trips import TripPlan
+from repro.roadnet.geometry import Point
+from repro.roadnet.network import RoadNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class GpsPoint:
+    """One position fix."""
+
+    trip_id: int
+    timestamp_s: float
+    location: Point
+
+
+@dataclass(frozen=True, slots=True)
+class GpsTrace:
+    """The ordered fixes of one trip."""
+
+    trip_id: int
+    points: tuple[GpsPoint, ...]
+
+    def __post_init__(self) -> None:
+        times = [p.timestamp_s for p in self.points]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise DataError(f"trace {self.trip_id} has non-increasing timestamps")
+
+
+@dataclass(frozen=True, slots=True)
+class RoadVisit:
+    """Ground truth of a trip traversing one road (for matcher evaluation)."""
+
+    road_id: int
+    enter_s: float
+    exit_s: float
+
+
+class TraceGenerator:
+    """Drives :class:`TripPlan` routes through a :class:`SpeedField`."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        field: SpeedField,
+        grid: TimeGrid,
+        sample_interval_s: float = 30.0,
+        noise_std_m: float = 15.0,
+    ) -> None:
+        if sample_interval_s <= 0:
+            raise DataError("sample interval must be positive")
+        if noise_std_m < 0:
+            raise DataError("noise std must be non-negative")
+        self._network = network
+        self._field = field
+        self._grid = grid
+        self._sample_interval_s = sample_interval_s
+        self._noise_std_m = noise_std_m
+        self._interval_s = grid.interval_minutes * 60.0
+
+    def _interval_at(self, timestamp_s: float) -> int:
+        interval = int(timestamp_s // self._interval_s)
+        field_range = self._field.intervals
+        # Clamp to the field so trips crossing its edge still complete.
+        return min(max(interval, field_range.start), field_range.stop - 1)
+
+    def drive(self, trip: TripPlan) -> tuple[list[RoadVisit], float]:
+        """Traverse the route; returns per-road visits and arrival time."""
+        clock = trip.departure_s
+        visits: list[RoadVisit] = []
+        for road_id in trip.route:
+            segment = self._network.segment(road_id)
+            remaining = segment.length_m
+            enter = clock
+            # A road may span interval boundaries; advance piecewise so the
+            # vehicle always moves at the speed of the current interval.
+            while remaining > 1e-9:
+                interval = self._interval_at(clock)
+                speed_ms = max(0.5, self._field.speed(road_id, interval)) / 3.6
+                boundary = (int(clock // self._interval_s) + 1) * self._interval_s
+                dt = boundary - clock
+                step = speed_ms * dt
+                if step >= remaining:
+                    clock += remaining / speed_ms
+                    remaining = 0.0
+                else:
+                    remaining -= step
+                    clock = boundary
+            visits.append(RoadVisit(road_id, enter, clock))
+        return visits, clock
+
+    def emit(self, trip: TripPlan, rng: np.random.Generator) -> GpsTrace:
+        """Emit the noisy GPS trace of one trip."""
+        visits, arrival = self.drive(trip)
+        points: list[GpsPoint] = []
+        t = trip.departure_s
+        visit_idx = 0
+        while t <= arrival and visit_idx < len(visits):
+            while visit_idx < len(visits) and visits[visit_idx].exit_s < t:
+                visit_idx += 1
+            if visit_idx >= len(visits):
+                break
+            visit = visits[visit_idx]
+            frac_time = (t - visit.enter_s) / max(1e-9, visit.exit_s - visit.enter_s)
+            frac_time = min(1.0, max(0.0, frac_time))
+            start, end = self._network.segment_endpoints(visit.road_id)
+            true_pos = Point(
+                start.x + frac_time * (end.x - start.x),
+                start.y + frac_time * (end.y - start.y),
+            )
+            noisy = true_pos.translated(
+                float(rng.normal(0.0, self._noise_std_m)),
+                float(rng.normal(0.0, self._noise_std_m)),
+            )
+            points.append(GpsPoint(trip.trip_id, t, noisy))
+            t += self._sample_interval_s
+        if len(points) < 2:
+            # Degenerate short trip; emit start and end so it is matchable.
+            start, _ = self._network.segment_endpoints(trip.route[0])
+            _, end = self._network.segment_endpoints(trip.route[-1])
+            points = [
+                GpsPoint(trip.trip_id, trip.departure_s, start),
+                GpsPoint(trip.trip_id, arrival, end),
+            ]
+        return GpsTrace(trip.trip_id, tuple(points))
+
+    def emit_all(self, trips: list[TripPlan], seed: int) -> list[GpsTrace]:
+        """Emit traces for every trip, deterministically given ``seed``."""
+        rng = np.random.default_rng(seed)
+        return [self.emit(trip, rng) for trip in trips]

@@ -1,0 +1,34 @@
+"""Historical speed database: time buckets, columnar store, correlation mining."""
+
+from repro.history.correlation import (
+    CorrelationEdge,
+    CorrelationGraph,
+    mine_correlation_graph,
+)
+from repro.history.online import RollingHistory
+from repro.history.persistence import (
+    load_field,
+    load_graph,
+    load_store,
+    save_field,
+    save_graph,
+    save_store,
+)
+from repro.history.store import HistoricalSpeedStore
+from repro.history.timebuckets import MINUTES_PER_DAY, TimeGrid
+
+__all__ = [
+    "CorrelationEdge",
+    "CorrelationGraph",
+    "HistoricalSpeedStore",
+    "MINUTES_PER_DAY",
+    "RollingHistory",
+    "TimeGrid",
+    "load_field",
+    "load_graph",
+    "load_store",
+    "mine_correlation_graph",
+    "save_field",
+    "save_graph",
+    "save_store",
+]

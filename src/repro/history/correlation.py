@@ -1,0 +1,196 @@
+"""Trend-correlation mining: from history to the correlation graph.
+
+The paper's central observation is that *correlated roads share trends*:
+when one runs faster than usual, its correlated neighbours usually do
+too. This module measures that from training history and materialises a
+**correlation graph** — the structure over which the Step-1 graphical
+model and the seed-selection objective are both defined.
+
+Two roads are candidate-correlated when within ``max_hops`` of each
+other in road adjacency (correlation in traffic is local). For each
+candidate pair we compute the **trend agreement probability**::
+
+    p(u, v) = #{intervals where trend_u == trend_v} / #intervals
+
+over the training history, and keep edges with ``p >= min_agreement``.
+Agreement below 0.5 would mean *anti*-correlation; the default threshold
+0.6 keeps only usefully informative edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.errors import DataError
+from repro.history.store import HistoricalSpeedStore
+from repro.roadnet.network import RoadNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class CorrelationEdge:
+    """An undirected correlation edge with agreement probability."""
+
+    road_u: int
+    road_v: int
+    agreement: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.agreement <= 1.0:
+            raise DataError(f"agreement {self.agreement} outside [0, 1]")
+        if self.road_u == self.road_v:
+            raise DataError(f"self-correlation on road {self.road_u}")
+
+    def other(self, road_id: int) -> int:
+        """The endpoint that is not ``road_id``."""
+        if road_id == self.road_u:
+            return self.road_v
+        if road_id == self.road_v:
+            return self.road_u
+        raise DataError(f"road {road_id} is not an endpoint of this edge")
+
+
+class CorrelationGraph:
+    """Undirected weighted graph of trend-correlated roads.
+
+    Nodes are road ids; edge weights are trend-agreement probabilities in
+    ``[0.5, 1]`` (after thresholding). Adjacency is precomputed for the
+    inference and selection hot paths.
+    """
+
+    def __init__(self, road_ids: list[int], edges: list[CorrelationEdge]) -> None:
+        self._road_ids = sorted(set(road_ids))
+        road_set = set(self._road_ids)
+        self._adjacency: dict[int, list[CorrelationEdge]] = {
+            road: [] for road in self._road_ids
+        }
+        self._weights: dict[tuple[int, int], float] = {}
+        for edge in edges:
+            if edge.road_u not in road_set or edge.road_v not in road_set:
+                raise DataError(
+                    f"edge ({edge.road_u}, {edge.road_v}) references unknown road"
+                )
+            key = self._key(edge.road_u, edge.road_v)
+            if key in self._weights:
+                raise DataError(f"duplicate correlation edge {key}")
+            self._weights[key] = edge.agreement
+            self._adjacency[edge.road_u].append(edge)
+            self._adjacency[edge.road_v].append(edge)
+        for road in self._road_ids:
+            self._adjacency[road].sort(key=lambda e: (-e.agreement, e.road_u, e.road_v))
+
+    @staticmethod
+    def _key(u: int, v: int) -> tuple[int, int]:
+        return (u, v) if u < v else (v, u)
+
+    @property
+    def road_ids(self) -> list[int]:
+        return list(self._road_ids)
+
+    @property
+    def num_roads(self) -> int:
+        return len(self._road_ids)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._weights)
+
+    def has_road(self, road_id: int) -> bool:
+        return road_id in self._adjacency
+
+    def neighbours(self, road_id: int) -> list[CorrelationEdge]:
+        """Edges incident to ``road_id``, strongest agreement first."""
+        try:
+            return list(self._adjacency[road_id])
+        except KeyError:
+            raise DataError(f"road {road_id} not in correlation graph") from None
+
+    def neighbour_ids(self, road_id: int) -> list[int]:
+        return [edge.other(road_id) for edge in self.neighbours(road_id)]
+
+    def degree(self, road_id: int) -> int:
+        return len(self._adjacency[road_id])
+
+    def agreement(self, road_u: int, road_v: int) -> float | None:
+        """The agreement probability of an edge, or None if absent."""
+        return self._weights.get(self._key(road_u, road_v))
+
+    def edges(self) -> Iterator[CorrelationEdge]:
+        """All edges, each reported once, in (u, v) key order."""
+        for (u, v), p in sorted(self._weights.items()):
+            yield CorrelationEdge(u, v, p)
+
+    def average_degree(self) -> float:
+        if not self._road_ids:
+            return 0.0
+        return 2.0 * self.num_edges / len(self._road_ids)
+
+    def connected_components(self) -> list[list[int]]:
+        """Connected components as sorted road-id lists, largest first."""
+        seen: set[int] = set()
+        components: list[list[int]] = []
+        for start in self._road_ids:
+            if start in seen:
+                continue
+            component = []
+            stack = [start]
+            seen.add(start)
+            while stack:
+                road = stack.pop()
+                component.append(road)
+                for edge in self._adjacency[road]:
+                    other = edge.other(road)
+                    if other not in seen:
+                        seen.add(other)
+                        stack.append(other)
+            components.append(sorted(component))
+        components.sort(key=len, reverse=True)
+        return components
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"CorrelationGraph(roads={self.num_roads}, edges={self.num_edges})"
+
+
+def mine_correlation_graph(
+    network: RoadNetwork,
+    store: HistoricalSpeedStore,
+    max_hops: int = 2,
+    min_agreement: float = 0.6,
+) -> CorrelationGraph:
+    """Mine the correlation graph from history.
+
+    ``max_hops`` bounds the candidate neighbourhood in road adjacency;
+    ``min_agreement`` is the edge-keeping threshold on trend-agreement
+    probability. Complexity is O(roads × candidates × intervals) with
+    the inner product vectorised.
+    """
+    if max_hops < 1:
+        raise DataError(f"max_hops must be >= 1, got {max_hops}")
+    if not 0.5 <= min_agreement <= 1.0:
+        raise DataError(
+            f"min_agreement should be in [0.5, 1], got {min_agreement}"
+        )
+    road_ids = store.road_ids
+    trends = store.trend_matrix().astype(np.float64)
+    num_intervals = trends.shape[0]
+    column = {road: i for i, road in enumerate(road_ids)}
+
+    edges: list[CorrelationEdge] = []
+    for road_id in road_ids:
+        candidates = [
+            other
+            for other, hops in network.roads_within_hops(road_id, max_hops).items()
+            if other > road_id and other in column and hops >= 1
+        ]
+        if not candidates:
+            continue
+        cols = np.array([column[c] for c in candidates])
+        # agreement = P(t_u == t_v) = (1 + E[t_u * t_v]) / 2 for ±1 trends.
+        products = trends[:, cols].T @ trends[:, column[road_id]]
+        agreements = (1.0 + products / num_intervals) / 2.0
+        for candidate, agreement in zip(candidates, agreements):
+            if agreement >= min_agreement:
+                edges.append(CorrelationEdge(road_id, candidate, float(agreement)))
+    return CorrelationGraph(road_ids, edges)

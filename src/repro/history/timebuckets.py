@@ -1,0 +1,96 @@
+"""Time discretisation shared by the simulator, history store and models.
+
+Time is a sequence of fixed-length **intervals** (default 15 minutes),
+numbered globally from 0 at midnight of day 0. Historical statistics are
+aggregated per **bucket**: the time-of-day slot, optionally split into
+weekday/weekend variants, because urban speed patterns repeat daily with
+a weekday/weekend distinction. Day 0 is a Monday by convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MINUTES_PER_DAY = 24 * 60
+
+
+@dataclass(frozen=True, slots=True)
+class TimeGrid:
+    """Mapping between global interval ids, days, and history buckets."""
+
+    interval_minutes: int = 15
+    distinguish_weekend: bool = False
+
+    def __post_init__(self) -> None:
+        if self.interval_minutes <= 0:
+            raise ValueError(f"interval length must be positive: {self.interval_minutes}")
+        if MINUTES_PER_DAY % self.interval_minutes != 0:
+            raise ValueError(
+                f"interval length {self.interval_minutes} must divide a day evenly"
+            )
+
+    @property
+    def intervals_per_day(self) -> int:
+        return MINUTES_PER_DAY // self.interval_minutes
+
+    @property
+    def num_buckets(self) -> int:
+        """Total distinct history buckets."""
+        return self.intervals_per_day * (2 if self.distinguish_weekend else 1)
+
+    def day_of(self, interval: int) -> int:
+        """The day index (0-based) containing ``interval``."""
+        self._check(interval)
+        return interval // self.intervals_per_day
+
+    def slot_of(self, interval: int) -> int:
+        """The within-day slot (0 .. intervals_per_day-1)."""
+        self._check(interval)
+        return interval % self.intervals_per_day
+
+    def is_weekend(self, interval: int) -> bool:
+        """Whether the interval falls on a Saturday or Sunday (day 0 = Monday)."""
+        return self.day_of(interval) % 7 >= 5
+
+    def bucket_of(self, interval: int) -> int:
+        """The history bucket for ``interval``.
+
+        Weekday and weekend slots map to disjoint bucket ranges when
+        ``distinguish_weekend`` is on.
+        """
+        slot = self.slot_of(interval)
+        if self.distinguish_weekend and self.is_weekend(interval):
+            return slot + self.intervals_per_day
+        return slot
+
+    def hour_of(self, interval: int) -> float:
+        """Time of day in fractional hours (0.0 .. <24.0)."""
+        return self.slot_of(interval) * self.interval_minutes / 60.0
+
+    def interval_at(self, day: int, hour: float) -> int:
+        """The interval id for ``hour`` (fractional) on ``day``."""
+        if day < 0:
+            raise ValueError(f"negative day {day}")
+        if not 0.0 <= hour < 24.0:
+            raise ValueError(f"hour {hour} outside [0, 24)")
+        slot = int(hour * 60 // self.interval_minutes)
+        return day * self.intervals_per_day + slot
+
+    def day_range(self, day: int) -> range:
+        """All interval ids belonging to ``day``."""
+        if day < 0:
+            raise ValueError(f"negative day {day}")
+        start = day * self.intervals_per_day
+        return range(start, start + self.intervals_per_day)
+
+    def days_range(self, first_day: int, num_days: int) -> range:
+        """All interval ids in ``num_days`` consecutive days from ``first_day``."""
+        if num_days < 0:
+            raise ValueError(f"negative day count {num_days}")
+        start = first_day * self.intervals_per_day
+        return range(start, start + num_days * self.intervals_per_day)
+
+    @staticmethod
+    def _check(interval: int) -> None:
+        if interval < 0:
+            raise ValueError(f"negative interval id {interval}")

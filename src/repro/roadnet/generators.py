@@ -1,0 +1,241 @@
+"""Synthetic city generators.
+
+The paper evaluates on proprietary Beijing and Tianjin taxi-GPS road
+networks. These generators build structurally comparable stand-ins:
+
+* :func:`grid_city` — a Manhattan-style grid with an arterial hierarchy
+  (every ``arterial_every``-th street is an arterial, the rest local),
+  resembling Beijing's ring-and-grid core at small scale.
+* :func:`ring_radial_city` — concentric ring roads connected by radial
+  spokes, the classic monocentric layout.
+* :func:`composite_city` — a grid core with a ring-radial periphery
+  stitched together, for larger scalability experiments.
+
+All streets are two-way: each undirected street contributes two directed
+:class:`~repro.roadnet.network.RoadSegment` instances. Generators are
+deterministic given their parameters (no randomness), so every test and
+benchmark sees identical topology.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.roadnet.geometry import Point
+from repro.roadnet.network import RoadNetwork
+
+
+def _add_two_way(
+    network: RoadNetwork,
+    next_road_id: int,
+    node_a: int,
+    node_b: int,
+    road_class: str,
+    name: str = "",
+) -> int:
+    """Add both directions of a street; returns the next free road id."""
+    network.add_segment(next_road_id, node_a, node_b, road_class=road_class, name=name)
+    network.add_segment(
+        next_road_id + 1, node_b, node_a, road_class=road_class, name=name
+    )
+    return next_road_id + 2
+
+
+def grid_city(
+    rows: int = 10,
+    cols: int = 10,
+    block_m: float = 400.0,
+    arterial_every: int = 4,
+    name: str = "grid-city",
+) -> RoadNetwork:
+    """A rows×cols grid of intersections with an arterial hierarchy.
+
+    Every ``arterial_every``-th row/column street is an arterial; the rest
+    are local streets. ``rows`` and ``cols`` count intersections, so the
+    network has ``rows*cols`` nodes and ``2*(rows*(cols-1)+cols*(rows-1))``
+    directed segments.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("grid city needs at least a 2x2 grid")
+    if arterial_every < 1:
+        raise ValueError("arterial_every must be >= 1")
+
+    network = RoadNetwork(name=name)
+    for r in range(rows):
+        for c in range(cols):
+            network.add_intersection(r * cols + c, Point(c * block_m, r * block_m))
+
+    road_id = 0
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:  # horizontal street
+                road_class = "arterial" if r % arterial_every == 0 else "local"
+                road_id = _add_two_way(
+                    network, road_id, node, node + 1, road_class,
+                    name=f"EW-{r}",
+                )
+            if r + 1 < rows:  # vertical street
+                road_class = "arterial" if c % arterial_every == 0 else "local"
+                road_id = _add_two_way(
+                    network, road_id, node, node + cols, road_class,
+                    name=f"NS-{c}",
+                )
+    network.validate()
+    return network
+
+
+def ring_radial_city(
+    rings: int = 4,
+    spokes: int = 8,
+    ring_spacing_m: float = 800.0,
+    name: str = "ring-radial-city",
+) -> RoadNetwork:
+    """Concentric rings joined by radial spokes around a centre node.
+
+    Ring roads are arterials; the innermost ring connects to a central
+    node by collector spokes; outer radial links are collectors. Node
+    count is ``1 + rings*spokes``.
+    """
+    if rings < 1:
+        raise ValueError("need at least one ring")
+    if spokes < 3:
+        raise ValueError("need at least three spokes to form rings")
+
+    network = RoadNetwork(name=name)
+    centre = 0
+    network.add_intersection(centre, Point(0.0, 0.0))
+
+    def node_id(ring: int, spoke: int) -> int:
+        return 1 + ring * spokes + spoke
+
+    for ring in range(rings):
+        radius = (ring + 1) * ring_spacing_m
+        for spoke in range(spokes):
+            angle = 2.0 * math.pi * spoke / spokes
+            network.add_intersection(
+                node_id(ring, spoke),
+                Point(radius * math.cos(angle), radius * math.sin(angle)),
+            )
+
+    road_id = 0
+    # Ring roads (arterials), closing each ring.
+    for ring in range(rings):
+        for spoke in range(spokes):
+            a = node_id(ring, spoke)
+            b = node_id(ring, (spoke + 1) % spokes)
+            road_id = _add_two_way(network, road_id, a, b, "arterial", name=f"Ring-{ring + 1}")
+    # Radial spokes (collectors), centre -> ring1 -> ... -> outermost.
+    for spoke in range(spokes):
+        road_id = _add_two_way(
+            network, road_id, centre, node_id(0, spoke), "collector",
+            name=f"Radial-{spoke}",
+        )
+        for ring in range(rings - 1):
+            road_id = _add_two_way(
+                network,
+                road_id,
+                node_id(ring, spoke),
+                node_id(ring + 1, spoke),
+                "collector",
+                name=f"Radial-{spoke}",
+            )
+    network.validate()
+    return network
+
+
+def composite_city(
+    core_rows: int = 8,
+    core_cols: int = 8,
+    rings: int = 3,
+    spokes: int = 12,
+    block_m: float = 400.0,
+    name: str = "composite-city",
+) -> RoadNetwork:
+    """A grid core surrounded by a ring-radial periphery.
+
+    The periphery's rings start beyond the grid's circumradius and each
+    spoke is tied to the nearest grid-boundary intersection by a highway
+    link, producing one connected network with heterogeneous structure —
+    useful for scalability sweeps (F8).
+    """
+    network = grid_city(core_rows, core_cols, block_m=block_m, name=name)
+    next_node = max(network.node_ids()) + 1
+    next_road = max(network.road_ids()) + 1
+
+    bbox = network.bounding_box()
+    centre = bbox.center
+    core_radius = math.hypot(bbox.width, bbox.height) / 2.0
+    ring_spacing = max(block_m * 2.0, core_radius * 0.4)
+
+    def node_id(ring: int, spoke: int) -> int:
+        return next_node + ring * spokes + spoke
+
+    for ring in range(rings):
+        radius = core_radius + (ring + 1) * ring_spacing
+        for spoke in range(spokes):
+            angle = 2.0 * math.pi * spoke / spokes
+            network.add_intersection(
+                node_id(ring, spoke),
+                Point(
+                    centre.x + radius * math.cos(angle),
+                    centre.y + radius * math.sin(angle),
+                ),
+            )
+
+    for ring in range(rings):
+        for spoke in range(spokes):
+            a = node_id(ring, spoke)
+            b = node_id(ring, (spoke + 1) % spokes)
+            next_road = _add_two_way(
+                network, next_road, a, b, "highway", name=f"OuterRing-{ring + 1}"
+            )
+    for spoke in range(spokes):
+        for ring in range(rings - 1):
+            next_road = _add_two_way(
+                network,
+                next_road,
+                node_id(ring, spoke),
+                node_id(ring + 1, spoke),
+                "collector",
+                name=f"OuterRadial-{spoke}",
+            )
+
+    # Stitch each innermost-ring node to its nearest boundary intersection.
+    boundary_nodes = [
+        node.node_id
+        for node in network.intersections()
+        if node.node_id < next_node
+        and (
+            node.location.x in (bbox.min_x, bbox.max_x)
+            or node.location.y in (bbox.min_y, bbox.max_y)
+        )
+    ]
+    for spoke in range(spokes):
+        inner = node_id(0, spoke)
+        inner_loc = network.intersection(inner).location
+        nearest = min(
+            boundary_nodes,
+            key=lambda n: network.intersection(n).location.distance_to(inner_loc),
+        )
+        next_road = _add_two_way(
+            network, next_road, nearest, inner, "highway", name=f"Link-{spoke}"
+        )
+    network.validate()
+    return network
+
+
+def sized_grid(num_roads_target: int, name: str | None = None) -> RoadNetwork:
+    """A grid city sized to have roughly ``num_roads_target`` segments.
+
+    Used by scalability benchmarks that sweep network size. The actual
+    segment count is the nearest achievable grid size at or above the
+    target.
+    """
+    if num_roads_target < 8:
+        raise ValueError("target too small for a 2x2 grid")
+    # An n x n grid has 4*n*(n-1) directed segments.
+    n = max(2, math.ceil((1 + math.sqrt(1 + num_roads_target)) / 2))
+    while 4 * n * (n - 1) < num_roads_target:
+        n += 1
+    return grid_city(n, n, name=name or f"grid-{n}x{n}")

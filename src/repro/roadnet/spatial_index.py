@@ -1,0 +1,117 @@
+"""A uniform-grid spatial index over road segments.
+
+Map matching needs "which segments are near this GPS point" queries at
+high volume. A uniform grid over the network's bounding box gives O(1)
+candidate retrieval for the short query radii map matching uses, with
+none of the balancing complexity of an R-tree — appropriate because our
+city networks have near-uniform segment density.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import NetworkError
+from repro.roadnet.geometry import Point, project_onto_segment
+from repro.roadnet.network import RoadNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentMatch:
+    """A candidate segment for a query point."""
+
+    road_id: int
+    distance_m: float
+    position: float  # normalised position [0, 1] of the projection
+
+
+class SpatialIndex:
+    """Uniform grid of segment ids keyed by cell coordinates.
+
+    Each segment is registered in every cell its bounding box touches
+    (segments are straight, so this over-approximates only slightly).
+    The index is read-only after construction; rebuild it if the network
+    changes.
+    """
+
+    def __init__(self, network: RoadNetwork, cell_size_m: float = 250.0) -> None:
+        if cell_size_m <= 0:
+            raise ValueError(f"cell size must be positive, got {cell_size_m}")
+        if network.num_segments == 0:
+            raise NetworkError("cannot index an empty network")
+        self._network = network
+        self._cell_size = cell_size_m
+        self._bbox = network.bounding_box(margin=cell_size_m)
+        self._cells: dict[tuple[int, int], list[int]] = {}
+        for seg in network.segments():
+            start, end = network.segment_endpoints(seg.road_id)
+            for cell in self._cells_touched(start, end):
+                self._cells.setdefault(cell, []).append(seg.road_id)
+
+    @property
+    def cell_size_m(self) -> float:
+        return self._cell_size
+
+    @property
+    def num_cells(self) -> int:
+        return len(self._cells)
+
+    def _cell_of(self, point: Point) -> tuple[int, int]:
+        return (
+            int(math.floor((point.x - self._bbox.min_x) / self._cell_size)),
+            int(math.floor((point.y - self._bbox.min_y) / self._cell_size)),
+        )
+
+    def _cells_touched(self, start: Point, end: Point) -> list[tuple[int, int]]:
+        cx0, cy0 = self._cell_of(start)
+        cx1, cy1 = self._cell_of(end)
+        return [
+            (cx, cy)
+            for cx in range(min(cx0, cx1), max(cx0, cx1) + 1)
+            for cy in range(min(cy0, cy1), max(cy0, cy1) + 1)
+        ]
+
+    def candidates_near(self, point: Point, radius_m: float) -> list[int]:
+        """Road ids whose grid cells fall within ``radius_m`` of ``point``.
+
+        This is a superset of the true within-radius set; use
+        :meth:`nearest_segments` for distance-filtered results.
+        """
+        if radius_m < 0:
+            raise ValueError(f"radius must be non-negative, got {radius_m}")
+        reach = int(math.ceil(radius_m / self._cell_size))
+        cx, cy = self._cell_of(point)
+        seen: set[int] = set()
+        out: list[int] = []
+        for dx in range(-reach, reach + 1):
+            for dy in range(-reach, reach + 1):
+                for road_id in self._cells.get((cx + dx, cy + dy), ()):
+                    if road_id not in seen:
+                        seen.add(road_id)
+                        out.append(road_id)
+        return out
+
+    def nearest_segments(
+        self, point: Point, radius_m: float = 100.0, limit: int = 5
+    ) -> list[SegmentMatch]:
+        """The up-to-``limit`` closest segments within ``radius_m``.
+
+        Results are sorted by distance ascending. Returns an empty list
+        when nothing is within the radius — callers (map matching) treat
+        that as an unmatchable point.
+        """
+        matches: list[SegmentMatch] = []
+        for road_id in self.candidates_near(point, radius_m):
+            start, end = self._network.segment_endpoints(road_id)
+            foot, t = project_onto_segment(point, start, end)
+            dist = point.distance_to(foot)
+            if dist <= radius_m:
+                matches.append(SegmentMatch(road_id, dist, t))
+        matches.sort(key=lambda m: (m.distance_m, m.road_id))
+        return matches[:limit]
+
+    def nearest_segment(self, point: Point, radius_m: float = 100.0) -> SegmentMatch | None:
+        """The single closest segment within ``radius_m``, or None."""
+        matches = self.nearest_segments(point, radius_m, limit=1)
+        return matches[0] if matches else None

@@ -1,0 +1,70 @@
+"""Lazy greedy (CELF) seed selection.
+
+Exploits submodularity: a candidate's marginal gain can only *shrink*
+as the seed set grows, so a stale upper bound from an earlier round is
+still an upper bound. Candidates live in a max-heap keyed by their last
+known gain; a pop whose bound is already up to date is provably the true
+argmax and is taken without touching the rest of the heap. In practice
+this skips the vast majority of gain evaluations while returning the
+*identical* seed sequence to plain greedy (ties broken by road id) —
+both facts are asserted in the test suite and measured in F4.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.seeds.greedy import SelectionResult, validate_budget
+from repro.seeds.objective import SeedSelectionObjective
+
+
+def lazy_greedy_select(
+    objective: SeedSelectionObjective,
+    budget: int,
+    candidates: list[int] | None = None,
+) -> SelectionResult:
+    """CELF: greedy with lazy marginal-gain re-evaluation."""
+    validate_budget(objective, budget)
+    pool = list(candidates) if candidates is not None else objective.road_ids
+    if len(pool) < budget:
+        from repro.core.errors import SelectionError
+
+        raise SelectionError(
+            f"candidate pool of {len(pool)} cannot fill budget {budget}"
+        )
+
+    state = objective.new_state()
+    evaluations = 0
+
+    # Heap entries: (-gain, road, round_evaluated). Road id is the
+    # tie-breaker, matching plain greedy's sorted scan.
+    heap: list[tuple[float, int, int]] = []
+    for candidate in sorted(pool):
+        gain = state.gain(candidate)
+        evaluations += 1
+        heapq.heappush(heap, (-gain, candidate, 0))
+
+    seeds: list[int] = []
+    gains: list[float] = []
+    values: list[float] = []
+    current_round = 0
+    while len(seeds) < budget:
+        neg_gain, candidate, evaluated_round = heapq.heappop(heap)
+        if evaluated_round == current_round:
+            # Bound is fresh: this is the true argmax.
+            realised = state.add(candidate)
+            seeds.append(candidate)
+            gains.append(realised)
+            values.append(state.value)
+            current_round += 1
+        else:
+            gain = state.gain(candidate)
+            evaluations += 1
+            heapq.heappush(heap, (-gain, candidate, current_round))
+    return SelectionResult(
+        method="lazy-greedy",
+        seeds=tuple(seeds),
+        gains=tuple(gains),
+        values=tuple(values),
+        evaluations=evaluations,
+    )

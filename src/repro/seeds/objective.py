@@ -1,0 +1,207 @@
+"""The seed-selection objective: probabilistic influence coverage.
+
+A seed helps exactly to the extent that its evidence reaches other
+roads, so the quality of a seed set ``S`` is measured by how well it
+covers the network with influence::
+
+    Q(S) = Σ_r w_r · (1 − Π_{u ∈ S} (1 − q(u → r)))
+
+where ``q(u → r)`` derives from the best-path fidelity from seed ``u``
+to road ``r`` over the correlation graph (the same influence notion the
+fast Step-1 inference uses) and ``w_r`` is an optional road importance
+weight. The inner product treats seeds as independent coverage trials —
+the probabilistic-coverage form standard in influence maximisation.
+
+**Influence calibration.** Raw trend fidelity ``q = 2p − 1`` measures
+*sign* agreement, which under-states how much of a road's speed
+variance a seed explains: for jointly Gaussian deviations the Pearson
+correlation is ``ρ = sin(πq/2) ≥ q``. The default ``"variance"``
+transform therefore scores a seed's influence as the variance explained
+``ρ² = sin²(πq/2)``, which aligns the coverage objective with the
+downstream Step-2 regression error (verified in experiment F5). The
+``"fidelity"`` transform keeps raw ``q`` for analyses of the trend step
+itself.
+
+**Properties** (exploited by the greedy algorithms and property-tested
+in the suite):
+
+* *Monotone*: adding a seed never decreases Q.
+* *Submodular*: the marginal gain of a seed shrinks as the set grows,
+  because ``(1 − q)`` factors only ever multiply the residual down.
+
+Hence plain greedy achieves the (1 − 1/e) approximation of Nemhauser et
+al., and lazy evaluation (CELF) is valid. Maximising Q exactly is
+NP-hard — see :mod:`repro.seeds.hardness` for the machine-checked
+reduction from Set Cover.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.errors import SelectionError
+from repro.history.correlation import CorrelationGraph
+from repro.trend.propagation import propagate_fidelity
+
+#: Supported influence transforms (see module docstring).
+INFLUENCE_TRANSFORMS = ("variance", "fidelity")
+
+
+class CoverageState:
+    """Mutable residual-coverage tracker for one growing seed set.
+
+    ``residual[r] = Π_{u∈S} (1 − q(u→r))`` — the probability road ``r``
+    is still *uncovered*. The state makes marginal-gain queries O(reach)
+    and additions O(reach).
+    """
+
+    def __init__(self, objective: "SeedSelectionObjective") -> None:
+        self._objective = objective
+        self.residual = np.ones(objective.num_roads)
+        self.seeds: list[int] = []
+        self.value = 0.0
+
+    def gain(self, candidate: int) -> float:
+        """Marginal gain of adding ``candidate`` to the current set."""
+        if candidate in self._objective.index and candidate not in self.seeds:
+            gain = 0.0
+            weights = self._objective.weights
+            index = self._objective.index
+            for road, q in self._objective.influence_map(candidate).items():
+                i = index[road]
+                gain += weights[i] * self.residual[i] * q
+            return gain
+        if candidate in self.seeds:
+            return 0.0
+        raise SelectionError(f"candidate {candidate} not in correlation graph")
+
+    def add(self, seed: int) -> float:
+        """Add a seed; returns its realised marginal gain."""
+        gain = self.gain(seed)
+        index = self._objective.index
+        for road, q in self._objective.influence_map(seed).items():
+            self.residual[index[road]] *= 1.0 - q
+        self.seeds.append(seed)
+        self.value += gain
+        return gain
+
+
+class SeedSelectionObjective:
+    """Influence-coverage objective over a correlation graph.
+
+    ``min_fidelity`` truncates influence propagation (matching the fast
+    inference); ``road_weights`` defaults to uniform. A road always
+    covers itself with fidelity 1, so Q(S) ≥ Σ_{u∈S} w_u.
+    """
+
+    def __init__(
+        self,
+        graph: CorrelationGraph,
+        min_fidelity: float = 0.05,
+        road_weights: dict[int, float] | None = None,
+        transform: str = "variance",
+    ) -> None:
+        if transform not in INFLUENCE_TRANSFORMS:
+            raise SelectionError(
+                f"unknown influence transform {transform!r}; "
+                f"choose from {INFLUENCE_TRANSFORMS}"
+            )
+        self._graph = graph
+        self._min_fidelity = min_fidelity
+        self._transform = transform
+        self._road_ids = graph.road_ids
+        self.index: dict[int, int] = {road: i for i, road in enumerate(self._road_ids)}
+        if road_weights is None:
+            self.weights = np.ones(len(self._road_ids))
+        else:
+            missing = set(road_weights) - set(self._road_ids)
+            if missing:
+                raise SelectionError(
+                    f"weights given for unknown roads {sorted(missing)[:5]}"
+                )
+            self.weights = np.array(
+                [road_weights.get(road, 0.0) for road in self._road_ids]
+            )
+            if np.any(self.weights < 0):
+                raise SelectionError("road weights must be non-negative")
+        self._influence_cache: dict[int, dict[int, float]] = {}
+
+    @property
+    def graph(self) -> CorrelationGraph:
+        return self._graph
+
+    @property
+    def num_roads(self) -> int:
+        return len(self._road_ids)
+
+    @property
+    def road_ids(self) -> list[int]:
+        return list(self._road_ids)
+
+    @property
+    def max_value(self) -> float:
+        """The objective's ceiling: every road fully covered."""
+        return float(self.weights.sum())
+
+    @property
+    def transform(self) -> str:
+        return self._transform
+
+    @property
+    def min_fidelity(self) -> float:
+        return self._min_fidelity
+
+    def influence_map(self, road: int) -> dict[int, float]:
+        """road -> transformed influence from ``road`` (cached, incl. itself)."""
+        cached = self._influence_cache.get(road)
+        if cached is None:
+            raw = propagate_fidelity(
+                self._graph, road, min_fidelity=self._min_fidelity
+            )
+            if self._transform == "variance":
+                cached = {
+                    r: math.sin(math.pi * q / 2.0) ** 2 for r, q in raw.items()
+                }
+            else:
+                cached = raw
+            self._influence_cache[road] = cached
+        return cached
+
+    def clone_with_weights(
+        self, road_weights: dict[int, float]
+    ) -> "SeedSelectionObjective":
+        """A same-settings objective with different road weights.
+
+        The influence cache is shared (influence depends only on the
+        graph, floor and transform), which is what makes partitioned
+        selection cheap.
+        """
+        clone = SeedSelectionObjective(
+            self._graph,
+            min_fidelity=self._min_fidelity,
+            road_weights=road_weights,
+            transform=self._transform,
+        )
+        clone._influence_cache = self._influence_cache
+        return clone
+
+    def new_state(self) -> CoverageState:
+        """A fresh empty-set coverage state."""
+        return CoverageState(self)
+
+    def value(self, seeds: Iterable[int]) -> float:
+        """Q(S) computed from scratch (use CoverageState when iterating)."""
+        state = self.new_state()
+        for seed in dict.fromkeys(seeds):  # preserve order, drop duplicates
+            state.add(seed)
+        return state.value
+
+    def coverage_fraction(self, seeds: Iterable[int]) -> float:
+        """Q(S) normalised by its ceiling, in [0, 1]."""
+        ceiling = self.max_value
+        if ceiling <= 0:
+            raise SelectionError("objective ceiling is zero; no weighted roads")
+        return self.value(seeds) / ceiling

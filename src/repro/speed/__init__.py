@@ -1,0 +1,35 @@
+"""Step-2 speed inference: deviation hierarchy, HLM, two-step estimator."""
+
+from repro.speed.estimator import TwoStepEstimator
+from repro.speed.uncertainty import (
+    SpeedBand,
+    UncertaintyModel,
+    margin_kmh,
+    normal_confidences,
+    sharpness_kmh,
+    z_for_confidence,
+)
+from repro.speed.hierarchy import DeviationHierarchy
+from repro.speed.hlm import (
+    HierarchicalLinearModel,
+    HlmParams,
+    JointSeedRegression,
+    RoadRegression,
+    SeedRegression,
+)
+
+__all__ = [
+    "DeviationHierarchy",
+    "HierarchicalLinearModel",
+    "HlmParams",
+    "JointSeedRegression",
+    "RoadRegression",
+    "SeedRegression",
+    "SpeedBand",
+    "TwoStepEstimator",
+    "UncertaintyModel",
+    "margin_kmh",
+    "normal_confidences",
+    "sharpness_kmh",
+    "z_for_confidence",
+]

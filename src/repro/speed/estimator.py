@@ -1,0 +1,187 @@
+"""The two-step estimator: the paper's full inference pipeline.
+
+Wires Step 1 (trend inference over the correlation-graph MRF) to Step 2
+(the hierarchical linear model) behind one call:
+:meth:`TwoStepEstimator.estimate_interval` takes the crowdsourced seed
+speeds for an interval and returns a :class:`~repro.core.types.SpeedEstimate`
+for every road in the correlation graph.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import InferenceError
+from repro.core.types import SpeedEstimate, Trend
+from repro.history.correlation import CorrelationGraph
+from repro.history.store import HistoricalSpeedStore
+from repro.roadnet.network import RoadNetwork
+from repro.speed.hlm import HierarchicalLinearModel, HlmParams
+from repro.trend.model import TrendModel
+from repro.trend.propagation import TrendPropagationInference, propagate_fidelity
+
+
+class TwoStepEstimator:
+    """Trend inference + hierarchical linear model, end to end.
+
+    The trend-inference algorithm is pluggable (any object with an
+    ``infer(TrendInstance) -> TrendPosterior`` method); the default is
+    the fast propagation method. Per-seed influence maps are cached, so
+    repeated estimation with a fixed seed set (the production pattern —
+    one seed set serves a whole day) costs one pruned Dijkstra per seed
+    total, not per interval.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        store: HistoricalSpeedStore,
+        graph: CorrelationGraph,
+        hlm: HierarchicalLinearModel | None = None,
+        trend_inference: object | None = None,
+        hlm_params: HlmParams | None = None,
+    ) -> None:
+        self._network = network
+        self._store = store
+        self._graph = graph
+        self._params = hlm_params or HlmParams()
+        self._trend_model = TrendModel(graph, store)
+        self._inference = trend_inference or TrendPropagationInference(
+            min_fidelity=self._params.min_fidelity
+        )
+        self._hlm = hlm or HierarchicalLinearModel.fit(
+            store, network, graph, self._params
+        )
+        self._fidelity_maps: dict[int, dict[int, float]] = {}
+        self._influence_cache: dict[frozenset[int], dict[int, dict[int, float]]] = {}
+
+    @property
+    def trend_model(self) -> TrendModel:
+        return self._trend_model
+
+    @property
+    def hlm(self) -> HierarchicalLinearModel:
+        return self._hlm
+
+    def estimate_interval(
+        self, interval: int, seed_speeds: dict[int, float]
+    ) -> dict[int, SpeedEstimate]:
+        """Estimates for every road given crowdsourced ``seed_speeds``.
+
+        ``seed_speeds`` maps seed road id -> observed speed (km/h).
+        Returns a dict keyed by road id covering every road in the
+        correlation graph; seeds carry their observation verbatim.
+        """
+        return self._estimate(interval, seed_speeds, self._graph.road_ids)
+
+    def estimate_roads(
+        self,
+        interval: int,
+        seed_speeds: dict[int, float],
+        roads: list[int],
+    ) -> dict[int, SpeedEstimate]:
+        """Estimates for ``roads`` only — the latency-sensitive query path.
+
+        Trend inference still runs over the whole graph (evidence flows
+        through roads you did not ask about), but Step-2 regression work
+        is done only for the requested roads.
+        """
+        if not roads:
+            raise InferenceError("estimate_roads needs at least one road")
+        unknown = [r for r in roads if not self._graph.has_road(r)]
+        if unknown:
+            raise InferenceError(
+                f"roads not in correlation graph: {unknown[:5]}"
+            )
+        return self._estimate(interval, seed_speeds, sorted(set(roads)))
+
+    def _estimate(
+        self,
+        interval: int,
+        seed_speeds: dict[int, float],
+        roads: list[int],
+    ) -> dict[int, SpeedEstimate]:
+        if not seed_speeds:
+            raise InferenceError("at least one seed observation is required")
+        for road in seed_speeds:
+            if not self._graph.has_road(road):
+                raise InferenceError(f"seed road {road} not in correlation graph")
+
+        seed_trends = {
+            road: self._store.trend_of(road, interval, speed)
+            for road, speed in seed_speeds.items()
+        }
+        seed_deviations = {
+            road: self._store.deviation_ratio(road, interval, speed)
+            for road, speed in seed_speeds.items()
+        }
+
+        instance = self._trend_model.instance(interval, seed_trends)
+        posterior = self._inference.infer(instance)
+        influence_by_road = self._influence_index(frozenset(seed_speeds))
+
+        estimates: dict[int, SpeedEstimate] = {}
+        for road in roads:
+            if road in seed_speeds:
+                trend = seed_trends[road]
+                estimates[road] = SpeedEstimate(
+                    road_id=road,
+                    interval=interval,
+                    speed_kmh=seed_speeds[road],
+                    trend=trend,
+                    trend_probability=1.0 if trend is Trend.RISE else 0.0,
+                    is_seed=True,
+                )
+                continue
+            influence = influence_by_road.get(road, {})
+            speed = self._hlm.estimate_road(
+                road,
+                interval,
+                posterior,
+                seed_deviations,
+                seed_trends,
+                influence,
+            )
+            p_rise = posterior.p_rise(road)
+            estimates[road] = SpeedEstimate(
+                road_id=road,
+                interval=interval,
+                speed_kmh=speed,
+                trend=Trend.RISE if p_rise >= 0.5 else Trend.FALL,
+                trend_probability=p_rise,
+            )
+        return estimates
+
+    def influence_index(
+        self, seeds: frozenset[int] | set[int]
+    ) -> dict[int, dict[int, float]]:
+        """road id -> {seed -> fidelity} for a seed set (cached).
+
+        Public accessor used by the uncertainty model and diagnostics.
+        """
+        return self._influence_index(frozenset(seeds))
+
+    # ------------------------------------------------------------------
+    # Influence caching
+    # ------------------------------------------------------------------
+    def _fidelity_map(self, seed: int) -> dict[int, float]:
+        cached = self._fidelity_maps.get(seed)
+        if cached is None:
+            cached = propagate_fidelity(
+                self._graph, seed, min_fidelity=self._params.min_fidelity
+            )
+            self._fidelity_maps[seed] = cached
+        return cached
+
+    def _influence_index(
+        self, seeds: frozenset[int]
+    ) -> dict[int, dict[int, float]]:
+        """road id -> {seed -> fidelity} for the given seed set."""
+        cached = self._influence_cache.get(seeds)
+        if cached is None:
+            cached = {}
+            for seed in sorted(seeds):
+                for road, q in self._fidelity_map(seed).items():
+                    if road == seed:
+                        continue
+                    cached.setdefault(road, {})[seed] = q
+            self._influence_cache[seeds] = cached
+        return cached

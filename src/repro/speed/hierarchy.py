@@ -1,0 +1,150 @@
+"""The shrinkage hierarchy of trend-conditional deviation means.
+
+The Step-2 model works in **deviation-ratio** space: ``d = speed /
+historical bucket mean`` (1.0 = typical). The hierarchy answers "given
+that road ``r``'s trend is τ at bucket ``b``, how far from 1.0 does its
+deviation typically sit?" at four levels of specificity::
+
+    level 0   (road, bucket, τ)   most specific, least data
+    level 1   (road, τ)
+    level 2   (road class, τ)
+    level 3   (global, τ)         least specific, most data
+
+Estimates shrink toward their parent level with strength ``kappa``
+(an empirical-Bayes style precision-weighted blend)::
+
+    m̂_ℓ = (n_ℓ · mean_ℓ + κ · m̂_{ℓ+1}) / (n_ℓ + κ)
+
+so a road-bucket cell with many observations trusts itself, while a
+sparse cell inherits from the road, class or city. This is the
+"hierarchical" in the paper's hierarchical linear model; experiment F7b
+ablates it by forcing every query to the global level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import DataError
+from repro.core.types import Trend
+from repro.history.store import HistoricalSpeedStore
+from repro.roadnet.network import RoadNetwork
+
+
+class DeviationHierarchy:
+    """Fitted trend-conditional deviation means with shrinkage."""
+
+    def __init__(
+        self,
+        store: HistoricalSpeedStore,
+        network: RoadNetwork,
+        kappa: float = 8.0,
+    ) -> None:
+        if kappa < 0.0:
+            raise DataError(f"shrinkage strength kappa must be >= 0, got {kappa}")
+        self._store = store
+        self._kappa = kappa
+        self._road_ids = store.road_ids
+        self._num_roads = len(self._road_ids)
+        self._classes = [
+            network.segment(road).road_class for road in self._road_ids
+        ]
+        self._class_names = sorted(set(self._classes))
+        self._class_index = {name: i for i, name in enumerate(self._class_names)}
+        self._fit()
+
+    def _fit(self) -> None:
+        store = self._store
+        deviations = store.deviation_matrix()
+        trends = store.trend_matrix()
+        num_buckets = store.grid.num_buckets
+        n_roads = self._num_roads
+
+        # Level 0: per (bucket, road, trend) sums and counts.
+        sum0 = np.zeros((2, num_buckets, n_roads))
+        cnt0 = np.zeros((2, num_buckets, n_roads))
+        for bucket in range(num_buckets):
+            rows = store.bucket_rows(bucket)
+            if not rows.any():
+                continue
+            dev = deviations[rows]
+            trd = trends[rows]
+            for t_idx, t_val in enumerate((1, -1)):
+                mask = trd == t_val
+                cnt0[t_idx, bucket] = mask.sum(axis=0)
+                sum0[t_idx, bucket] = np.where(mask, dev, 0.0).sum(axis=0)
+
+        # Level 1: per (road, trend).
+        sum1 = sum0.sum(axis=1)
+        cnt1 = cnt0.sum(axis=1)
+
+        # Level 2: per (class, trend).
+        n_classes = len(self._class_names)
+        sum2 = np.zeros((2, n_classes))
+        cnt2 = np.zeros((2, n_classes))
+        class_cols = np.array([self._class_index[c] for c in self._classes])
+        for c in range(n_classes):
+            cols = class_cols == c
+            sum2[:, c] = sum1[:, cols].sum(axis=1)
+            cnt2[:, c] = cnt1[:, cols].sum(axis=1)
+
+        # Level 3: global.
+        sum3 = sum2.sum(axis=1)
+        cnt3 = cnt2.sum(axis=1)
+
+        kappa = self._kappa
+        with np.errstate(invalid="ignore", divide="ignore"):
+            # Global falls back to the neutral ratio 1.0 when a trend was
+            # never observed at all (degenerate but possible in tiny tests).
+            mean3 = np.where(cnt3 > 0, sum3 / np.maximum(cnt3, 1), 1.0)
+            shrunk2 = (sum2 + kappa * mean3[:, None]) / (cnt2 + kappa)
+            shrunk1 = (
+                sum1 + kappa * shrunk2[:, class_cols]
+            ) / (cnt1 + kappa)
+            shrunk0 = (
+                sum0 + kappa * shrunk1[:, None, :]
+            ) / (cnt0 + kappa)
+
+        self._mean_global = mean3  # shape (2,)
+        self._mean_class = shrunk2  # (2, classes)
+        self._mean_road = shrunk1  # (2, roads)
+        self._mean_cell = shrunk0  # (2, buckets, roads)
+        self._cell_counts = cnt0
+        self._column = {road: i for i, road in enumerate(self._road_ids)}
+        self._class_cols = class_cols
+
+    @staticmethod
+    def _trend_index(trend: Trend) -> int:
+        return 0 if trend is Trend.RISE else 1
+
+    def conditional_mean(self, road_id: int, bucket: int, trend: Trend) -> float:
+        """Shrunk E[deviation | road, bucket, trend] — the full hierarchy."""
+        col = self._lookup(road_id)
+        return float(self._mean_cell[self._trend_index(trend), bucket, col])
+
+    def road_mean(self, road_id: int, trend: Trend) -> float:
+        """Level-1 estimate: E[deviation | road, trend]."""
+        col = self._lookup(road_id)
+        return float(self._mean_road[self._trend_index(trend), col])
+
+    def class_mean(self, road_id: int, trend: Trend) -> float:
+        """Level-2 estimate: E[deviation | road class, trend]."""
+        col = self._lookup(road_id)
+        return float(
+            self._mean_class[self._trend_index(trend), self._class_cols[col]]
+        )
+
+    def global_mean(self, trend: Trend) -> float:
+        """Level-3 estimate: E[deviation | trend] citywide."""
+        return float(self._mean_global[self._trend_index(trend)])
+
+    def cell_count(self, road_id: int, bucket: int, trend: Trend) -> int:
+        """Raw observation count behind the level-0 cell."""
+        col = self._lookup(road_id)
+        return int(self._cell_counts[self._trend_index(trend), bucket, col])
+
+    def _lookup(self, road_id: int) -> int:
+        try:
+            return self._column[road_id]
+        except KeyError:
+            raise DataError(f"road {road_id} not in deviation hierarchy") from None

@@ -1,0 +1,28 @@
+"""Ground-truth traffic substrate: profiles, events, simulator."""
+
+from repro.traffic.events import CongestionEvent, EventModel, render_event_factors
+from repro.traffic.profiles import (
+    DEFAULT_PROFILES,
+    WEEKEND_PROFILES,
+    DailyProfile,
+    ProfileSet,
+    RushWindow,
+    weekday_weekend_profiles,
+)
+from repro.core.field import SpeedField
+from repro.traffic.simulator import SimulatorParams, TrafficSimulator
+
+__all__ = [
+    "CongestionEvent",
+    "DEFAULT_PROFILES",
+    "DailyProfile",
+    "EventModel",
+    "ProfileSet",
+    "RushWindow",
+    "SimulatorParams",
+    "WEEKEND_PROFILES",
+    "weekday_weekend_profiles",
+    "SpeedField",
+    "TrafficSimulator",
+    "render_event_factors",
+]

@@ -1,0 +1,172 @@
+"""Unpredictable congestion events.
+
+Events are the component of the simulator that historical averages
+cannot predict — exactly the situation the paper's crowdsourcing
+approach targets. Three kinds are modelled:
+
+* **incidents** — a crash or closure on one road, spilling a few hops
+  upstream/around it with decaying severity;
+* **regional events** — a stadium emptying, roadworks: a whole
+  neighbourhood slows for hours;
+* **weather** — a citywide multiplicative slowdown for part of a day.
+
+An :class:`EventSchedule` is sampled per simulated day from a seeded RNG
+and rendered into per-road multiplicative factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.roadnet.network import RoadNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class CongestionEvent:
+    """One event: affected roads slow by ``1 - severity * decay`` factors.
+
+    ``road_severities`` maps road id -> severity in (0, 1]; the speed on
+    an affected road is multiplied by ``1 - severity`` while the event is
+    active (intervals in ``[start_interval, end_interval)``).
+    """
+
+    kind: str
+    start_interval: int
+    end_interval: int
+    road_severities: dict[int, float]
+
+    def __post_init__(self) -> None:
+        if self.end_interval <= self.start_interval:
+            raise ValueError("event must last at least one interval")
+        for road_id, severity in self.road_severities.items():
+            if not 0.0 < severity <= 0.95:
+                raise ValueError(
+                    f"event severity {severity} on road {road_id} outside (0, 0.95]"
+                )
+
+    def active_at(self, interval: int) -> bool:
+        return self.start_interval <= interval < self.end_interval
+
+
+@dataclass(frozen=True)
+class EventModel:
+    """Rates and shapes for sampling daily event schedules."""
+
+    incidents_per_day: float = 3.0
+    incident_duration_intervals: tuple[int, int] = (2, 8)
+    incident_severity: tuple[float, float] = (0.3, 0.7)
+    incident_radius_hops: int = 2
+    regional_per_day: float = 0.6
+    regional_duration_intervals: tuple[int, int] = (6, 16)
+    regional_severity: tuple[float, float] = (0.15, 0.4)
+    regional_radius_hops: int = 5
+    weather_probability: float = 0.08
+    weather_severity: tuple[float, float] = (0.1, 0.25)
+
+    def sample_day(
+        self,
+        network: RoadNetwork,
+        day_intervals: range,
+        rng: np.random.Generator,
+    ) -> list[CongestionEvent]:
+        """Sample all events for one day."""
+        events: list[CongestionEvent] = []
+        road_ids = network.road_ids()
+        events.extend(
+            self._sample_localised(
+                network,
+                road_ids,
+                day_intervals,
+                rng,
+                kind="incident",
+                count=rng.poisson(self.incidents_per_day),
+                duration=self.incident_duration_intervals,
+                severity=self.incident_severity,
+                radius=self.incident_radius_hops,
+            )
+        )
+        events.extend(
+            self._sample_localised(
+                network,
+                road_ids,
+                day_intervals,
+                rng,
+                kind="regional",
+                count=rng.poisson(self.regional_per_day),
+                duration=self.regional_duration_intervals,
+                severity=self.regional_severity,
+                radius=self.regional_radius_hops,
+            )
+        )
+        if rng.random() < self.weather_probability:
+            severity = rng.uniform(*self.weather_severity)
+            start = int(rng.integers(day_intervals.start, day_intervals.stop - 1))
+            duration = int(rng.integers(8, max(9, len(day_intervals) // 2)))
+            events.append(
+                CongestionEvent(
+                    kind="weather",
+                    start_interval=start,
+                    end_interval=min(start + duration, day_intervals.stop),
+                    road_severities={r: severity for r in road_ids},
+                )
+            )
+        return events
+
+    def _sample_localised(
+        self,
+        network: RoadNetwork,
+        road_ids: list[int],
+        day_intervals: range,
+        rng: np.random.Generator,
+        kind: str,
+        count: int,
+        duration: tuple[int, int],
+        severity: tuple[float, float],
+        radius: int,
+    ) -> list[CongestionEvent]:
+        events: list[CongestionEvent] = []
+        for _ in range(count):
+            centre = int(road_ids[rng.integers(len(road_ids))])
+            peak = float(rng.uniform(*severity))
+            affected = network.roads_within_hops(centre, radius)
+            severities = {
+                road: max(0.01, peak * (1.0 - hop / (radius + 1)))
+                for road, hop in affected.items()
+            }
+            start = int(rng.integers(day_intervals.start, day_intervals.stop - 1))
+            length = int(rng.integers(duration[0], duration[1] + 1))
+            events.append(
+                CongestionEvent(
+                    kind=kind,
+                    start_interval=start,
+                    end_interval=min(start + length, day_intervals.stop),
+                    road_severities=severities,
+                )
+            )
+        return events
+
+
+def render_event_factors(
+    events: list[CongestionEvent],
+    road_index: dict[int, int],
+    intervals: range,
+) -> np.ndarray:
+    """Multiplicative event factors, shape (len(intervals), num_roads).
+
+    Factors start at 1.0 everywhere; overlapping events multiply (two
+    simultaneous events compound). ``road_index`` maps road id to column.
+    """
+    factors = np.ones((len(intervals), len(road_index)), dtype=np.float64)
+    for event in events:
+        lo = max(event.start_interval, intervals.start)
+        hi = min(event.end_interval, intervals.stop)
+        if hi <= lo:
+            continue
+        rows = slice(lo - intervals.start, hi - intervals.start)
+        for road_id, severity in event.road_severities.items():
+            column = road_index.get(road_id)
+            if column is not None:
+                factors[rows, column] *= 1.0 - severity
+    return factors

@@ -1,0 +1,146 @@
+"""Deterministic daily speed profiles per road class.
+
+A profile maps time-of-day to a multiplier on free-flow speed, encoding
+the repeating component of urban traffic: free flow at night, a morning
+rush dip, midday moderation and an evening rush dip. Arterials and
+highways carry commuter flow so their rush dips are deeper than local
+streets'. The profile is what the historical average captures; all
+day-to-day *deviation* comes from the stochastic parts of the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class RushWindow:
+    """A Gaussian-shaped congestion dip centred at ``peak_hour``."""
+
+    peak_hour: float
+    width_hours: float
+    depth: float  # fraction of free flow removed at the peak, in (0, 1)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.peak_hour < 24.0:
+            raise ValueError(f"peak hour {self.peak_hour} outside [0, 24)")
+        if self.width_hours <= 0:
+            raise ValueError("rush window width must be positive")
+        if not 0.0 < self.depth < 1.0:
+            raise ValueError(f"rush depth {self.depth} must be in (0, 1)")
+
+    def dip_at(self, hour: float) -> float:
+        """The fractional speed reduction contributed at ``hour``.
+
+        Wraps around midnight so late-night windows behave sensibly.
+        """
+        delta = abs(hour - self.peak_hour)
+        delta = min(delta, 24.0 - delta)
+        return self.depth * math.exp(-0.5 * (delta / self.width_hours) ** 2)
+
+
+@dataclass(frozen=True)
+class DailyProfile:
+    """Multiplier on free-flow speed as a function of time of day."""
+
+    rush_windows: tuple[RushWindow, ...]
+    midday_level: float = 0.92  # mild background congestion 10:00-16:00
+    floor: float = 0.25  # speeds never drop below this fraction of free flow
+
+    def multiplier_at(self, hour: float) -> float:
+        """Speed multiplier in ``[floor, 1]`` for fractional ``hour``."""
+        if not 0.0 <= hour < 24.0:
+            raise ValueError(f"hour {hour} outside [0, 24)")
+        dip = sum(w.dip_at(hour) for w in self.rush_windows)
+        # Daytime background congestion, smoothly ramped in/out.
+        daytime = _smoothstep(hour, 6.0, 9.0) * (1.0 - _smoothstep(hour, 19.0, 22.0))
+        dip += (1.0 - self.midday_level) * daytime
+        return max(self.floor, 1.0 - dip)
+
+
+def _smoothstep(x: float, lo: float, hi: float) -> float:
+    """Cubic smoothstep from 0 (x<=lo) to 1 (x>=hi)."""
+    if x <= lo:
+        return 0.0
+    if x >= hi:
+        return 1.0
+    t = (x - lo) / (hi - lo)
+    return t * t * (3.0 - 2.0 * t)
+
+
+def _commuter_profile(depth_am: float, depth_pm: float) -> DailyProfile:
+    return DailyProfile(
+        rush_windows=(
+            RushWindow(peak_hour=8.25, width_hours=1.1, depth=depth_am),
+            RushWindow(peak_hour=18.0, width_hours=1.3, depth=depth_pm),
+        )
+    )
+
+
+#: Default profiles keyed by road class. Commuter corridors (highway,
+#: arterial) dip hardest at rush; local streets are comparatively flat.
+DEFAULT_PROFILES: dict[str, DailyProfile] = {
+    "highway": _commuter_profile(depth_am=0.45, depth_pm=0.50),
+    "arterial": _commuter_profile(depth_am=0.40, depth_pm=0.45),
+    "collector": _commuter_profile(depth_am=0.28, depth_pm=0.32),
+    "local": _commuter_profile(depth_am=0.15, depth_pm=0.18),
+}
+
+
+def _weekend_profile(depth: float) -> DailyProfile:
+    """No commuter rush; a broad early-afternoon leisure/shopping dip."""
+    return DailyProfile(
+        rush_windows=(RushWindow(peak_hour=14.0, width_hours=2.5, depth=depth),),
+        midday_level=0.96,
+    )
+
+
+#: Weekend profiles: commuter peaks vanish, replaced by a mild
+#: afternoon activity dip — the classic weekday/weekend contrast.
+WEEKEND_PROFILES: dict[str, DailyProfile] = {
+    "highway": _weekend_profile(0.18),
+    "arterial": _weekend_profile(0.20),
+    "collector": _weekend_profile(0.15),
+    "local": _weekend_profile(0.10),
+}
+
+
+@dataclass(frozen=True)
+class ProfileSet:
+    """Per-road-class daily profiles with a safe fallback.
+
+    ``weekend_profiles`` is optional: when None (the default) weekends
+    behave exactly like weekdays, preserving the original single-pattern
+    behaviour; pass :data:`WEEKEND_PROFILES` (or
+    :func:`weekday_weekend_profiles`) for the realistic contrast.
+    """
+
+    profiles: dict[str, DailyProfile] = field(
+        default_factory=lambda: dict(DEFAULT_PROFILES)
+    )
+    weekend_profiles: dict[str, DailyProfile] | None = None
+
+    @property
+    def has_weekend(self) -> bool:
+        return self.weekend_profiles is not None
+
+    def for_class(self, road_class: str, weekend: bool = False) -> DailyProfile:
+        """The profile for ``road_class``, falling back to ``local``."""
+        table = self.profiles
+        if weekend and self.weekend_profiles is not None:
+            table = self.weekend_profiles
+        return table.get(road_class, table["local"])
+
+    def multiplier(
+        self, road_class: str, hour: float, weekend: bool = False
+    ) -> float:
+        return self.for_class(road_class, weekend=weekend).multiplier_at(hour)
+
+
+def weekday_weekend_profiles() -> ProfileSet:
+    """The realistic profile set with distinct weekend behaviour."""
+    return ProfileSet(
+        profiles=dict(DEFAULT_PROFILES),
+        weekend_profiles=dict(WEEKEND_PROFILES),
+    )

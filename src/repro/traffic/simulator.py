@@ -1,0 +1,291 @@
+"""Ground-truth traffic speed simulator.
+
+Produces per-road per-interval true speeds with the statistical
+properties the paper's method exploits and its evaluation needs:
+
+1. **Daily periodicity** — free-flow speed shaped by the road class's
+   :class:`~repro.traffic.profiles.DailyProfile` (the predictable part a
+   historical average captures).
+2. **Spatially correlated deviations** — the city is partitioned into
+   regions whose congestion states follow coupled AR(1) processes, so
+   nearby roads rise and fall *together* relative to their historical
+   means. This is the correlation structure that makes Step-1 trend
+   inference work.
+3. **Unpredictable shocks** — a day-level offset, per-road noise and
+   :mod:`~repro.traffic.events` events, which no history-only method can
+   anticipate; these are why crowdsourced real-time seeds help.
+
+The generative model for road ``r`` at interval ``t`` is::
+
+    speed(r, t) = free_flow(r) * profile(class(r), hour(t))
+                  * exp(g[region(r), t] + n[r, t] + d[day(t)])
+                  * event_factor(r, t)
+
+clamped to ``[min_speed, 1.15 * free_flow]``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+import numpy as np
+
+from repro.core.errors import DataError
+from repro.core.field import SpeedField
+from repro.history.timebuckets import TimeGrid
+from repro.roadnet.network import RoadNetwork
+from repro.traffic.events import CongestionEvent, EventModel, render_event_factors
+from repro.traffic.profiles import ProfileSet
+
+
+@dataclass(frozen=True)
+class SimulatorParams:
+    """Stochastic-process parameters of the simulator.
+
+    Defaults target a stationary regional log-deviation of ~0.18 std and
+    per-road idiosyncratic noise of ~0.08 std, which yields deviation
+    ratios comparable to urban probe data (mostly within ±30% of the
+    historical mean, with event tails).
+    """
+
+    region_size_m: float = 1200.0
+    regional_persistence: float = 0.85
+    regional_coupling: float = 0.10
+    regional_sigma: float = 0.075
+    road_noise_persistence: float = 0.80
+    road_noise_sigma: float = 0.030
+    day_offset_sigma: float = 0.05
+    min_speed_kmh: float = 2.0
+    max_over_free_flow: float = 1.15
+
+    def __post_init__(self) -> None:
+        if self.regional_persistence + self.regional_coupling >= 1.0:
+            raise ValueError(
+                "regional persistence + coupling must be < 1 for stationarity"
+            )
+        if not 0.0 <= self.road_noise_persistence < 1.0:
+            raise ValueError("road noise persistence must be in [0, 1)")
+        if self.region_size_m <= 0:
+            raise ValueError("region size must be positive")
+
+
+@dataclass
+class TrafficSimulator:
+    """Generates :class:`SpeedField` ground truth for a road network."""
+
+    network: RoadNetwork
+    grid: TimeGrid = field(default_factory=TimeGrid)
+    profiles: ProfileSet = field(default_factory=ProfileSet)
+    events: EventModel = field(default_factory=EventModel)
+    params: SimulatorParams = field(default_factory=SimulatorParams)
+
+    def __post_init__(self) -> None:
+        self._road_ids = self.network.road_ids()
+        if not self._road_ids:
+            raise DataError("cannot simulate traffic on an empty network")
+        self._road_index = {road: i for i, road in enumerate(self._road_ids)}
+        (
+            self._region_corners,
+            self._region_weights,
+            self._num_regions,
+            self._region_adjacency,
+        ) = self._build_region_lattice()
+        self._base_day = self._base_day_matrix(weekend=False)
+        self._base_weekend = (
+            self._base_day_matrix(weekend=True)
+            if self.profiles.has_weekend
+            else self._base_day
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def road_ids(self) -> list[int]:
+        return list(self._road_ids)
+
+    @property
+    def num_regions(self) -> int:
+        return self._num_regions
+
+    def region_of(self, road_id: int) -> int:
+        """The dominant congestion control point of a road (max weight)."""
+        i = self._road_index[road_id]
+        return int(self._region_corners[i][int(np.argmax(self._region_weights[i]))])
+
+    def region_weights_of(self, road_id: int) -> dict[int, float]:
+        """Control point -> bilinear weight for a road (weights sum to 1)."""
+        i = self._road_index[road_id]
+        return {
+            int(corner): float(weight)
+            for corner, weight in zip(self._region_corners[i], self._region_weights[i])
+            if weight > 0.0
+        }
+
+    def simulate(
+        self, first_day: int, num_days: int, seed: int
+    ) -> tuple[SpeedField, list[CongestionEvent]]:
+        """Simulate ``num_days`` consecutive days starting at ``first_day``.
+
+        Deterministic given ``seed``. Returns the speed field and the
+        events that occurred (useful for incident-detection examples).
+        """
+        if num_days <= 0:
+            raise DataError(f"must simulate at least one day, got {num_days}")
+        rng = np.random.default_rng(seed)
+        intervals = self.grid.days_range(first_day, num_days)
+        num_intervals = len(intervals)
+        num_roads = len(self._road_ids)
+
+        log_factors = np.zeros((num_intervals, num_roads), dtype=np.float64)
+        regional = np.zeros(self._num_regions, dtype=np.float64)
+        road_noise = np.zeros(num_roads, dtype=np.float64)
+        all_events: list[CongestionEvent] = []
+
+        # Warm the AR processes so the field starts stationary.
+        for _ in range(50):
+            regional = self._step_regional(regional, rng)
+            road_noise = self._step_road_noise(road_noise, rng)
+
+        per_day = self.grid.intervals_per_day
+        day_offsets = rng.normal(0.0, self.params.day_offset_sigma, size=num_days)
+        for row, interval in enumerate(intervals):
+            regional = self._step_regional(regional, rng)
+            road_noise = self._step_road_noise(road_noise, rng)
+            day_row = row // per_day
+            # Smooth congestion field: bilinear blend of control points.
+            regional_per_road = (
+                regional[self._region_corners] * self._region_weights
+            ).sum(axis=1)
+            log_factors[row] = regional_per_road + road_noise + day_offsets[day_row]
+
+        for day in range(first_day, first_day + num_days):
+            all_events.extend(
+                self.events.sample_day(self.network, self.grid.day_range(day), rng)
+            )
+        event_factors = render_event_factors(all_events, self._road_index, intervals)
+
+        base = np.concatenate(
+            [
+                self._base_weekend
+                if self.grid.is_weekend(self.grid.day_range(day).start)
+                else self._base_day
+                for day in range(first_day, first_day + num_days)
+            ],
+            axis=0,
+        )
+        speeds = base * np.exp(log_factors) * event_factors
+        free_flow = np.array(
+            [self.network.segment(r).free_flow_kmh for r in self._road_ids]
+        )
+        np.clip(
+            speeds,
+            self.params.min_speed_kmh,
+            free_flow * self.params.max_over_free_flow,
+            out=speeds,
+        )
+        return SpeedField(speeds, self._road_ids, intervals.start), all_events
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _build_region_lattice(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, int, list[list[int]]]:
+        """Build the congestion control-point lattice.
+
+        Control points sit on a uniform ``region_size_m`` lattice over the
+        network's bounding box. Each road's congestion is the **bilinear
+        interpolation** of the four control points surrounding its
+        midpoint, which makes the congestion field spatially smooth —
+        adjacent roads see nearly identical regional states, matching the
+        strong local trend correlation observed in real probe data.
+
+        Returns (corner indices R×4, bilinear weights R×4, #points,
+        lattice 4-adjacency).
+        """
+        size = self.params.region_size_m
+        bbox = self.network.bounding_box(margin=1.0)
+        nx = max(1, int(math.ceil(bbox.width / size)))
+        ny = max(1, int(math.ceil(bbox.height / size)))
+        # Lattice of (nx+1) x (ny+1) control points at cell corners.
+        num_points = (nx + 1) * (ny + 1)
+
+        def point_id(ix: int, iy: int) -> int:
+            return iy * (nx + 1) + ix
+
+        num_roads = len(self._road_ids)
+        corners = np.zeros((num_roads, 4), dtype=np.int64)
+        weights = np.zeros((num_roads, 4), dtype=np.float64)
+        for i, road_id in enumerate(self._road_ids):
+            mid = self.network.segment_midpoint(road_id)
+            u = (mid.x - bbox.min_x) / size
+            v = (mid.y - bbox.min_y) / size
+            ix = min(nx - 1, max(0, int(u)))
+            iy = min(ny - 1, max(0, int(v)))
+            fx = min(1.0, max(0.0, u - ix))
+            fy = min(1.0, max(0.0, v - iy))
+            corners[i] = (
+                point_id(ix, iy),
+                point_id(ix + 1, iy),
+                point_id(ix, iy + 1),
+                point_id(ix + 1, iy + 1),
+            )
+            weights[i] = (
+                (1 - fx) * (1 - fy),
+                fx * (1 - fy),
+                (1 - fx) * fy,
+                fx * fy,
+            )
+
+        adjacency: list[list[int]] = [[] for _ in range(num_points)]
+        for iy in range(ny + 1):
+            for ix in range(nx + 1):
+                here = point_id(ix, iy)
+                for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                    jx, jy = ix + dx, iy + dy
+                    if 0 <= jx <= nx and 0 <= jy <= ny:
+                        adjacency[here].append(point_id(jx, jy))
+        return corners, weights, num_points, adjacency
+
+    def _base_day_matrix(self, weekend: bool) -> np.ndarray:
+        """Deterministic (slots × roads) base speeds: free-flow × profile."""
+        per_day = self.grid.intervals_per_day
+        base = np.zeros((per_day, len(self._road_ids)), dtype=np.float64)
+        multipliers: dict[tuple[str, int], float] = {}
+        for slot in range(per_day):
+            hour = slot * self.grid.interval_minutes / 60.0
+            for i, road_id in enumerate(self._road_ids):
+                seg = self.network.segment(road_id)
+                key = (seg.road_class, slot)
+                if key not in multipliers:
+                    multipliers[key] = self.profiles.multiplier(
+                        seg.road_class, hour, weekend=weekend
+                    )
+                base[slot, i] = seg.free_flow_kmh * multipliers[key]
+        return base
+
+    def _step_regional(
+        self, state: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One AR step of the coupled regional congestion processes."""
+        p = self.params
+        neighbour_mean = np.array(
+            [
+                state[adj].mean() if adj else state[i]
+                for i, adj in enumerate(self._region_adjacency)
+            ]
+        )
+        return (
+            p.regional_persistence * state
+            + p.regional_coupling * neighbour_mean
+            + rng.normal(0.0, p.regional_sigma, size=state.shape)
+        )
+
+    def _step_road_noise(
+        self, state: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        p = self.params
+        return p.road_noise_persistence * state + rng.normal(
+            0.0, p.road_noise_sigma, size=state.shape
+        )

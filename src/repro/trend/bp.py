@@ -1,0 +1,122 @@
+"""Loopy belief propagation for the trend MRF.
+
+Damped parallel sum-product message passing, fully vectorised over
+directed edges. Exact on trees; on the dense loopy correlation graphs of
+real road networks it both costs O(edges × iterations) per interval and
+suffers the classic evidence double-counting of loopy BP — the fast
+propagation method beats it on *both* axes in experiments F2/F3, which
+reproduces the paper's finding that the efficient algorithm is also the
+more accurate one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InferenceError
+from repro.trend.model import TrendInstance, TrendPosterior
+
+_LOG_FLOOR = 1e-12
+
+
+class LoopyBeliefPropagation:
+    """Damped parallel sum-product on the pairwise binary MRF."""
+
+    def __init__(
+        self,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        damping: float = 0.3,
+    ) -> None:
+        if max_iterations < 1:
+            raise InferenceError("max_iterations must be >= 1")
+        if not 0.0 <= damping < 1.0:
+            raise InferenceError(f"damping {damping} must be in [0, 1)")
+        if tolerance <= 0.0:
+            raise InferenceError("tolerance must be positive")
+        self._max_iterations = max_iterations
+        self._tolerance = tolerance
+        self._damping = damping
+        self.last_iterations: int = 0
+        self.last_converged: bool = False
+
+    def infer(self, instance: TrendInstance) -> TrendPosterior:
+        """Approximate posterior P(RISE) for every road."""
+        n = instance.num_roads
+        evidence = instance.evidence_indices()
+
+        # Local beliefs as P(RISE); evidence nodes are hard-clamped.
+        local = instance.prior_rise.copy()
+        for i, trend in evidence.items():
+            local[i] = 1.0 - 1e-9 if int(trend) == 1 else 1e-9
+        log_local_rise = np.log(np.maximum(local, _LOG_FLOOR))
+        log_local_fall = np.log(np.maximum(1.0 - local, _LOG_FLOOR))
+
+        if not instance.edges:
+            p_rise = local.copy()
+            for i, trend in evidence.items():
+                p_rise[i] = 1.0 if int(trend) == 1 else 0.0
+            self.last_iterations = 0
+            self.last_converged = True
+            return TrendPosterior(instance.road_ids, p_rise)
+
+        # Directed edge arrays: each undirected edge appears both ways;
+        # reverse[e] is the index of the opposite direction.
+        undirected = instance.edges
+        m_edges = len(undirected)
+        src = np.empty(2 * m_edges, dtype=np.int64)
+        dst = np.empty(2 * m_edges, dtype=np.int64)
+        pot = np.empty(2 * m_edges)
+        for e, (i, j, p) in enumerate(undirected):
+            src[e], dst[e], pot[e] = i, j, p
+            src[m_edges + e], dst[m_edges + e], pot[m_edges + e] = j, i, p
+        reverse = np.concatenate(
+            [np.arange(m_edges) + m_edges, np.arange(m_edges)]
+        )
+
+        # messages[e] = P(dst[e] = RISE) according to src[e].
+        messages = np.full(2 * m_edges, 0.5)
+        self.last_converged = False
+        for iteration in range(1, self._max_iterations + 1):
+            log_m_rise = np.log(np.maximum(messages, _LOG_FLOOR))
+            log_m_fall = np.log(np.maximum(1.0 - messages, _LOG_FLOOR))
+            # Aggregate incoming log-messages at every node.
+            node_rise = log_local_rise.copy()
+            node_fall = log_local_fall.copy()
+            np.add.at(node_rise, dst, log_m_rise)
+            np.add.at(node_fall, dst, log_m_fall)
+            # Partial belief of src excluding the reverse message.
+            part_rise = node_rise[src] - log_m_rise[reverse]
+            part_fall = node_fall[src] - log_m_fall[reverse]
+            peak = np.maximum(part_rise, part_fall)
+            rise = np.exp(part_rise - peak)
+            fall = np.exp(part_fall - peak)
+            # Pass through the edge potential.
+            m_rise = pot * rise + (1.0 - pot) * fall
+            m_fall = (1.0 - pot) * rise + pot * fall
+            new_messages = m_rise / (m_rise + m_fall)
+            new_messages = (
+                self._damping * messages + (1.0 - self._damping) * new_messages
+            )
+            max_delta = float(np.max(np.abs(new_messages - messages)))
+            messages = new_messages
+            if max_delta < self._tolerance:
+                self.last_converged = True
+                self.last_iterations = iteration
+                break
+        else:
+            self.last_iterations = self._max_iterations
+
+        log_m_rise = np.log(np.maximum(messages, _LOG_FLOOR))
+        log_m_fall = np.log(np.maximum(1.0 - messages, _LOG_FLOOR))
+        node_rise = log_local_rise.copy()
+        node_fall = log_local_fall.copy()
+        np.add.at(node_rise, dst, log_m_rise)
+        np.add.at(node_fall, dst, log_m_fall)
+        peak = np.maximum(node_rise, node_fall)
+        rise = np.exp(node_rise - peak)
+        fall = np.exp(node_fall - peak)
+        p_rise = rise / (rise + fall)
+        for i, trend in evidence.items():
+            p_rise[i] = 1.0 if int(trend) == 1 else 0.0
+        return TrendPosterior(instance.road_ids, p_rise)

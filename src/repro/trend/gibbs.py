@@ -1,0 +1,75 @@
+"""Gibbs-sampling inference for the trend MRF.
+
+A straightforward single-site Gibbs sampler. It serves two roles: an
+independent asymptotically-exact check on loopy BP and the propagation
+method (used in tests and experiment F2), and a representative of the
+"accurate but slow" baseline family for the efficiency comparison (F3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InferenceError
+from repro.trend.model import TrendInstance, TrendPosterior
+
+
+class GibbsSamplingInference:
+    """Single-site Gibbs sampler with burn-in, deterministic per seed."""
+
+    def __init__(
+        self,
+        num_samples: int = 2000,
+        burn_in: int = 500,
+        seed: int = 0,
+    ) -> None:
+        if num_samples < 1:
+            raise InferenceError("num_samples must be >= 1")
+        if burn_in < 0:
+            raise InferenceError("burn_in must be >= 0")
+        self._num_samples = num_samples
+        self._burn_in = burn_in
+        self._seed = seed
+
+    def infer(self, instance: TrendInstance) -> TrendPosterior:
+        rng = np.random.default_rng(self._seed)
+        n = instance.num_roads
+        evidence = instance.evidence_indices()
+        free = np.array(
+            [i for i in range(n) if i not in evidence], dtype=np.int64
+        )
+
+        adjacency = instance.adjacency()
+        # Per-node neighbour indices and signed log-potential differences:
+        # a neighbour in state s contributes s * log(p/(1-p)) to the
+        # rise-vs-fall log-odds of this node.
+        neighbour_idx = [
+            np.array([j for j, _ in adjacency[i]], dtype=np.int64) for i in range(n)
+        ]
+        log_odds_edge = [
+            np.array([np.log(p / (1.0 - p)) for _, p in adjacency[i]])
+            for i in range(n)
+        ]
+        prior_log_odds = np.log(instance.prior_rise / (1.0 - instance.prior_rise))
+
+        state = np.where(rng.random(n) < instance.prior_rise, 1, -1).astype(np.int8)
+        for i, trend in evidence.items():
+            state[i] = int(trend)
+
+        rise_counts = np.zeros(n, dtype=np.int64)
+        total_sweeps = self._burn_in + self._num_samples
+        uniforms = rng.random((total_sweeps, len(free)))
+        for sweep in range(total_sweeps):
+            for k, i in enumerate(free):
+                log_odds = prior_log_odds[i] + float(
+                    (state[neighbour_idx[i]] * log_odds_edge[i]).sum()
+                )
+                p_rise = 1.0 / (1.0 + np.exp(-log_odds))
+                state[i] = 1 if uniforms[sweep, k] < p_rise else -1
+            if sweep >= self._burn_in:
+                rise_counts[state == 1] += 1
+
+        p_rise = rise_counts / self._num_samples
+        for i, trend in evidence.items():
+            p_rise[i] = 1.0 if int(trend) == 1 else 0.0
+        return TrendPosterior(instance.road_ids, p_rise)

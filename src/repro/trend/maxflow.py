@@ -1,0 +1,121 @@
+"""Dinic's maximum-flow algorithm.
+
+A compact, dependency-free max-flow used by the graph-cut MAP solver
+(:mod:`repro.trend.mapcut`). Capacities are floats; the implementation
+is the standard level-graph + blocking-flow Dinic, O(V²E) worst case
+but far faster on the shallow, sparse cut graphs MRFs produce.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.errors import InferenceError
+
+
+class MaxFlowNetwork:
+    """A directed flow network with residual bookkeeping."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 2:
+            raise InferenceError("flow network needs at least source and sink")
+        self._num_nodes = num_nodes
+        # Edge arrays: to[e], cap[e]; reverse edge of e is e ^ 1.
+        self._to: list[int] = []
+        self._cap: list[float] = []
+        self._adjacency: list[list[int]] = [[] for _ in range(num_nodes)]
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    def add_edge(self, u: int, v: int, capacity: float, reverse_capacity: float = 0.0) -> None:
+        """Add edge u->v with ``capacity`` (and optional reverse capacity).
+
+        Symmetric pairwise MRF edges pass the same value both ways.
+        """
+        if capacity < 0 or reverse_capacity < 0:
+            raise InferenceError("capacities must be non-negative")
+        if not (0 <= u < self._num_nodes and 0 <= v < self._num_nodes):
+            raise InferenceError(f"edge ({u}, {v}) out of range")
+        if u == v:
+            raise InferenceError("self-loops carry no flow")
+        self._adjacency[u].append(len(self._to))
+        self._to.append(v)
+        self._cap.append(float(capacity))
+        self._adjacency[v].append(len(self._to))
+        self._to.append(u)
+        self._cap.append(float(reverse_capacity))
+
+    def max_flow(self, source: int, sink: int) -> float:
+        """Compute the maximum s-t flow; mutates residual capacities."""
+        if source == sink:
+            raise InferenceError("source and sink must differ")
+        flow = 0.0
+        while True:
+            level = self._bfs_levels(source, sink)
+            if level[sink] < 0:
+                return flow
+            iterators = [0] * self._num_nodes
+            while True:
+                pushed = self._dfs_push(source, sink, float("inf"), level, iterators)
+                if pushed <= 0:
+                    break
+                flow += pushed
+
+    def min_cut_source_side(self, source: int) -> set[int]:
+        """Nodes reachable from the source in the residual graph.
+
+        Call after :meth:`max_flow`; the returned set is the source side
+        of a minimum cut.
+        """
+        seen = {source}
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for edge in self._adjacency[u]:
+                if self._cap[edge] > 1e-12:
+                    v = self._to[edge]
+                    if v not in seen:
+                        seen.add(v)
+                        queue.append(v)
+        return seen
+
+    def _bfs_levels(self, source: int, sink: int) -> list[int]:
+        level = [-1] * self._num_nodes
+        level[source] = 0
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for edge in self._adjacency[u]:
+                v = self._to[edge]
+                if self._cap[edge] > 1e-12 and level[v] < 0:
+                    level[v] = level[u] + 1
+                    queue.append(v)
+        del sink
+        return level
+
+    def _dfs_push(
+        self,
+        u: int,
+        sink: int,
+        limit: float,
+        level: list[int],
+        iterators: list[int],
+    ) -> float:
+        if u == sink:
+            return limit
+        adjacency = self._adjacency[u]
+        while iterators[u] < len(adjacency):
+            edge = adjacency[iterators[u]]
+            v = self._to[edge]
+            if self._cap[edge] > 1e-12 and level[v] == level[u] + 1:
+                pushed = self._dfs_push(
+                    v, sink, min(limit, self._cap[edge]), level, iterators
+                )
+                if pushed > 0:
+                    self._cap[edge] -= pushed
+                    self._cap[edge ^ 1] += pushed
+                    return pushed
+            iterators[u] += 1
+        return 0.0

@@ -1,0 +1,212 @@
+"""The Step-1 graphical model over road trends.
+
+A pairwise Markov random field on the correlation graph:
+
+* one binary variable per road, ``t_r ∈ {RISE, FALL}`` — the road's
+  current speed relative to its historical bucket mean;
+* node potential ``φ_r(RISE) = prior`` from the road's historical rise
+  frequency in the current time bucket;
+* edge potential ``ψ_uv(t_u, t_v) = p(u,v)`` when the trends agree and
+  ``1 - p(u,v)`` when they disagree, where ``p`` is the mined
+  trend-agreement probability;
+* crowdsourced seed roads are *clamped* to their observed trend.
+
+A :class:`TrendModel` is the reusable, interval-independent part
+(structure + potentials); calling :meth:`TrendModel.instance` binds it to
+one interval's bucket priors and seed evidence, producing the
+:class:`TrendInstance` consumed by every inference algorithm in this
+package. Inference results are returned as :class:`TrendPosterior`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import InferenceError
+from repro.core.types import Trend
+from repro.history.correlation import CorrelationGraph
+from repro.history.store import HistoricalSpeedStore
+
+
+@dataclass(frozen=True)
+class TrendInstance:
+    """One interval's MRF: priors, edges and clamped evidence.
+
+    ``road_ids`` fixes the variable order; ``prior_rise[i]`` is
+    P(t_i = RISE) before evidence; ``edges`` holds ``(i, j, agreement)``
+    index triples; ``evidence`` maps road id to its observed trend.
+    """
+
+    road_ids: tuple[int, ...]
+    prior_rise: np.ndarray
+    edges: tuple[tuple[int, int, float], ...]
+    evidence: dict[int, Trend]
+    #: The correlation graph the edges came from, when available; lets
+    #: propagation inference reuse cached per-seed fidelity maps.
+    graph: "CorrelationGraph | None" = None
+
+    def __post_init__(self) -> None:
+        if self.prior_rise.shape != (len(self.road_ids),):
+            raise InferenceError(
+                f"prior array shape {self.prior_rise.shape} does not match "
+                f"{len(self.road_ids)} roads"
+            )
+        if np.any(self.prior_rise <= 0.0) or np.any(self.prior_rise >= 1.0):
+            raise InferenceError("priors must lie strictly inside (0, 1)")
+        index = self.index
+        for road in self.evidence:
+            if road not in index:
+                raise InferenceError(f"evidence on unknown road {road}")
+        for i, j, p in self.edges:
+            if not 0 <= i < len(self.road_ids) or not 0 <= j < len(self.road_ids):
+                raise InferenceError(f"edge ({i}, {j}) index out of range")
+            if not 0.0 < p < 1.0:
+                raise InferenceError(f"edge potential {p} must be in (0, 1)")
+
+    @property
+    def index(self) -> dict[int, int]:
+        """road id -> variable index."""
+        return {road: i for i, road in enumerate(self.road_ids)}
+
+    @property
+    def num_roads(self) -> int:
+        return len(self.road_ids)
+
+    def evidence_indices(self) -> dict[int, Trend]:
+        """Variable index -> clamped trend."""
+        index = self.index
+        return {index[road]: trend for road, trend in self.evidence.items()}
+
+    def adjacency(self) -> list[list[tuple[int, float]]]:
+        """Per-variable neighbour list: (neighbour index, agreement)."""
+        adj: list[list[tuple[int, float]]] = [[] for _ in self.road_ids]
+        for i, j, p in self.edges:
+            adj[i].append((j, p))
+            adj[j].append((i, p))
+        return adj
+
+
+class TrendPosterior:
+    """Per-road posterior P(trend = RISE) plus MAP trends."""
+
+    def __init__(self, road_ids: tuple[int, ...], p_rise: np.ndarray) -> None:
+        if p_rise.shape != (len(road_ids),):
+            raise InferenceError("posterior shape does not match road count")
+        if np.any(p_rise < 0.0) or np.any(p_rise > 1.0):
+            raise InferenceError("posterior probabilities must be in [0, 1]")
+        self._road_ids = road_ids
+        self._p_rise = p_rise
+        self._index = {road: i for i, road in enumerate(road_ids)}
+
+    @property
+    def road_ids(self) -> tuple[int, ...]:
+        return self._road_ids
+
+    def p_rise(self, road_id: int) -> float:
+        try:
+            return float(self._p_rise[self._index[road_id]])
+        except KeyError:
+            raise InferenceError(f"road {road_id} not in posterior") from None
+
+    def trend(self, road_id: int) -> Trend:
+        """MAP trend (ties break toward RISE, matching Trend.from_speeds)."""
+        return Trend.RISE if self.p_rise(road_id) >= 0.5 else Trend.FALL
+
+    def confidence(self, road_id: int) -> float:
+        """max(p, 1-p): how certain the posterior is about this road."""
+        p = self.p_rise(road_id)
+        return max(p, 1.0 - p)
+
+    def as_array(self) -> np.ndarray:
+        return self._p_rise.copy()
+
+    def as_dict(self) -> dict[int, float]:
+        return {road: float(p) for road, p in zip(self._road_ids, self._p_rise)}
+
+
+class TrendModel:
+    """Binds a correlation graph and historical store into an MRF factory."""
+
+    def __init__(
+        self, graph: CorrelationGraph, store: HistoricalSpeedStore
+    ) -> None:
+        missing = set(graph.road_ids) - set(store.road_ids)
+        if missing:
+            raise InferenceError(
+                f"correlation graph covers roads absent from history: "
+                f"{sorted(missing)[:5]}"
+            )
+        self._graph = graph
+        self._store = store
+        self._road_ids = tuple(graph.road_ids)
+        self._index = {road: i for i, road in enumerate(self._road_ids)}
+        self._edges = tuple(
+            (self._index[e.road_u], self._index[e.road_v], self._clip(e.agreement))
+            for e in graph.edges()
+        )
+        # Priors depend only on the bucket, not on evidence, so they are
+        # computed once per bucket and shared across intervals.
+        self._prior_cache: dict[int, np.ndarray] = {}
+
+    @staticmethod
+    def _clip(p: float, eps: float = 0.02) -> float:
+        """Keep potentials strictly inside (0, 1) for numerical safety."""
+        return min(1.0 - eps, max(eps, p))
+
+    def _bucket_prior(self, bucket: int) -> np.ndarray:
+        cached = self._prior_cache.get(bucket)
+        if cached is None:
+            cached = np.array(
+                [self._store.rise_prior(road, bucket) for road in self._road_ids]
+            )
+            self._prior_cache[bucket] = cached
+        return cached
+
+    @property
+    def graph(self) -> CorrelationGraph:
+        return self._graph
+
+    @property
+    def store(self) -> HistoricalSpeedStore:
+        return self._store
+
+    @property
+    def road_ids(self) -> tuple[int, ...]:
+        return self._road_ids
+
+    def instance(
+        self, interval: int, seed_trends: dict[int, Trend]
+    ) -> TrendInstance:
+        """The MRF for ``interval`` with ``seed_trends`` clamped."""
+        bucket = self._store.grid.bucket_of(interval)
+        prior = self._bucket_prior(bucket)
+        unknown = [road for road in seed_trends if road not in self._index]
+        if unknown:
+            raise InferenceError(f"seed trends on unknown roads {unknown[:5]}")
+        return TrendInstance(
+            road_ids=self._road_ids,
+            prior_rise=prior,
+            edges=self._edges,
+            evidence=dict(seed_trends),
+            graph=self._graph,
+        )
+
+    def uniform_instance(
+        self, interval: int, seed_trends: dict[int, Trend], agreement: float = 0.7
+    ) -> TrendInstance:
+        """An ablation instance with every edge potential set to ``agreement``.
+
+        Used by experiment F7c to measure the value of *learned* edge
+        potentials versus uniform smoothing.
+        """
+        bucket = self._store.grid.bucket_of(interval)
+        prior = self._bucket_prior(bucket)
+        edges = tuple((i, j, self._clip(agreement)) for i, j, _ in self._edges)
+        return TrendInstance(
+            road_ids=self._road_ids,
+            prior_rise=prior,
+            edges=edges,
+            evidence=dict(seed_trends),
+        )

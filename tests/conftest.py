@@ -1,0 +1,61 @@
+"""Shared fixtures.
+
+Expensive artefacts (datasets, fitted systems) are session-scoped and
+deliberately *small* — a 6×6 grid with a week of history — so the whole
+suite stays fast while still exercising every pipeline stage on
+realistic structure. Benchmarks use the full-size cities instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import TrafficDataset, build_dataset
+from repro.history.timebuckets import TimeGrid
+from repro.roadnet.generators import grid_city, ring_radial_city
+from repro.roadnet.network import RoadNetwork
+
+
+@pytest.fixture(scope="session")
+def small_network() -> RoadNetwork:
+    """A 6x6 grid: 120 directed segments."""
+    return grid_city(6, 6, block_m=400.0, arterial_every=3)
+
+
+@pytest.fixture(scope="session")
+def ring_network() -> RoadNetwork:
+    return ring_radial_city(rings=3, spokes=8)
+
+
+@pytest.fixture(scope="session")
+def grid15() -> TimeGrid:
+    return TimeGrid(15)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_network) -> TrafficDataset:
+    """The workhorse dataset: 6x6 grid, 7 history days, 1 test day."""
+    return build_dataset(
+        "test-city",
+        small_network,
+        history_days=7,
+        test_days=1,
+        seed=12345,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_network() -> RoadNetwork:
+    """A 3x3 grid: 24 directed segments, for exact-inference tests."""
+    return grid_city(3, 3)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_network) -> TrafficDataset:
+    return build_dataset(
+        "tiny-city",
+        tiny_network,
+        history_days=5,
+        test_days=1,
+        seed=777,
+    )

@@ -1,0 +1,138 @@
+"""Tests for congestion-anomaly detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.anomaly import (
+    AnomalyScore,
+    CongestionAnomalyDetector,
+    precision_at_k,
+)
+from repro.core.errors import InferenceError
+from repro.core.field import SpeedField
+from repro.core.pipeline import SpeedEstimationSystem
+from repro.traffic.events import CongestionEvent, render_event_factors
+
+
+@pytest.fixture(scope="module")
+def system_and_rounds(small_dataset):
+    city = small_dataset
+    system = SpeedEstimationSystem.from_parts(
+        city.network, city.store, city.graph
+    )
+    seeds = system.select_seeds(12)
+    intervals = city.test_day_intervals()
+    return city, system, seeds, intervals
+
+
+def estimates_at(city, system, seeds, truth_field, interval):
+    crowd = {r: truth_field.speed(r, interval) for r in seeds}
+    return system.estimate(interval, crowd)
+
+
+class TestDetectorBasics:
+    def test_requires_reference(self, system_and_rounds):
+        city, system, seeds, intervals = system_and_rounds
+        detector = CongestionAnomalyDetector(city.store)
+        estimates = estimates_at(city, system, seeds, city.test, intervals[40])
+        with pytest.raises(InferenceError, match="reference"):
+            detector.score_round(estimates)
+        detector.update_reference(estimates)
+        assert detector.has_reference
+
+    def test_calm_rounds_yield_few_alerts(self, system_and_rounds):
+        city, system, seeds, intervals = system_and_rounds
+        detector = CongestionAnomalyDetector(city.store, min_score=0.15)
+        first = estimates_at(city, system, seeds, city.test, intervals[40])
+        detector.update_reference(first)
+        second = estimates_at(city, system, seeds, city.test, intervals[41])
+        alerts = detector.score_round(second)
+        # Consecutive calm intervals: few roads shift much.
+        assert len(alerts) < city.network.num_segments * 0.25
+
+    def test_scores_sorted_descending(self, system_and_rounds):
+        city, system, seeds, intervals = system_and_rounds
+        detector = CongestionAnomalyDetector(city.store, min_score=0.0)
+        first = estimates_at(city, system, seeds, city.test, intervals[40])
+        detector.update_reference(first)
+        alerts = detector.score_round(
+            estimates_at(city, system, seeds, city.test, intervals[42])
+        )
+        values = [a.score for a in alerts]
+        assert values == sorted(values, reverse=True)
+
+    def test_top_alerts_limit(self, system_and_rounds):
+        city, system, seeds, intervals = system_and_rounds
+        detector = CongestionAnomalyDetector(city.store, min_score=0.0)
+        first = estimates_at(city, system, seeds, city.test, intervals[40])
+        detector.update_reference(first)
+        second = estimates_at(city, system, seeds, city.test, intervals[41])
+        assert len(detector.top_alerts(second, limit=5)) <= 5
+        with pytest.raises(InferenceError):
+            detector.top_alerts(second, limit=0)
+
+    def test_validation(self, small_dataset):
+        with pytest.raises(InferenceError):
+            CongestionAnomalyDetector(small_dataset.store, lift_weight=-1)
+        with pytest.raises(InferenceError):
+            CongestionAnomalyDetector(
+                small_dataset.store, lift_weight=0, gap_weight=0
+            )
+        with pytest.raises(InferenceError):
+            AnomalyScore(1, 0, -0.5, 0.0, 0.0)
+
+
+class TestIncidentDetection:
+    def test_detects_injected_incident(self, system_and_rounds):
+        """An incident around a seed road dominates the alert ranking."""
+        city, system, seeds, intervals = system_and_rounds
+        interval = intervals[50]
+
+        detector = CongestionAnomalyDetector(city.store, min_score=0.0)
+        baseline = estimates_at(city, system, seeds, city.test, interval)
+        detector.update_reference(baseline)
+
+        # Inject a severe incident centred on the best-connected seed.
+        centre = max(seeds, key=city.graph.degree)
+        affected = city.network.roads_within_hops(centre, 2)
+        severities = {
+            road: max(0.05, 0.7 * (1.0 - hops / 3.0))
+            for road, hops in affected.items()
+        }
+        event = CongestionEvent("incident", interval, interval + 1, severities)
+        road_index = {r: i for i, r in enumerate(city.test.road_ids)}
+        factors = render_event_factors(
+            [event], road_index, city.test.intervals
+        )
+        perturbed = SpeedField(
+            city.test.matrix * factors,
+            city.test.road_ids,
+            city.test.intervals.start,
+        )
+
+        estimates = estimates_at(city, system, seeds, perturbed, interval)
+        alerts = detector.score_round(estimates)
+        anomalous = set(affected)
+        k = len(anomalous)
+        precision = precision_at_k(alerts, anomalous, k)
+        base_rate = len(anomalous) / city.network.num_segments
+        # Strong enrichment over random ranking (the affected set spans
+        # a large fraction of the small test city, so cap the multiple).
+        assert precision > min(0.8, 2 * base_rate)
+        # The observed seed itself tops (or nearly tops) the list.
+        top_ids = [a.road_id for a in alerts[:5]]
+        assert centre in top_ids
+
+
+class TestPrecisionAtK:
+    def test_arithmetic(self):
+        alerts = [
+            AnomalyScore(road_id=r, interval=0, score=1.0 - 0.1 * i,
+                         trend_lift=0.0, speed_gap=0.0)
+            for i, r in enumerate([5, 7, 9, 11])
+        ]
+        assert precision_at_k(alerts, {5, 9}, 2) == 0.5
+        assert precision_at_k(alerts, {5, 7}, 2) == 1.0
+        assert precision_at_k([], {1}, 3) == 0.0
+        with pytest.raises(InferenceError):
+            precision_at_k(alerts, {5}, 0)

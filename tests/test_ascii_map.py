@@ -1,0 +1,99 @@
+"""Tests for the ASCII heat-map renderer."""
+
+import pytest
+
+from repro.core.errors import DataError
+from repro.evalkit.ascii_map import (
+    DEFAULT_RAMP,
+    render_deviation_map,
+    render_road_values,
+)
+
+
+class TestRenderRoadValues:
+    def test_dimensions(self, small_network):
+        values = {r: 1.0 for r in small_network.road_ids()}
+        art = render_road_values(small_network, values, width=40)
+        lines = art.splitlines()
+        assert all(len(line) == 40 for line in lines)
+        assert len(lines) >= 2
+
+    def test_uniform_values_render_uniformly(self, small_network):
+        values = {r: 5.0 for r in small_network.road_ids()}
+        art = render_road_values(small_network, values, lo=0.0, hi=10.0)
+        non_blank = {ch for ch in art if ch not in (" ", "\n")}
+        assert len(non_blank) == 1
+
+    def test_hot_cell_uses_denser_character(self, small_network):
+        roads = small_network.road_ids()
+        values = {r: 0.0 for r in roads}
+        values[roads[0]] = 1.0
+        art = render_road_values(
+            small_network, values, lo=0.0, hi=1.0, ramp=".#"
+        )
+        assert "#" in art
+        assert "." in art
+
+    def test_scale_clamps(self, small_network):
+        roads = small_network.road_ids()
+        values = {r: 100.0 for r in roads}  # way above hi
+        art = render_road_values(
+            small_network, values, lo=0.0, hi=1.0, ramp=".#"
+        )
+        assert "#" in art and "." not in art.replace("\n", "")
+
+    def test_empty_cells_are_blank(self, ring_network):
+        # The ring city has a hollow centre: blanks must appear.
+        values = {r: 1.0 for r in ring_network.road_ids()}
+        art = render_road_values(ring_network, values, width=50)
+        assert " " in art
+
+    def test_subset_of_roads_allowed(self, small_network):
+        roads = small_network.road_ids()[:5]
+        art = render_road_values(
+            small_network, {r: 1.0 for r in roads}, width=30
+        )
+        assert art  # renders fine with sparse coverage
+
+    def test_validation(self, small_network):
+        values = {small_network.road_ids()[0]: 1.0}
+        with pytest.raises(DataError):
+            render_road_values(small_network, values, width=2)
+        with pytest.raises(DataError):
+            render_road_values(small_network, values, ramp="x")
+        with pytest.raises(DataError):
+            render_road_values(small_network, {})
+        with pytest.raises(DataError):
+            render_road_values(small_network, {999999: 1.0})
+
+    def test_default_ramp_monotone_density(self):
+        assert DEFAULT_RAMP[0] == " "
+        assert len(DEFAULT_RAMP) == 10
+
+
+class TestDeviationMap:
+    def test_congested_area_lights_up(self, small_dataset):
+        city = small_dataset
+        interval = city.test_day_intervals()[34]
+        truth = city.test.speeds_at(interval)
+        historical = {
+            r: city.store.historical_speed(r, interval)
+            for r in city.network.road_ids()
+        }
+        art = render_deviation_map(city.network, truth, historical, width=40)
+        assert len(art.splitlines()) >= 2
+
+    def test_free_flow_renders_light(self, small_network):
+        roads = small_network.road_ids()
+        speeds = {r: 30.0 for r in roads}
+        historical = {r: 30.0 for r in roads}  # exactly typical
+        art = render_deviation_map(small_network, speeds, historical)
+        dense = sum(1 for ch in art if ch in "#%@")
+        assert dense == 0
+
+    def test_missing_historical_rejected(self, small_network):
+        roads = small_network.road_ids()
+        with pytest.raises(DataError, match="historical"):
+            render_deviation_map(
+                small_network, {roads[0]: 30.0}, {}
+            )

@@ -1,0 +1,165 @@
+"""Unit tests for the estimation baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import SpeedBaseline, check_seed_speeds
+from repro.baselines.historical import HistoricalAverageBaseline
+from repro.baselines.knn import IdwDeviationBaseline, KnnSpeedBaseline
+from repro.baselines.label_prop import LabelPropagationBaseline
+from repro.baselines.regression import GlobalRatioBaseline
+from repro.core.errors import InferenceError
+
+
+@pytest.fixture(scope="module")
+def world(small_dataset):
+    interval = small_dataset.test_day_intervals()[34]
+    truth = small_dataset.test.speeds_at(interval)
+    seeds = small_dataset.network.road_ids()[::10][:12]
+    return small_dataset, interval, truth, {r: truth[r] for r in seeds}
+
+
+def all_baselines(dataset):
+    return [
+        HistoricalAverageBaseline(dataset.store),
+        KnnSpeedBaseline(dataset.network),
+        IdwDeviationBaseline(dataset.network, dataset.store),
+        LabelPropagationBaseline(dataset.graph, dataset.store),
+        GlobalRatioBaseline(dataset.store),
+    ]
+
+
+class TestInterfaceContract:
+    def test_all_conform_to_protocol(self, world):
+        dataset, *_ = world
+        for baseline in all_baselines(dataset):
+            assert isinstance(baseline, SpeedBaseline)
+            assert baseline.name
+
+    def test_all_cover_every_road(self, world):
+        dataset, interval, _, seed_speeds = world
+        roads = set(dataset.network.road_ids())
+        for baseline in all_baselines(dataset):
+            estimates = baseline.estimate_interval(interval, seed_speeds)
+            assert roads <= set(estimates), baseline.name
+
+    def test_all_pass_seeds_through(self, world):
+        dataset, interval, _, seed_speeds = world
+        for baseline in all_baselines(dataset):
+            estimates = baseline.estimate_interval(interval, seed_speeds)
+            for road, speed in seed_speeds.items():
+                assert estimates[road] == speed, baseline.name
+
+    def test_all_reject_empty_seeds(self, world):
+        dataset, interval, *_ = world
+        for baseline in all_baselines(dataset):
+            with pytest.raises(InferenceError):
+                baseline.estimate_interval(interval, {})
+
+    def test_all_positive_estimates(self, world):
+        dataset, interval, _, seed_speeds = world
+        for baseline in all_baselines(dataset):
+            estimates = baseline.estimate_interval(interval, seed_speeds)
+            assert all(v > 0 for v in estimates.values()), baseline.name
+
+    def test_check_seed_speeds(self):
+        with pytest.raises(InferenceError):
+            check_seed_speeds({})
+        with pytest.raises(InferenceError):
+            check_seed_speeds({1: -5.0})
+        check_seed_speeds({1: 30.0})
+
+
+class TestHistoricalAverage:
+    def test_equals_store_mean(self, world):
+        dataset, interval, _, seed_speeds = world
+        estimates = HistoricalAverageBaseline(dataset.store).estimate_interval(
+            interval, seed_speeds
+        )
+        road = next(r for r in dataset.network.road_ids() if r not in seed_speeds)
+        assert estimates[road] == dataset.store.historical_speed(road, interval)
+
+    def test_ignores_seed_values(self, world):
+        dataset, interval, _, seed_speeds = world
+        ha = HistoricalAverageBaseline(dataset.store)
+        a = ha.estimate_interval(interval, seed_speeds)
+        b = ha.estimate_interval(
+            interval, {r: 99.0 for r in seed_speeds}
+        )
+        road = next(r for r in dataset.network.road_ids() if r not in seed_speeds)
+        assert a[road] == b[road]
+
+
+class TestSpatial:
+    def test_knn_single_seed_propagates_everywhere(self, world):
+        dataset, interval, *_ = world
+        seed = dataset.network.road_ids()[0]
+        knn = KnnSpeedBaseline(dataset.network, k=3)
+        estimates = knn.estimate_interval(interval, {seed: 42.0})
+        road = dataset.network.road_ids()[-1]
+        assert estimates[road] == pytest.approx(42.0)
+
+    def test_idw_single_seed_scales_by_history(self, world):
+        dataset, interval, *_ = world
+        store = dataset.store
+        seed = dataset.network.road_ids()[0]
+        ratio = 0.8
+        speed = ratio * store.historical_speed(seed, interval)
+        idw = IdwDeviationBaseline(dataset.network, store, k=3)
+        estimates = idw.estimate_interval(interval, {seed: speed})
+        road = dataset.network.road_ids()[-1]
+        expected = ratio * store.historical_speed(road, interval)
+        assert estimates[road] == pytest.approx(expected)
+
+    def test_k_validation(self, world):
+        dataset, *_ = world
+        with pytest.raises(InferenceError):
+            KnnSpeedBaseline(dataset.network, k=0)
+
+
+class TestLabelPropagation:
+    def test_smooths_toward_seeds(self, world):
+        dataset, interval, *_ = world
+        store = dataset.store
+        lp = LabelPropagationBaseline(dataset.graph, dataset.store)
+        # All seeds at 30% below historical: everything should drop.
+        seeds = dataset.network.road_ids()[::8][:15]
+        seed_speeds = {
+            r: 0.7 * store.historical_speed(r, interval) for r in seeds
+        }
+        estimates = lp.estimate_interval(interval, seed_speeds)
+        ratios = [
+            estimates[r] / store.historical_speed(r, interval)
+            for r in dataset.network.road_ids()
+            if r not in seed_speeds
+        ]
+        assert np.mean(ratios) < 0.95
+
+    def test_unknown_seed_rejected(self, world):
+        dataset, interval, *_ = world
+        lp = LabelPropagationBaseline(dataset.graph, dataset.store)
+        with pytest.raises(InferenceError):
+            lp.estimate_interval(interval, {99999: 30.0})
+
+    def test_parameter_validation(self, world):
+        dataset, *_ = world
+        with pytest.raises(InferenceError):
+            LabelPropagationBaseline(dataset.graph, dataset.store, max_iterations=0)
+        with pytest.raises(InferenceError):
+            LabelPropagationBaseline(dataset.graph, dataset.store, self_weight=1.0)
+
+
+class TestGlobalRatio:
+    def test_applies_mean_ratio(self, world):
+        dataset, interval, *_ = world
+        store = dataset.store
+        seeds = dataset.network.road_ids()[:4]
+        seed_speeds = {
+            r: 1.1 * store.historical_speed(r, interval) for r in seeds
+        }
+        estimates = GlobalRatioBaseline(store).estimate_interval(
+            interval, seed_speeds
+        )
+        road = dataset.network.road_ids()[-1]
+        expected = 1.1 * store.historical_speed(road, interval)
+        assert estimates[road] == pytest.approx(expected)

@@ -1,0 +1,104 @@
+"""Tests for per-class error breakdowns and the metropolis dataset."""
+
+import pytest
+
+from repro.core.errors import DataError
+from repro.evalkit.breakdown import errors_by_road_class, worst_roads
+
+
+class TestErrorsByClass:
+    def test_partitions_by_class(self, small_dataset):
+        city = small_dataset
+        interval = city.test_day_intervals()[30]
+        truth = city.test.speeds_at(interval)
+        estimates = {
+            r: city.store.historical_speed(r, interval)
+            for r in city.network.road_ids()
+        }
+        breakdown = errors_by_road_class(city.network, estimates, truth)
+        assert set(breakdown) == set(city.network.class_counts())
+        total = sum(e.count for e in breakdown.values())
+        assert total == city.network.num_segments
+
+    def test_exclusions_respected(self, small_dataset):
+        city = small_dataset
+        interval = city.test_day_intervals()[30]
+        truth = city.test.speeds_at(interval)
+        estimates = dict(truth)
+        excluded = set(city.network.road_ids()[:7])
+        breakdown = errors_by_road_class(
+            city.network, estimates, truth, exclude=excluded
+        )
+        total = sum(e.count for e in breakdown.values())
+        assert total == city.network.num_segments - len(excluded)
+
+    def test_perfect_estimates_zero_error(self, small_dataset):
+        city = small_dataset
+        interval = city.test_day_intervals()[30]
+        truth = city.test.speeds_at(interval)
+        breakdown = errors_by_road_class(city.network, dict(truth), truth)
+        assert all(e.mae == 0.0 for e in breakdown.values())
+
+    def test_missing_truth_rejected(self, small_dataset):
+        city = small_dataset
+        road = city.network.road_ids()[0]
+        with pytest.raises(DataError, match="no truth"):
+            errors_by_road_class(city.network, {road: 30.0}, {})
+
+    def test_everything_excluded_rejected(self, small_dataset):
+        city = small_dataset
+        road = city.network.road_ids()[0]
+        with pytest.raises(DataError, match="no roads"):
+            errors_by_road_class(
+                city.network, {road: 30.0}, {road: 30.0}, exclude={road}
+            )
+
+
+class TestWorstRoads:
+    def test_ordering_and_limit(self):
+        estimates = {1: 30.0, 2: 30.0, 3: 30.0}
+        truths = {1: 35.0, 2: 31.0, 3: 20.0}
+        worst = worst_roads(estimates, truths, limit=2)
+        assert worst == [(3, pytest.approx(10.0)), (1, pytest.approx(5.0))]
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            worst_roads({1: 30.0}, {1: 30.0}, limit=0)
+        with pytest.raises(DataError):
+            worst_roads({1: 30.0}, {})
+
+
+class TestMetropolisDataset:
+    def test_builds_with_all_classes(self):
+        from repro.datasets.synthetic import synthetic_metropolis
+
+        city = synthetic_metropolis()
+        counts = city.network.class_counts()
+        assert {"highway", "arterial", "collector", "local"} <= set(counts)
+        assert city.graph.num_edges > 0
+
+    def test_pipeline_runs_on_metropolis(self):
+        from repro.core.pipeline import SpeedEstimationSystem
+        from repro.datasets.synthetic import synthetic_metropolis
+        from repro.evalkit.breakdown import errors_by_road_class
+
+        city = synthetic_metropolis()
+        system = SpeedEstimationSystem.from_parts(
+            city.network, city.store, city.graph
+        )
+        seeds = system.select_seeds(
+            max(1, round(city.network.num_segments * 0.05))
+        )
+        interval = city.test_day_intervals()[34]
+        truth = city.test.speeds_at(interval)
+        estimates = system.estimate(interval, {r: truth[r] for r in seeds})
+        breakdown = errors_by_road_class(
+            city.network,
+            {r: e.speed_kmh for r, e in estimates.items()},
+            truth,
+            exclude=set(seeds),
+        )
+        # Every class is estimated, with sane error levels.
+        for road_class, errors in breakdown.items():
+            assert errors.count > 0
+            assert errors.mae < 15.0, road_class

@@ -1,0 +1,113 @@
+"""Tests for trend-posterior calibration diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import DataError
+from repro.core.types import Trend
+from repro.evalkit.calibration import CalibrationReport, calibration_report
+
+
+class TestCalibrationReport:
+    def test_perfectly_calibrated_synthetic(self):
+        """Outcomes drawn with exactly the predicted probability."""
+        rng = np.random.default_rng(0)
+        probs = list(rng.uniform(0.0, 1.0, size=20000))
+        actual = [
+            Trend.RISE if rng.random() < p else Trend.FALL for p in probs
+        ]
+        report = calibration_report(probs, actual)
+        assert report.expected_calibration_error < 0.03
+        # Brier of a calibrated predictor: E[p(1-p)] = 1/6 for uniform p.
+        assert report.brier_score == pytest.approx(1 / 6, abs=0.02)
+
+    def test_overconfident_predictor_penalised(self):
+        """Always claiming certainty on a fair coin: ECE near 0.5."""
+        rng = np.random.default_rng(1)
+        probs = [1.0] * 2000
+        actual = [
+            Trend.RISE if rng.random() < 0.5 else Trend.FALL for _ in probs
+        ]
+        report = calibration_report(probs, actual)
+        assert report.expected_calibration_error > 0.4
+        assert report.brier_score > 0.4
+
+    def test_binary_correct_predictions(self):
+        probs = [1.0, 0.0, 1.0]
+        actual = [Trend.RISE, Trend.FALL, Trend.RISE]
+        report = calibration_report(probs, actual)
+        assert report.expected_calibration_error == pytest.approx(0.0)
+        assert report.brier_score == pytest.approx(0.0)
+
+    def test_bins_partition_counts(self):
+        probs = [0.05, 0.15, 0.25, 0.95]
+        actual = [Trend.FALL] * 3 + [Trend.RISE]
+        report = calibration_report(probs, actual, num_bins=10)
+        assert sum(b.count for b in report.bins) == 4
+        assert report.count == 4
+
+    def test_bin_edges_sane(self):
+        probs = list(np.linspace(0.0, 1.0, 50))
+        actual = [Trend.RISE] * 50
+        report = calibration_report(probs, actual, num_bins=5)
+        for b in report.bins:
+            assert 0.0 <= b.lower < b.upper <= 1.0
+            assert b.lower <= b.mean_predicted <= b.upper + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            calibration_report([], [])
+        with pytest.raises(DataError):
+            calibration_report([0.5], [])
+        with pytest.raises(DataError):
+            calibration_report([1.5], [Trend.RISE])
+        with pytest.raises(DataError):
+            calibration_report([0.5], [Trend.RISE], num_bins=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        probs=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=50
+        ),
+        data=st.data(),
+    )
+    def test_properties(self, probs, data):
+        actual = [
+            data.draw(st.sampled_from([Trend.RISE, Trend.FALL]))
+            for _ in probs
+        ]
+        report = calibration_report(probs, actual)
+        assert 0.0 <= report.expected_calibration_error <= 1.0
+        assert 0.0 <= report.brier_score <= 1.0
+        assert sum(b.count for b in report.bins) == len(probs)
+
+
+class TestOnRealPosterior:
+    def test_propagation_posterior_reasonably_calibrated(self, small_dataset):
+        """The Step-1 posterior is informative and not wildly miscalibrated."""
+        from repro.trend.model import TrendModel
+        from repro.trend.propagation import TrendPropagationInference
+
+        city = small_dataset
+        model = TrendModel(city.graph, city.store)
+        inference = TrendPropagationInference()
+        seeds = city.network.road_ids()[::12][:10]
+        probs, actual = [], []
+        for interval in city.test_day_intervals(stride=6):
+            truth = city.test.speeds_at(interval)
+            seed_trends = {
+                r: city.store.trend_of(r, interval, truth[r]) for r in seeds
+            }
+            posterior = inference.infer(model.instance(interval, seed_trends))
+            for road in city.network.road_ids():
+                if road in seed_trends:
+                    continue
+                probs.append(posterior.p_rise(road))
+                actual.append(city.store.trend_of(road, interval, truth[road]))
+        report = calibration_report(probs, actual)
+        # Better than an uninformative coin (Brier 0.25), and the
+        # independence approximation costs bounded calibration error.
+        assert report.brier_score < 0.25
+        assert report.expected_calibration_error < 0.25

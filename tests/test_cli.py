@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_info_defaults(self):
+        args = build_parser().parse_args(["info"])
+        assert args.command == "info"
+        assert args.city == "beijing"
+
+    def test_city_choice(self):
+        args = build_parser().parse_args(["--city", "tianjin", "info"])
+        assert args.city == "tianjin"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--city", "atlantis", "info"])
+
+    def test_select_options(self):
+        args = build_parser().parse_args(
+            ["select", "--budget", "9", "--method", "random"]
+        )
+        assert args.budget == 9
+        assert args.method == "random"
+
+    def test_route_requires_endpoints(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["route", "--from", "0"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    """End-to-end command runs on the (cached) tianjin dataset."""
+
+    def test_info(self, capsys):
+        assert main(["--city", "tianjin", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "synthetic-tianjin" in out
+        assert "roads" in out
+
+    def test_select(self, capsys):
+        assert main(
+            ["--city", "tianjin", "select", "--budget", "5", "--method", "lazy"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Selected 5 seeds with lazy-greedy" in out
+        assert "marginal gain" in out
+
+    def test_estimate(self, capsys):
+        assert main(
+            ["--city", "tianjin", "estimate", "--budget", "8", "--show", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "MAE" in out
+        assert "historical-average" in out
+
+    def test_route(self, capsys):
+        assert main(
+            [
+                "--city", "tianjin", "route",
+                "--from", "0", "--to", "30", "--budget", "8",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Planned ETA" in out
+        assert "ETA error" in out
+
+    def test_bad_budget(self):
+        with pytest.raises(SystemExit, match="budget"):
+            main(["--city", "tianjin", "select", "--budget", "0"])
+
+    def test_bad_hour(self):
+        with pytest.raises(SystemExit, match="hour"):
+            main(["--city", "tianjin", "estimate", "--hour", "25"])
+
+    def test_unroutable(self):
+        with pytest.raises(SystemExit, match="no route"):
+            main(
+                [
+                    "--city", "tianjin", "route",
+                    "--from", "0", "--to", "999999", "--budget", "5",
+                ]
+            )
+
+
+class TestEstimateMap:
+    def test_map_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["--city", "tianjin", "estimate", "--budget", "8", "--map"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Estimated congestion" in out

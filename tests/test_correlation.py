@@ -1,0 +1,158 @@
+"""Unit tests for correlation mining and the correlation graph."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DataError
+from repro.core.field import SpeedField
+from repro.history.correlation import (
+    CorrelationEdge,
+    CorrelationGraph,
+    mine_correlation_graph,
+)
+from repro.history.store import HistoricalSpeedStore
+from repro.history.timebuckets import TimeGrid
+
+
+class TestCorrelationEdge:
+    def test_other(self):
+        edge = CorrelationEdge(1, 2, 0.7)
+        assert edge.other(1) == 2
+        assert edge.other(2) == 1
+        with pytest.raises(DataError):
+            edge.other(3)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            CorrelationEdge(1, 1, 0.7)
+        with pytest.raises(DataError):
+            CorrelationEdge(1, 2, 1.5)
+
+
+class TestCorrelationGraph:
+    @pytest.fixture
+    def graph(self):
+        return CorrelationGraph(
+            [1, 2, 3, 4, 5],
+            [
+                CorrelationEdge(1, 2, 0.9),
+                CorrelationEdge(2, 3, 0.7),
+                CorrelationEdge(1, 3, 0.8),
+            ],
+        )
+
+    def test_counts(self, graph):
+        assert graph.num_roads == 5
+        assert graph.num_edges == 3
+
+    def test_neighbours_sorted_by_agreement(self, graph):
+        edges = graph.neighbours(1)
+        assert [e.agreement for e in edges] == [0.9, 0.8]
+        assert graph.neighbour_ids(1) == [2, 3]
+
+    def test_degree(self, graph):
+        assert graph.degree(2) == 2
+        assert graph.degree(4) == 0
+
+    def test_agreement_lookup(self, graph):
+        assert graph.agreement(1, 2) == 0.9
+        assert graph.agreement(2, 1) == 0.9
+        assert graph.agreement(1, 4) is None
+
+    def test_edges_reported_once(self, graph):
+        assert len(list(graph.edges())) == 3
+
+    def test_average_degree(self, graph):
+        assert graph.average_degree() == pytest.approx(6 / 5)
+
+    def test_connected_components(self, graph):
+        components = graph.connected_components()
+        assert components[0] == [1, 2, 3]
+        assert [4] in components and [5] in components
+
+    def test_unknown_road_raises(self, graph):
+        with pytest.raises(DataError):
+            graph.neighbours(42)
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(DataError, match="duplicate"):
+            CorrelationGraph(
+                [1, 2],
+                [CorrelationEdge(1, 2, 0.7), CorrelationEdge(2, 1, 0.8)],
+            )
+
+    def test_edge_with_unknown_road_rejected(self):
+        with pytest.raises(DataError, match="unknown road"):
+            CorrelationGraph([1, 2], [CorrelationEdge(1, 3, 0.7)])
+
+
+class TestMining:
+    def test_agreement_computation_exact(self, grid15):
+        """Hand-built history with a known agreement rate."""
+        # Roads 0, 1 adjacent in a 2-node line network.
+        from repro.roadnet.geometry import Point
+        from repro.roadnet.network import RoadNetwork
+
+        net = RoadNetwork()
+        net.add_intersection(0, Point(0, 0))
+        net.add_intersection(1, Point(100, 0))
+        net.add_segment(0, 0, 1)
+        net.add_segment(1, 1, 0)
+
+        # Construct speeds so trends agree in exactly 3/4 of intervals.
+        # With a constant-per-bucket pattern over 4 days: speeds
+        # alternate above/below the 4-day bucket mean.
+        base = np.full((4 * 96, 2), 30.0)
+        day = np.arange(4 * 96) // 96
+        base[day == 0, 0] += 5  # road0 rises on days 0,1
+        base[day == 1, 0] += 5
+        base[day == 0, 1] += 5  # road1 rises on days 0,2
+        base[day == 2, 1] += 5
+        field = SpeedField(base, [0, 1], 0)
+        store = HistoricalSpeedStore.from_fields(grid15, [field])
+        graph = mine_correlation_graph(net, store, max_hops=1, min_agreement=0.5)
+        # trends agree on days 0 (both rise) and 3 (both fall) = 2/4.
+        # NOTE: adjacent_roads excludes the reverse twin, so no edge.
+        assert graph.num_edges == 0
+
+    def test_mined_graph_covers_all_roads(self, small_dataset):
+        graph = small_dataset.graph
+        assert set(graph.road_ids) == set(small_dataset.network.road_ids())
+
+    def test_agreements_at_least_threshold(self, small_dataset):
+        for edge in small_dataset.graph.edges():
+            assert edge.agreement >= 0.6
+
+    def test_edges_respect_hop_limit(self, small_dataset):
+        net = small_dataset.network
+        for edge in list(small_dataset.graph.edges())[:50]:
+            hops = net.roads_within_hops(edge.road_u, 2)
+            assert edge.road_v in hops
+
+    def test_agreement_matches_manual_computation(self, small_dataset):
+        store = small_dataset.store
+        trends = store.trend_matrix()
+        edge = next(iter(small_dataset.graph.edges()))
+        u = store.road_column(edge.road_u)
+        v = store.road_column(edge.road_v)
+        manual = (trends[:, u] == trends[:, v]).mean()
+        assert edge.agreement == pytest.approx(manual)
+
+    def test_higher_threshold_fewer_edges(self, small_dataset):
+        net, store = small_dataset.network, small_dataset.store
+        loose = mine_correlation_graph(net, store, min_agreement=0.55)
+        tight = mine_correlation_graph(net, store, min_agreement=0.75)
+        assert tight.num_edges < loose.num_edges
+
+    def test_more_hops_more_edges(self, small_dataset):
+        net, store = small_dataset.network, small_dataset.store
+        near = mine_correlation_graph(net, store, max_hops=1)
+        far = mine_correlation_graph(net, store, max_hops=3)
+        assert far.num_edges > near.num_edges
+
+    def test_parameter_validation(self, small_dataset):
+        net, store = small_dataset.network, small_dataset.store
+        with pytest.raises(DataError):
+            mine_correlation_graph(net, store, max_hops=0)
+        with pytest.raises(DataError):
+            mine_correlation_graph(net, store, min_agreement=0.4)

@@ -1,0 +1,142 @@
+"""Tests for cost-aware (budgeted) seed selection."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SelectionError
+from repro.history.correlation import CorrelationEdge, CorrelationGraph
+from repro.seeds.costaware import (
+    DEFAULT_CLASS_COSTS,
+    cost_aware_select,
+    default_road_costs,
+    selection_cost,
+)
+from repro.seeds.objective import SeedSelectionObjective
+
+
+def small_graph():
+    return CorrelationGraph(
+        [0, 1, 2, 3, 4],
+        [
+            CorrelationEdge(0, 1, 0.9),
+            CorrelationEdge(1, 2, 0.85),
+            CorrelationEdge(2, 3, 0.8),
+            CorrelationEdge(3, 4, 0.75),
+        ],
+    )
+
+
+class TestCostModel:
+    def test_default_costs_cover_all_roads(self, small_network):
+        costs = default_road_costs(small_network)
+        assert set(costs) == set(small_network.road_ids())
+        assert all(c > 0 for c in costs.values())
+
+    def test_quiet_roads_cost_more(self, small_network):
+        costs = default_road_costs(small_network)
+        arterial = next(
+            s.road_id for s in small_network.segments()
+            if s.road_class == "arterial"
+        )
+        local = next(
+            s.road_id for s in small_network.segments()
+            if s.road_class == "local"
+        )
+        assert costs[local] > costs[arterial]
+
+    def test_class_cost_table_ordered(self):
+        assert (
+            DEFAULT_CLASS_COSTS["highway"]
+            < DEFAULT_CLASS_COSTS["arterial"]
+            < DEFAULT_CLASS_COSTS["collector"]
+            < DEFAULT_CLASS_COSTS["local"]
+        )
+
+
+class TestSelection:
+    def test_budget_respected(self):
+        objective = SeedSelectionObjective(small_graph(), min_fidelity=0.01)
+        costs = {0: 1.0, 1: 2.0, 2: 1.0, 3: 2.0, 4: 1.0}
+        result = cost_aware_select(objective, costs, budget_cost=3.0)
+        assert selection_cost(result.seeds, costs) <= 3.0
+        assert result.seeds  # something affordable was chosen
+
+    def test_uniform_costs_match_lazy_greedy(self):
+        """With unit costs and integral budget, result equals plain greedy."""
+        from repro.seeds.lazy import lazy_greedy_select
+
+        objective = SeedSelectionObjective(small_graph(), min_fidelity=0.01)
+        costs = {r: 1.0 for r in objective.road_ids}
+        budgeted = cost_aware_select(objective, costs, budget_cost=2.0)
+        plain = lazy_greedy_select(objective, 2)
+        assert set(budgeted.seeds) == set(plain.seeds)
+
+    def test_cheap_coverage_preferred_under_tight_budget(self):
+        """Ratio pass wins when expensive hubs crowd out cheap spread."""
+        # Star: hub 0 covers everything but costs the whole budget;
+        # two cheap leaves cover almost as much together.
+        graph = CorrelationGraph(
+            [0, 1, 2, 3, 4],
+            [
+                CorrelationEdge(0, 1, 0.9),
+                CorrelationEdge(0, 2, 0.9),
+                CorrelationEdge(0, 3, 0.9),
+                CorrelationEdge(0, 4, 0.9),
+            ],
+        )
+        objective = SeedSelectionObjective(graph, min_fidelity=0.01)
+        costs = {0: 4.0, 1: 1.0, 2: 1.0, 3: 1.0, 4: 1.0}
+        result = cost_aware_select(objective, costs, budget_cost=4.0)
+        # Four leaves (cost 4) beat the single hub (cost 4): the leaves
+        # cover themselves fully plus the hub at high fidelity.
+        assert 0 not in result.seeds
+        assert len(result.seeds) == 4
+
+    def test_validation(self):
+        objective = SeedSelectionObjective(small_graph())
+        good = {r: 1.0 for r in objective.road_ids}
+        with pytest.raises(SelectionError):
+            cost_aware_select(objective, good, budget_cost=0)
+        with pytest.raises(SelectionError):
+            cost_aware_select(objective, {0: 1.0}, budget_cost=5)
+        with pytest.raises(SelectionError):
+            bad = dict(good)
+            bad[0] = -1.0
+            cost_aware_select(objective, bad, budget_cost=5)
+        with pytest.raises(SelectionError):
+            cost_aware_select(objective, {r: 10.0 for r in good}, budget_cost=5)
+
+    def test_approximation_vs_brute_force(self):
+        """Combined algorithm >= 1/2(1-1/e) of the budgeted optimum."""
+        objective = SeedSelectionObjective(small_graph(), min_fidelity=0.01)
+        costs = {0: 1.0, 1: 3.0, 2: 1.5, 3: 2.0, 4: 1.0}
+        budget = 4.0
+        roads = objective.road_ids
+        best = 0.0
+        for size in range(1, len(roads) + 1):
+            for combo in itertools.combinations(roads, size):
+                if sum(costs[r] for r in combo) <= budget:
+                    best = max(best, objective.value(list(combo)))
+        result = cost_aware_select(objective, costs, budget)
+        assert result.final_value >= 0.5 * (1 - 1 / 2.718281828) * best
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_never_exceeds_budget_property(self, data):
+        objective = SeedSelectionObjective(small_graph(), min_fidelity=0.01)
+        costs = {
+            r: data.draw(st.floats(min_value=0.5, max_value=3.0))
+            for r in objective.road_ids
+        }
+        budget = data.draw(st.floats(min_value=0.5, max_value=8.0))
+        if min(costs.values()) > budget:
+            with pytest.raises(SelectionError):
+                cost_aware_select(objective, costs, budget)
+            return
+        result = cost_aware_select(objective, costs, budget)
+        assert selection_cost(result.seeds, costs) <= budget + 1e-9
+        # Monotone values.
+        assert all(a <= b + 1e-9 for a, b in zip(result.values, result.values[1:]))

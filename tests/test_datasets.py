@@ -1,0 +1,89 @@
+"""Unit tests for dataset assembly and interval selectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DataError
+from repro.datasets.splits import (
+    hourly_interval_groups,
+    is_rush_hour,
+    off_peak_intervals,
+    rush_hour_intervals,
+)
+from repro.datasets.synthetic import build_dataset, scaled_dataset
+
+
+class TestBuildDataset:
+    def test_fields_consistent(self, small_dataset):
+        assert small_dataset.history.intervals.stop == (
+            small_dataset.test.intervals.start
+        )
+        assert small_dataset.store.num_training_intervals == len(
+            small_dataset.history.intervals
+        )
+        assert set(small_dataset.graph.road_ids) == set(
+            small_dataset.network.road_ids()
+        )
+
+    def test_test_days_unseen(self, small_dataset):
+        """History and test fields differ (different RNG streams)."""
+        hist_day = small_dataset.history.matrix[:96]
+        test_day = small_dataset.test.matrix[:96]
+        assert not np.allclose(hist_day, test_day)
+
+    def test_describe_keys(self, small_dataset):
+        info = small_dataset.describe()
+        assert info["roads"] == small_dataset.network.num_segments
+        assert info["history_days"] == 7
+        assert "correlation_edges" in info
+
+    def test_test_day_intervals(self, small_dataset):
+        intervals = small_dataset.test_day_intervals()
+        assert len(intervals) == 96
+        assert intervals[0] == 7 * 96
+        strided = small_dataset.test_day_intervals(stride=4)
+        assert len(strided) == 24
+
+    def test_bad_day_offset(self, small_dataset):
+        with pytest.raises(DataError):
+            small_dataset.test_day_intervals(day_offset=5)
+
+    def test_validation(self, small_network):
+        with pytest.raises(DataError):
+            build_dataset("x", small_network, history_days=0)
+
+    def test_deterministic(self, small_network):
+        a = build_dataset("a", small_network, history_days=2, seed=3)
+        b = build_dataset("b", small_network, history_days=2, seed=3)
+        assert np.array_equal(a.history.matrix, b.history.matrix)
+        assert np.array_equal(a.test.matrix, b.test.matrix)
+
+    def test_scaled_dataset_cached(self):
+        a = scaled_dataset(60, history_days=2)
+        b = scaled_dataset(60, history_days=2)
+        assert a is b
+        assert a.network.num_segments >= 60
+
+
+class TestSplits:
+    def test_is_rush_hour(self):
+        assert is_rush_hour(8.0)
+        assert is_rush_hour(18.5)
+        assert not is_rush_hour(12.0)
+        assert not is_rush_hour(3.0)
+
+    def test_rush_and_offpeak_partition_day(self, small_dataset):
+        rush = rush_hour_intervals(small_dataset)
+        off = off_peak_intervals(small_dataset)
+        assert not set(rush) & set(off)
+        assert sorted(rush + off) == small_dataset.test_day_intervals()
+
+    def test_rush_duration(self, small_dataset):
+        rush = rush_hour_intervals(small_dataset)
+        # 6 rush hours at 4 intervals/hour.
+        assert len(rush) == 24
+
+    def test_hourly_groups(self, small_dataset):
+        groups = hourly_interval_groups(small_dataset)
+        assert set(groups) == set(range(24))
+        assert all(len(v) == 4 for v in groups.values())

@@ -1,0 +1,108 @@
+"""Unit tests for congestion events."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.events import CongestionEvent, EventModel, render_event_factors
+
+
+class TestCongestionEvent:
+    def test_active_window(self):
+        event = CongestionEvent("incident", 10, 14, {1: 0.5})
+        assert not event.active_at(9)
+        assert event.active_at(10)
+        assert event.active_at(13)
+        assert not event.active_at(14)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            CongestionEvent("incident", 10, 10, {1: 0.5})
+
+    @pytest.mark.parametrize("severity", [0.0, 0.96, -0.1, 1.5])
+    def test_severity_bounds(self, severity):
+        with pytest.raises(ValueError):
+            CongestionEvent("incident", 0, 5, {1: severity})
+
+
+class TestRenderFactors:
+    def test_neutral_without_events(self):
+        factors = render_event_factors([], {1: 0, 2: 1}, range(0, 10))
+        assert factors.shape == (10, 2)
+        assert np.all(factors == 1.0)
+
+    def test_single_event_window(self):
+        event = CongestionEvent("incident", 3, 6, {1: 0.5})
+        factors = render_event_factors([event], {1: 0, 2: 1}, range(0, 10))
+        assert np.all(factors[:, 1] == 1.0)  # unaffected road
+        assert list(factors[:, 0]) == [1, 1, 1, 0.5, 0.5, 0.5, 1, 1, 1, 1]
+
+    def test_overlapping_events_compound(self):
+        events = [
+            CongestionEvent("a", 0, 5, {1: 0.5}),
+            CongestionEvent("b", 2, 5, {1: 0.4}),
+        ]
+        factors = render_event_factors(events, {1: 0}, range(0, 5))
+        assert factors[1, 0] == pytest.approx(0.5)
+        assert factors[3, 0] == pytest.approx(0.5 * 0.6)
+
+    def test_event_clipped_to_range(self):
+        event = CongestionEvent("a", 0, 100, {1: 0.5})
+        factors = render_event_factors([event], {1: 0}, range(10, 20))
+        assert np.all(factors == 0.5)
+
+    def test_event_outside_range_ignored(self):
+        event = CongestionEvent("a", 50, 60, {1: 0.5})
+        factors = render_event_factors([event], {1: 0}, range(0, 10))
+        assert np.all(factors == 1.0)
+
+    def test_unknown_roads_ignored(self):
+        event = CongestionEvent("a", 0, 5, {99: 0.5})
+        factors = render_event_factors([event], {1: 0}, range(0, 5))
+        assert np.all(factors == 1.0)
+
+
+class TestEventModel:
+    def test_sampling_is_deterministic(self, small_network):
+        model = EventModel()
+        day = range(0, 96)
+        a = model.sample_day(small_network, day, np.random.default_rng(7))
+        b = model.sample_day(small_network, day, np.random.default_rng(7))
+        assert len(a) == len(b)
+        for ea, eb in zip(a, b):
+            assert ea.kind == eb.kind
+            assert ea.start_interval == eb.start_interval
+            assert ea.road_severities == eb.road_severities
+
+    def test_events_within_day(self, small_network):
+        model = EventModel(incidents_per_day=10.0)
+        day = range(96, 192)
+        events = model.sample_day(small_network, day, np.random.default_rng(1))
+        for event in events:
+            assert day.start <= event.start_interval < day.stop
+            assert event.end_interval <= day.stop
+
+    def test_incident_severity_decays_with_hops(self, small_network):
+        model = EventModel(incidents_per_day=5.0, incident_radius_hops=2)
+        events = model.sample_day(
+            small_network, range(0, 96), np.random.default_rng(3)
+        )
+        incidents = [e for e in events if e.kind == "incident"]
+        assert incidents
+        for event in incidents:
+            peak_road = max(event.road_severities, key=event.road_severities.get)
+            peak = event.road_severities[peak_road]
+            for road, severity in event.road_severities.items():
+                hops = small_network.roads_within_hops(peak_road, 3).get(road)
+                if hops is not None and hops > 0:
+                    assert severity <= peak
+
+    def test_weather_hits_every_road(self, small_network):
+        model = EventModel(
+            incidents_per_day=0.0, regional_per_day=0.0, weather_probability=1.0
+        )
+        events = model.sample_day(
+            small_network, range(0, 96), np.random.default_rng(1)
+        )
+        weather = [e for e in events if e.kind == "weather"]
+        assert len(weather) == 1
+        assert set(weather[0].road_severities) == set(small_network.road_ids())

@@ -1,0 +1,72 @@
+"""Smoke checks that every example script is importable and well-formed.
+
+Full example runs take minutes (they build the full-size cities), so
+the test suite verifies the cheap invariants: each script compiles,
+imports only available modules, defines ``main``, and is listed in the
+README. The examples themselves are executed by CI-style full runs.
+"""
+
+import ast
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXPECTED = {
+    "quickstart.py",
+    "city_monitoring.py",
+    "budget_planning.py",
+    "incident_response.py",
+    "probe_pipeline.py",
+    "route_eta.py",
+}
+
+
+def example_paths():
+    return sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExampleScripts:
+    def test_expected_examples_present(self):
+        names = {p.name for p in example_paths()}
+        assert EXPECTED <= names
+
+    @pytest.mark.parametrize("path", example_paths(), ids=lambda p: p.name)
+    def test_compiles(self, path):
+        source = path.read_text()
+        compile(source, str(path), "exec")
+
+    @pytest.mark.parametrize("path", example_paths(), ids=lambda p: p.name)
+    def test_has_main_and_guard(self, path):
+        tree = ast.parse(path.read_text())
+        function_names = {
+            node.name for node in ast.walk(tree)
+            if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in function_names, f"{path.name} lacks a main()"
+        assert '__main__' in path.read_text(), f"{path.name} lacks a guard"
+
+    @pytest.mark.parametrize("path", example_paths(), ids=lambda p: p.name)
+    def test_has_module_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+
+    @pytest.mark.parametrize("path", example_paths(), ids=lambda p: p.name)
+    def test_top_level_imports_resolve(self, path):
+        tree = ast.parse(path.read_text())
+        for node in tree.body:
+            modules = []
+            if isinstance(node, ast.Import):
+                modules = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                modules = [node.module]
+            for module in modules:
+                assert importlib.util.find_spec(module) is not None, (
+                    f"{path.name} imports unavailable module {module}"
+                )
+
+    def test_all_examples_in_readme(self):
+        readme = (EXAMPLES_DIR.parent / "README.md").read_text()
+        for name in EXPECTED:
+            assert name in readme, f"{name} missing from README"

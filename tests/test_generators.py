@@ -1,0 +1,123 @@
+"""Unit tests for synthetic city generators."""
+
+import pytest
+
+from repro.roadnet.generators import (
+    composite_city,
+    grid_city,
+    ring_radial_city,
+    sized_grid,
+)
+
+
+class TestGridCity:
+    def test_node_and_segment_counts(self):
+        net = grid_city(4, 5)
+        assert net.num_intersections == 20
+        # Undirected streets: 4*(5-1) horizontal + 5*(4-1) vertical = 31.
+        assert net.num_segments == 2 * 31
+
+    def test_two_way_pairing(self):
+        net = grid_city(3, 3)
+        for seg in net.segments():
+            twins = [
+                other
+                for other in net.outgoing(seg.end_node)
+                if other.end_node == seg.start_node
+            ]
+            assert len(twins) == 1, f"road {seg.road_id} lacks a reverse twin"
+
+    def test_arterial_hierarchy(self):
+        net = grid_city(9, 9, arterial_every=4)
+        counts = net.class_counts()
+        assert counts["arterial"] > 0
+        assert counts["local"] > counts["arterial"]
+
+    def test_all_arterials_when_every_1(self):
+        net = grid_city(3, 3, arterial_every=1)
+        assert net.class_counts() == {"arterial": net.num_segments}
+
+    def test_block_size_sets_lengths(self):
+        net = grid_city(3, 3, block_m=250.0)
+        assert all(s.length_m == pytest.approx(250.0) for s in net.segments())
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            grid_city(1, 5)
+        with pytest.raises(ValueError):
+            grid_city(3, 3, arterial_every=0)
+
+    def test_deterministic(self):
+        a, b = grid_city(5, 5), grid_city(5, 5)
+        assert a.road_ids() == b.road_ids()
+        assert [s.road_class for s in a.segments()] == [
+            s.road_class for s in b.segments()
+        ]
+
+
+class TestRingRadialCity:
+    def test_counts(self):
+        net = ring_radial_city(rings=3, spokes=8)
+        assert net.num_intersections == 1 + 3 * 8
+        # Ring streets: 3*8; radial streets: 8*3 (centre link + 2 between rings).
+        assert net.num_segments == 2 * (3 * 8 + 8 * 3)
+
+    def test_validation(self):
+        ring_radial_city(rings=2, spokes=6).validate()
+
+    def test_ring_roads_are_arterials(self):
+        net = ring_radial_city(rings=2, spokes=6)
+        ring_segments = [s for s in net.segments() if s.name.startswith("Ring")]
+        assert ring_segments
+        assert all(s.road_class == "arterial" for s in ring_segments)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ring_radial_city(rings=0)
+        with pytest.raises(ValueError):
+            ring_radial_city(spokes=2)
+
+    def test_connected(self):
+        net = ring_radial_city(rings=3, spokes=8)
+        # Every node reachable from the centre.
+        reachable = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for seg in net.outgoing(node):
+                if seg.end_node not in reachable:
+                    reachable.add(seg.end_node)
+                    frontier.append(seg.end_node)
+        assert reachable == set(net.node_ids())
+
+
+class TestCompositeCity:
+    def test_builds_and_validates(self):
+        net = composite_city(core_rows=5, core_cols=5, rings=2, spokes=8)
+        net.validate()
+        assert net.num_segments > grid_city(5, 5).num_segments
+
+    def test_has_all_three_structures(self):
+        net = composite_city(core_rows=5, core_cols=5, rings=2, spokes=8)
+        counts = net.class_counts()
+        assert counts.get("highway", 0) > 0  # outer rings + links
+        assert counts.get("arterial", 0) > 0  # core arterials
+        assert counts.get("local", 0) > 0  # core locals
+
+    def test_core_connected_to_periphery(self):
+        net = composite_city(core_rows=4, core_cols=4, rings=2, spokes=6)
+        outer_node = max(net.node_ids())
+        assert net.shortest_path(0, outer_node) is not None
+
+
+class TestSizedGrid:
+    @pytest.mark.parametrize("target", [50, 200, 500, 1000])
+    def test_meets_target(self, target):
+        net = sized_grid(target)
+        assert net.num_segments >= target
+        # Not wildly oversized: next grid step is bounded.
+        assert net.num_segments <= target * 2 + 40
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            sized_grid(4)

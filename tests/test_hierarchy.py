@@ -1,0 +1,108 @@
+"""Unit tests for the deviation hierarchy (shrinkage multilevel means)."""
+
+import pytest
+
+from repro.core.errors import DataError
+from repro.core.types import Trend
+from repro.speed.hierarchy import DeviationHierarchy
+
+
+@pytest.fixture(scope="module")
+def hierarchy(small_dataset):
+    return DeviationHierarchy(
+        small_dataset.store, small_dataset.network, kappa=8.0
+    )
+
+
+class TestFitting:
+    def test_rise_mean_above_fall_mean(self, hierarchy):
+        """Rising roads run above their mean, falling below — by definition."""
+        assert hierarchy.global_mean(Trend.RISE) > 1.0
+        assert hierarchy.global_mean(Trend.FALL) < 1.0
+
+    def test_ordering_holds_at_every_level(self, hierarchy, small_dataset):
+        road = small_dataset.network.road_ids()[10]
+        assert hierarchy.road_mean(road, Trend.RISE) > hierarchy.road_mean(
+            road, Trend.FALL
+        )
+        assert hierarchy.class_mean(road, Trend.RISE) > hierarchy.class_mean(
+            road, Trend.FALL
+        )
+
+    def test_cell_mean_between_extremes(self, hierarchy, small_dataset):
+        """Shrunk cell means stay within a plausible deviation band."""
+        for road in small_dataset.network.road_ids()[:20]:
+            for bucket in (0, 34, 72):
+                for trend in (Trend.RISE, Trend.FALL):
+                    m = hierarchy.conditional_mean(road, bucket, trend)
+                    assert 0.5 < m < 1.6
+
+    def test_cell_counts_sum(self, hierarchy, small_dataset):
+        """Rise + fall counts per cell equal the bucket's training rows."""
+        store = small_dataset.store
+        road = store.road_ids[0]
+        for bucket in (0, 50):
+            total = hierarchy.cell_count(road, bucket, Trend.RISE) + (
+                hierarchy.cell_count(road, bucket, Trend.FALL)
+            )
+            assert total == store.bucket_count(bucket)
+
+    def test_negative_kappa_rejected(self, small_dataset):
+        with pytest.raises(DataError):
+            DeviationHierarchy(small_dataset.store, small_dataset.network, kappa=-1)
+
+    def test_unknown_road_rejected(self, hierarchy):
+        with pytest.raises(DataError):
+            hierarchy.road_mean(999999, Trend.RISE)
+
+
+class TestShrinkage:
+    def test_large_kappa_pulls_to_global(self, small_dataset):
+        tight = DeviationHierarchy(
+            small_dataset.store, small_dataset.network, kappa=1e9
+        )
+        road = small_dataset.network.road_ids()[5]
+        for trend in (Trend.RISE, Trend.FALL):
+            assert tight.conditional_mean(road, 34, trend) == pytest.approx(
+                tight.global_mean(trend), abs=1e-3
+            )
+
+    def test_zero_kappa_is_raw_cell_mean(self, small_dataset):
+        import numpy as np
+
+        raw = DeviationHierarchy(small_dataset.store, small_dataset.network, kappa=0.0)
+        store = small_dataset.store
+        road = store.road_ids[3]
+        bucket = 34
+        col = store.road_column(road)
+        deviations = store.deviation_matrix()[:, col]
+        trends = store.trend_matrix()[:, col]
+        rows = store.bucket_rows(bucket)
+        mask = rows & (trends == 1)
+        if mask.sum() > 0:
+            manual = float(np.mean(deviations[mask]))
+            assert raw.conditional_mean(road, bucket, Trend.RISE) == pytest.approx(
+                manual
+            )
+
+    def test_sparse_cells_shrink_more(self, small_dataset):
+        """A cell with few observations sits closer to its parent level
+        than a cell with many observations does."""
+        hierarchy = DeviationHierarchy(
+            small_dataset.store, small_dataset.network, kappa=8.0
+        )
+        store = small_dataset.store
+        gaps = []  # (count, |cell - road_level|)
+        for road in store.road_ids[:40]:
+            for bucket in range(0, 96, 8):
+                for trend in (Trend.RISE, Trend.FALL):
+                    count = hierarchy.cell_count(road, bucket, trend)
+                    gap = abs(
+                        hierarchy.conditional_mean(road, bucket, trend)
+                        - hierarchy.road_mean(road, trend)
+                    )
+                    gaps.append((count, gap))
+        sparse = [g for c, g in gaps if c <= 1]
+        dense = [g for c, g in gaps if c >= 5]
+        if sparse and dense:
+            assert sum(sparse) / len(sparse) < sum(dense) / len(dense) + 0.05

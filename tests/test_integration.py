@@ -1,0 +1,143 @@
+"""End-to-end integration tests: the whole story on one dataset.
+
+These assert the paper's qualitative claims on the small test city:
+greedy-seeded two-step estimation beats the historical average and the
+naive baselines, trend inference is substantially better than chance,
+and the full GPS→history pipeline composes with the estimator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.historical import HistoricalAverageBaseline
+from repro.baselines.knn import KnnSpeedBaseline
+from repro.baselines.regression import GlobalRatioBaseline
+from repro.core.pipeline import SpeedEstimationSystem
+from repro.crowd.platform import CrowdsourcingPlatform
+from repro.crowd.workers import WorkerPool
+from repro.evalkit.harness import Evaluation, TwoStepMethod
+
+
+@pytest.fixture(scope="module")
+def fitted(small_dataset):
+    system = SpeedEstimationSystem.from_parts(
+        small_dataset.network, small_dataset.store, small_dataset.graph
+    )
+    seeds = system.select_seeds(10)  # ~8% budget on 120 roads
+    evaluation = Evaluation(
+        truth=small_dataset.test,
+        store=small_dataset.store,
+        seeds=seeds,
+        intervals=small_dataset.test_day_intervals(stride=6),
+    )
+    return small_dataset, system, evaluation
+
+
+class TestHeadlineClaims:
+    def test_two_step_beats_historical_average(self, fitted):
+        dataset, system, evaluation = fitted
+        ours = evaluation.run(TwoStepMethod(system.estimator))
+        ha = evaluation.run(HistoricalAverageBaseline(dataset.store))
+        assert ours.speed.mae < ha.speed.mae * 0.85
+
+    def test_two_step_beats_naive_baselines(self, fitted):
+        dataset, system, evaluation = fitted
+        ours = evaluation.run(TwoStepMethod(system.estimator))
+        for baseline in (
+            KnnSpeedBaseline(dataset.network),
+            GlobalRatioBaseline(dataset.store),
+        ):
+            other = evaluation.run(baseline)
+            assert ours.speed.mae < other.speed.mae
+
+    def test_trend_inference_beats_chance(self, fitted):
+        _, system, evaluation = fitted
+        ours = evaluation.run(TwoStepMethod(system.estimator))
+        assert ours.trend.accuracy > 0.65
+
+    def test_greedy_seeds_beat_random_seeds(self, fitted):
+        dataset, system, evaluation = fitted
+        greedy_result = evaluation.run(TwoStepMethod(system.estimator))
+
+        random_seeds = system.select_seeds(10, method="random", random_seed=7)
+        random_eval = Evaluation(
+            truth=dataset.test,
+            store=dataset.store,
+            seeds=random_seeds,
+            intervals=evaluation.intervals,
+        )
+        fresh = SpeedEstimationSystem.from_parts(
+            dataset.network, dataset.store, dataset.graph
+        )
+        random_result = random_eval.run(TwoStepMethod(fresh.estimator))
+        # Greedy coverage should not be worse; allow a small tolerance
+        # because the random set also observes 10 roads for free.
+        assert greedy_result.speed.mae <= random_result.speed.mae * 1.1
+
+    def test_survives_crowd_noise(self, fitted):
+        dataset, system, evaluation = fitted
+        clean = evaluation.run(TwoStepMethod(system.estimator))
+        noisy_eval = Evaluation(
+            truth=dataset.test,
+            store=dataset.store,
+            seeds=evaluation.seeds,
+            intervals=evaluation.intervals,
+            crowd_platform=CrowdsourcingPlatform(
+                WorkerPool.sample(40, seed=9), workers_per_task=5
+            ),
+        )
+        noisy = noisy_eval.run(TwoStepMethod(system.estimator))
+        # Noise costs something but must not break the method.
+        assert noisy.speed.mae < clean.speed.mae * 1.5
+        ha = noisy_eval.run(HistoricalAverageBaseline(dataset.store))
+        assert noisy.speed.mae < ha.speed.mae
+
+
+class TestGpsToEstimatorComposition:
+    def test_probe_history_feeds_pipeline(self, small_dataset):
+        """Speeds extracted from GPS traces line up with the store's
+        world: a system fitted on simulator history can consume
+        probe-derived seed observations."""
+        from repro.gps.map_matching import HmmMatcher
+        from repro.gps.speed_extraction import extract_probe_speeds
+        from repro.gps.traces import TraceGenerator
+        from repro.gps.trips import generate_trips
+
+        dataset = small_dataset
+        day = dataset.first_test_day
+        trips = generate_trips(dataset.network, 60, day=day, seed=21)
+        generator = TraceGenerator(
+            dataset.network, dataset.test, dataset.grid, sample_interval_s=20.0
+        )
+        traces = generator.emit_all(trips, seed=22)
+        matcher = HmmMatcher(dataset.network)
+        table = extract_probe_speeds(
+            dataset.network, [matcher.match(t) for t in traces], dataset.grid
+        )
+        assert table.num_entries > 0
+
+        system = SpeedEstimationSystem.from_parts(
+            dataset.network, dataset.store, dataset.graph
+        )
+        # Use whichever probe-observed roads exist at some interval as seeds.
+        interval = next(
+            t
+            for t in dataset.test_day_intervals()
+            if len(table.observed_roads(t)) >= 3
+        )
+        seed_speeds = {
+            r: table.speed(r, interval) for r in table.observed_roads(interval)
+        }
+        estimates = system.estimate(interval, seed_speeds)
+        assert len(estimates) == dataset.network.num_segments
+        # Probe-seeded estimates still beat HA on this interval.
+        truth = dataset.test.speeds_at(interval)
+        ours, has = [], []
+        for road in dataset.network.road_ids():
+            if road in seed_speeds:
+                continue
+            ours.append(abs(estimates[road].speed_kmh - truth[road]))
+            has.append(
+                abs(dataset.store.historical_speed(road, interval) - truth[road])
+            )
+        assert np.mean(ours) <= np.mean(has) * 1.05

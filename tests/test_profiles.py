@@ -1,0 +1,99 @@
+"""Unit tests for daily speed profiles."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.traffic.profiles import (
+    DEFAULT_PROFILES,
+    DailyProfile,
+    ProfileSet,
+    RushWindow,
+)
+
+hours = st.floats(min_value=0.0, max_value=23.999)
+
+
+class TestRushWindow:
+    def test_peak_dip_equals_depth(self):
+        w = RushWindow(peak_hour=8.0, width_hours=1.0, depth=0.4)
+        assert w.dip_at(8.0) == pytest.approx(0.4)
+
+    def test_dip_decays_with_distance(self):
+        w = RushWindow(peak_hour=8.0, width_hours=1.0, depth=0.4)
+        assert w.dip_at(9.0) < w.dip_at(8.5) < w.dip_at(8.0)
+
+    def test_wraps_midnight(self):
+        w = RushWindow(peak_hour=23.5, width_hours=1.0, depth=0.3)
+        assert w.dip_at(0.5) == pytest.approx(w.dip_at(22.5))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"peak_hour": 24.0, "width_hours": 1, "depth": 0.3},
+            {"peak_hour": 8.0, "width_hours": 0, "depth": 0.3},
+            {"peak_hour": 8.0, "width_hours": 1, "depth": 0.0},
+            {"peak_hour": 8.0, "width_hours": 1, "depth": 1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RushWindow(**kwargs)
+
+
+class TestDailyProfile:
+    @pytest.fixture
+    def profile(self):
+        return DEFAULT_PROFILES["arterial"]
+
+    def test_night_is_free_flow(self, profile):
+        assert profile.multiplier_at(3.0) > 0.97
+
+    def test_rush_is_slower_than_midday(self, profile):
+        assert profile.multiplier_at(8.25) < profile.multiplier_at(12.0)
+
+    def test_evening_rush_slower_than_night(self, profile):
+        assert profile.multiplier_at(18.0) < profile.multiplier_at(2.0)
+
+    @given(hours)
+    def test_multiplier_within_bounds(self, hour):
+        profile = DEFAULT_PROFILES["highway"]
+        m = profile.multiplier_at(hour)
+        assert profile.floor <= m <= 1.0
+
+    def test_out_of_range_hour_rejected(self, profile):
+        with pytest.raises(ValueError):
+            profile.multiplier_at(24.0)
+        with pytest.raises(ValueError):
+            profile.multiplier_at(-0.1)
+
+    def test_floor_respected(self):
+        deep = DailyProfile(
+            rush_windows=(
+                RushWindow(8.0, 2.0, 0.5),
+                RushWindow(8.5, 2.0, 0.5),
+            ),
+            floor=0.3,
+        )
+        assert deep.multiplier_at(8.25) == pytest.approx(0.3)
+
+
+class TestProfileSet:
+    def test_all_classes_covered(self):
+        profiles = ProfileSet()
+        for road_class in ("highway", "arterial", "collector", "local"):
+            assert profiles.multiplier(road_class, 12.0) > 0
+
+    def test_unknown_class_falls_back_to_local(self):
+        profiles = ProfileSet()
+        assert profiles.for_class("unknown") is profiles.profiles["local"]
+
+    def test_commuter_roads_dip_hardest(self):
+        profiles = ProfileSet()
+        rush = 8.25
+        assert profiles.multiplier("highway", rush) < profiles.multiplier(
+            "local", rush
+        )
+        assert profiles.multiplier("arterial", rush) < profiles.multiplier(
+            "collector", rush
+        )

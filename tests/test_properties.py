@@ -1,0 +1,161 @@
+"""Cross-module property and invariant tests.
+
+These pin down contracts that span packages: determinism of the whole
+pipeline, insensitivity to incidental input ordering, consistency of
+estimates with their inputs, and conservation laws of the simulator.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import SpeedEstimationSystem
+from repro.core.types import Trend
+
+
+@pytest.fixture(scope="module")
+def fitted(small_dataset):
+    system = SpeedEstimationSystem.from_parts(
+        small_dataset.network, small_dataset.store, small_dataset.graph
+    )
+    seeds = system.select_seeds(10)
+    return small_dataset, system, seeds
+
+
+class TestPipelineInvariants:
+    def test_estimates_independent_of_seed_dict_order(self, fitted):
+        """The seed mapping is a set of facts; its dict order is noise."""
+        city, system, seeds = fitted
+        interval = city.test_day_intervals()[40]
+        truth = city.test.speeds_at(interval)
+        forward = {r: truth[r] for r in seeds}
+        backward = {r: truth[r] for r in reversed(seeds)}
+        assert system.estimate(interval, forward) == system.estimate(
+            interval, backward
+        )
+
+    def test_refitting_is_deterministic(self, small_dataset):
+        a = SpeedEstimationSystem.from_parts(
+            small_dataset.network, small_dataset.store, small_dataset.graph
+        )
+        b = SpeedEstimationSystem.from_parts(
+            small_dataset.network, small_dataset.store, small_dataset.graph
+        )
+        assert a.select_seeds(7) == b.select_seeds(7)
+        interval = small_dataset.test_day_intervals()[20]
+        truth = small_dataset.test.speeds_at(interval)
+        crowd = {r: truth[r] for r in a.seeds}
+        assert a.estimate(interval, crowd) == b.estimate(interval, crowd)
+
+    def test_estimates_respect_physical_bounds(self, fitted):
+        city, system, seeds = fitted
+        for interval in city.test_day_intervals(stride=24):
+            truth = city.test.speeds_at(interval)
+            estimates = system.estimate(
+                interval, {r: truth[r] for r in seeds}
+            )
+            for road, est in estimates.items():
+                if est.is_seed:
+                    continue
+                upper = city.network.segment(road).free_flow_kmh * 1.2
+                assert 2.0 <= est.speed_kmh <= upper + 1e-9
+
+    def test_trend_consistent_with_probability(self, fitted):
+        city, system, seeds = fitted
+        interval = city.test_day_intervals()[50]
+        truth = city.test.speeds_at(interval)
+        for est in system.estimate(
+            interval, {r: truth[r] for r in seeds}
+        ).values():
+            expected = Trend.RISE if est.trend_probability >= 0.5 else Trend.FALL
+            assert est.trend is expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(scale=st.floats(min_value=0.6, max_value=1.4))
+    def test_uniform_seed_scaling_moves_estimates_monotonically(
+        self, fitted, scale
+    ):
+        """Scaling every seed speed by a common factor never moves a
+        non-seed estimate in the opposite direction (before clamping)."""
+        city, system, seeds = fitted
+        interval = city.test_day_intervals()[44]
+        truth = city.test.speeds_at(interval)
+        base = {r: truth[r] for r in seeds}
+        scaled = {r: v * scale for r, v in base.items()}
+        est_base = system.estimate(interval, base)
+        est_scaled = system.estimate(interval, scaled)
+        moved_up = 0
+        moved_down = 0
+        for road in city.network.road_ids():
+            if road in base:
+                continue
+            delta = est_scaled[road].speed_kmh - est_base[road].speed_kmh
+            if delta > 1e-9:
+                moved_up += 1
+            elif delta < -1e-9:
+                moved_down += 1
+        if scale > 1.0:
+            assert moved_up >= moved_down
+        elif scale < 1.0:
+            assert moved_down >= moved_up
+
+
+class TestSimulatorInvariants:
+    def test_history_statistics_match_field(self, small_dataset):
+        """Store means are exact averages of the history field."""
+        store = small_dataset.store
+        field = small_dataset.history
+        rng = np.random.default_rng(1)
+        roads = rng.choice(store.road_ids, size=5, replace=False)
+        for road in roads:
+            series = field.series(int(road)).reshape(7, 96)
+            for bucket in rng.choice(96, size=4, replace=False):
+                assert store.mean(int(road), int(bucket)) == pytest.approx(
+                    series[:, int(bucket)].mean()
+                )
+
+    def test_correlation_edges_are_symmetric_facts(self, small_dataset):
+        graph = small_dataset.graph
+        for edge in list(graph.edges())[:200]:
+            assert graph.agreement(edge.road_u, edge.road_v) == (
+                graph.agreement(edge.road_v, edge.road_u)
+            )
+
+    def test_deviation_and_trend_consistent(self, small_dataset):
+        """deviation > 1 exactly when trend is RISE (tie -> RISE)."""
+        store = small_dataset.store
+        field = small_dataset.test
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            road = int(rng.choice(store.road_ids))
+            interval = int(rng.choice(list(field.intervals)))
+            speed = field.speed(road, interval)
+            deviation = store.deviation_ratio(road, interval, speed)
+            trend = store.trend_of(road, interval, speed)
+            if deviation >= 1.0:
+                assert trend is Trend.RISE
+            else:
+                assert trend is Trend.FALL
+
+
+class TestSelectionInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(budget=st.integers(min_value=1, max_value=15))
+    def test_greedy_prefix_property(self, small_dataset, budget):
+        """Greedy with budget k is a prefix of greedy with budget k+1."""
+        from repro.seeds.lazy import lazy_greedy_select
+        from repro.seeds.objective import SeedSelectionObjective
+
+        objective = SeedSelectionObjective(small_dataset.graph)
+        small = lazy_greedy_select(objective, budget)
+        large = lazy_greedy_select(objective, budget + 1)
+        assert large.seeds[:budget] == small.seeds
+
+    def test_selection_methods_return_valid_roads(self, fitted):
+        city, system, _ = fitted
+        valid = set(city.network.road_ids())
+        for method in ("lazy", "partition", "random", "top-degree", "k-center"):
+            seeds = system.select_seeds(6, method=method)
+            assert set(seeds) <= valid
+            assert len(set(seeds)) == 6

@@ -1,0 +1,124 @@
+"""Tests for routing on estimated speeds."""
+
+import pytest
+
+from repro.core.errors import NetworkError
+from repro.core.routing import (
+    MIN_PLANNING_SPEED_KMH,
+    RoutePlanner,
+    road_travel_time_s,
+    route_travel_time_s,
+)
+from repro.roadnet.geometry import Point
+from repro.roadnet.network import RoadNetwork
+
+
+@pytest.fixture
+def diamond():
+    """Two routes 0->3: top (roads 0,1) and bottom (roads 2,3)."""
+    net = RoadNetwork()
+    for node, (x, y) in enumerate([(0, 0), (1000, 500), (1000, -500), (2000, 0)]):
+        net.add_intersection(node, Point(x, y))
+    net.add_segment(0, 0, 1, road_class="arterial", length_m=1000)
+    net.add_segment(1, 1, 3, road_class="arterial", length_m=1000)
+    net.add_segment(2, 0, 2, road_class="arterial", length_m=1000)
+    net.add_segment(3, 2, 3, road_class="arterial", length_m=1000)
+    return net
+
+
+class TestTravelTime:
+    def test_road_time(self, diamond):
+        # 1000 m at 36 km/h = 100 s.
+        assert road_travel_time_s(diamond, 0, 36.0) == pytest.approx(100.0)
+
+    def test_speed_floor(self, diamond):
+        floored = road_travel_time_s(diamond, 0, 0.0)
+        assert floored == road_travel_time_s(diamond, 0, MIN_PLANNING_SPEED_KMH)
+
+    def test_route_time_sums(self, diamond):
+        t = route_travel_time_s(diamond, [0, 1], {0: 36.0, 1: 18.0})
+        assert t == pytest.approx(100.0 + 200.0)
+
+    def test_route_time_free_flow_fallback(self, diamond):
+        t = route_travel_time_s(diamond, [0], {})
+        expected = 1000 / (diamond.segment(0).free_flow_kmh / 3.6)
+        assert t == pytest.approx(expected)
+
+    def test_empty_route(self, diamond):
+        assert route_travel_time_s(diamond, [], {}) == 0.0
+
+    def test_broken_route_rejected(self, diamond):
+        with pytest.raises(NetworkError, match="breaks"):
+            route_travel_time_s(diamond, [0, 3], {})
+
+
+class TestPlanner:
+    def test_picks_faster_branch(self, diamond):
+        planner = RoutePlanner(diamond)
+        # Top congested, bottom free.
+        plan = planner.fastest_route(0, 3, {0: 10.0, 1: 10.0, 2: 60.0, 3: 60.0})
+        assert plan.route == (2, 3)
+        # Reversed congestion flips the choice.
+        plan = planner.fastest_route(0, 3, {0: 60.0, 1: 60.0, 2: 10.0, 3: 10.0})
+        assert plan.route == (0, 1)
+
+    def test_eta_matches_route_time(self, diamond):
+        planner = RoutePlanner(diamond)
+        speeds = {0: 30.0, 1: 40.0, 2: 50.0, 3: 20.0}
+        plan = planner.fastest_route(0, 3, speeds)
+        assert plan.eta_s == pytest.approx(
+            route_travel_time_s(diamond, list(plan.route), speeds)
+        )
+
+    def test_same_node(self, diamond):
+        plan = RoutePlanner(diamond).fastest_route(2, 2, {})
+        assert plan.route == ()
+        assert plan.eta_s == 0.0
+
+    def test_unreachable(self, diamond):
+        # No road enters node 0.
+        assert RoutePlanner(diamond).fastest_route(3, 0, {}) is None
+
+    def test_unknown_node(self, diamond):
+        with pytest.raises(NetworkError):
+            RoutePlanner(diamond).fastest_route(0, 99, {})
+
+    def test_eta_error_sign(self, diamond):
+        planner = RoutePlanner(diamond)
+        believed = {0: 60.0, 1: 60.0, 2: 10.0, 3: 10.0}
+        plan = planner.fastest_route(0, 3, believed)
+        # Reality is slower than believed -> planned < actual -> negative.
+        truth = {0: 30.0, 1: 30.0, 2: 10.0, 3: 10.0}
+        assert planner.eta_error_s(plan, truth) < 0
+
+    def test_estimates_give_better_eta_than_free_flow(self, small_dataset):
+        """Integration: planning on two-step estimates beats planning on
+        free-flow assumptions, measured as |ETA error| on true speeds."""
+        import numpy as np
+
+        from repro.core.pipeline import SpeedEstimationSystem
+
+        city = small_dataset
+        system = SpeedEstimationSystem.from_parts(
+            city.network, city.store, city.graph
+        )
+        seeds = system.select_seeds(10)
+        interval = city.test_day_intervals()[34]
+        crowd = {r: city.test.speed(r, interval) for r in seeds}
+        estimates = system.estimate(interval, crowd)
+        est_speeds = {r: e.speed_kmh for r, e in estimates.items()}
+        true_speeds = city.test.speeds_at(interval)
+
+        planner = RoutePlanner(city.network)
+        rng = np.random.default_rng(3)
+        nodes = city.network.node_ids()
+        est_errors, ff_errors = [], []
+        for _ in range(25):
+            a, b = rng.choice(nodes, size=2, replace=False)
+            plan_est = planner.fastest_route(int(a), int(b), est_speeds)
+            plan_ff = planner.fastest_route(int(a), int(b), {})
+            if plan_est is None or plan_ff is None or not plan_est.route:
+                continue
+            est_errors.append(abs(planner.eta_error_s(plan_est, true_speeds)))
+            ff_errors.append(abs(planner.eta_error_s(plan_ff, true_speeds)))
+        assert np.mean(est_errors) < np.mean(ff_errors)

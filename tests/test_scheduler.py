@@ -1,0 +1,159 @@
+"""Tests for the adaptive crowd-budget scheduler."""
+
+import pytest
+
+from repro.core.errors import CrowdsourcingError
+from repro.crowd.scheduler import AdaptiveBudgetScheduler
+
+
+SEEDS = list(range(100, 120))
+
+
+def neutral(seeds, value=1.0):
+    return {s: value for s in seeds}
+
+
+class TestConstruction:
+    def test_light_set_is_spread_subset(self):
+        scheduler = AdaptiveBudgetScheduler(SEEDS, light_fraction=0.25)
+        assert set(scheduler.light_seeds) <= set(scheduler.full_seeds)
+        assert len(scheduler.light_seeds) == 5
+
+    def test_validation(self):
+        with pytest.raises(CrowdsourcingError):
+            AdaptiveBudgetScheduler([])
+        with pytest.raises(CrowdsourcingError):
+            AdaptiveBudgetScheduler(SEEDS, light_fraction=0.0)
+        with pytest.raises(CrowdsourcingError):
+            AdaptiveBudgetScheduler(SEEDS, max_light_rounds=0)
+        with pytest.raises(CrowdsourcingError):
+            AdaptiveBudgetScheduler(SEEDS, drift_threshold=0)
+
+
+class TestScheduling:
+    def test_bootstrap_is_full(self):
+        scheduler = AdaptiveBudgetScheduler(SEEDS)
+        plan = scheduler.plan_round()
+        assert plan.is_full and plan.reason == "bootstrap"
+
+    def test_calm_traffic_goes_light(self):
+        scheduler = AdaptiveBudgetScheduler(SEEDS, max_light_rounds=5)
+        plan = scheduler.plan_round()
+        scheduler.record_round(plan, neutral(plan.seeds))
+        for _ in range(4):
+            plan = scheduler.plan_round()
+            assert not plan.is_full
+            scheduler.record_round(plan, neutral(plan.seeds))
+        assert scheduler.light_rounds == 4
+        assert scheduler.savings_fraction() > 0.5
+
+    def test_staleness_deadline_forces_full(self):
+        scheduler = AdaptiveBudgetScheduler(SEEDS, max_light_rounds=3)
+        plan = scheduler.plan_round()
+        scheduler.record_round(plan, neutral(plan.seeds))
+        for _ in range(3):
+            plan = scheduler.plan_round()
+            scheduler.record_round(plan, neutral(plan.seeds))
+        plan = scheduler.plan_round()
+        assert plan.is_full
+        assert plan.reason == "staleness deadline"
+
+    def test_drift_triggers_full_round(self):
+        scheduler = AdaptiveBudgetScheduler(
+            SEEDS, max_light_rounds=50, drift_threshold=0.05
+        )
+        plan = scheduler.plan_round()
+        scheduler.record_round(plan, neutral(plan.seeds, 1.0))
+        # Calm light round.
+        plan = scheduler.plan_round()
+        scheduler.record_round(plan, neutral(plan.seeds, 1.01))
+        assert not scheduler.plan_round().is_full
+        scheduler.record_round(
+            scheduler.plan_round(), neutral(scheduler.light_seeds, 1.02)
+        )
+        # Traffic shifts hard: sentinels report a 20% drop.
+        plan = scheduler.plan_round()
+        scheduler.record_round(plan, neutral(plan.seeds, 0.8))
+        escalation = scheduler.plan_round()
+        assert escalation.is_full
+        assert escalation.reason == "drift detected"
+
+    def test_full_round_resets_baseline(self):
+        scheduler = AdaptiveBudgetScheduler(
+            SEEDS, max_light_rounds=50, drift_threshold=0.05
+        )
+        plan = scheduler.plan_round()
+        scheduler.record_round(plan, neutral(plan.seeds, 1.0))
+        plan = scheduler.plan_round()
+        scheduler.record_round(plan, neutral(plan.seeds, 0.8))  # drift
+        plan = scheduler.plan_round()
+        assert plan.is_full
+        scheduler.record_round(plan, neutral(plan.seeds, 0.8))  # new normal
+        # Sentinels at the new level are calm again.
+        plan = scheduler.plan_round()
+        assert not plan.is_full
+        scheduler.record_round(plan, neutral(plan.seeds, 0.81))
+        assert not scheduler.plan_round().is_full
+
+    def test_missing_observation_rejected(self):
+        scheduler = AdaptiveBudgetScheduler(SEEDS)
+        plan = scheduler.plan_round()
+        with pytest.raises(CrowdsourcingError, match="missing"):
+            scheduler.record_round(plan, {})
+
+    def test_accounting(self):
+        scheduler = AdaptiveBudgetScheduler(SEEDS, max_light_rounds=10)
+        plan = scheduler.plan_round()
+        scheduler.record_round(plan, neutral(plan.seeds))
+        plan = scheduler.plan_round()
+        scheduler.record_round(plan, neutral(plan.seeds))
+        assert scheduler.full_rounds == 1
+        assert scheduler.light_rounds == 1
+        assert scheduler.queries_issued == len(SEEDS) + len(scheduler.light_seeds)
+
+
+class TestEndToEnd:
+    def test_scheduler_saves_queries_with_small_accuracy_cost(self, small_dataset):
+        """Driving the real pipeline with the scheduler: large savings,
+        bounded accuracy loss versus always-full rounds."""
+        import numpy as np
+
+        from repro.core.pipeline import SpeedEstimationSystem
+
+        city = small_dataset
+        system = SpeedEstimationSystem.from_parts(
+            city.network, city.store, city.graph
+        )
+        seeds = system.select_seeds(12)
+        scheduler = AdaptiveBudgetScheduler(
+            seeds, light_fraction=0.3, max_light_rounds=4
+        )
+
+        adaptive_err, full_err = [], []
+        for interval in city.test_day_intervals(stride=2):
+            truth = city.test.speeds_at(interval)
+            # Adaptive: query only the planned seeds.
+            plan = scheduler.plan_round()
+            observed = {r: truth[r] for r in plan.seeds}
+            estimates = system.estimate(interval, observed)
+            scheduler.record_round(
+                plan,
+                {
+                    r: city.store.deviation_ratio(r, interval, observed[r])
+                    for r in plan.seeds
+                },
+            )
+            # Reference: always query everything.
+            reference = system.estimate(
+                interval, {r: truth[r] for r in seeds}
+            )
+            for road in city.network.road_ids():
+                if road in set(seeds):
+                    continue
+                adaptive_err.append(abs(estimates[road].speed_kmh - truth[road]))
+                full_err.append(abs(reference[road].speed_kmh - truth[road]))
+
+        savings = scheduler.savings_fraction()
+        assert savings > 0.25  # meaningful budget reduction
+        # Accuracy cost stays modest.
+        assert np.mean(adaptive_err) < np.mean(full_err) * 1.25

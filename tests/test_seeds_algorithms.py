@@ -1,0 +1,223 @@
+"""Tests for the greedy family and selection baselines."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SelectionError
+from repro.history.correlation import CorrelationEdge, CorrelationGraph
+from repro.seeds.baselines import (
+    betweenness_select,
+    k_center_select,
+    random_select,
+    top_degree_select,
+)
+from repro.seeds.greedy import SelectionResult, greedy_select
+from repro.seeds.lazy import lazy_greedy_select
+from repro.seeds.objective import SeedSelectionObjective
+from repro.seeds.partition import (
+    allocate_budget,
+    partition_graph,
+    partition_greedy_select,
+)
+
+
+@pytest.fixture(scope="module")
+def objective(small_dataset):
+    return SeedSelectionObjective(small_dataset.graph)
+
+
+class TestGreedy:
+    def test_budget_respected(self, objective):
+        result = greedy_select(objective, 5)
+        assert len(result.seeds) == 5
+        assert len(set(result.seeds)) == 5
+
+    def test_values_increase(self, objective):
+        result = greedy_select(objective, 6)
+        assert all(a < b for a, b in zip(result.values, result.values[1:]))
+
+    def test_gains_diminish(self, objective):
+        result = greedy_select(objective, 6)
+        assert all(a >= b - 1e-9 for a, b in zip(result.gains, result.gains[1:]))
+
+    def test_budget_validation(self, objective):
+        with pytest.raises(SelectionError):
+            greedy_select(objective, 0)
+        with pytest.raises(SelectionError):
+            greedy_select(objective, objective.num_roads + 1)
+
+    def test_candidate_pool_restriction(self, objective):
+        pool = objective.road_ids[:10]
+        result = greedy_select(objective, 3, candidates=pool)
+        assert set(result.seeds) <= set(pool)
+
+    def test_pool_too_small(self, objective):
+        with pytest.raises(SelectionError):
+            greedy_select(objective, 5, candidates=objective.road_ids[:3])
+
+    def test_approximation_vs_brute_force(self):
+        """Greedy >= (1 - 1/e) * optimum on exhaustively solvable instances."""
+        graph = CorrelationGraph(
+            list(range(6)),
+            [
+                CorrelationEdge(0, 1, 0.9),
+                CorrelationEdge(1, 2, 0.8),
+                CorrelationEdge(2, 3, 0.85),
+                CorrelationEdge(3, 4, 0.7),
+                CorrelationEdge(4, 5, 0.9),
+                CorrelationEdge(0, 5, 0.65),
+            ],
+        )
+        objective = SeedSelectionObjective(graph, min_fidelity=0.01)
+        for budget in (1, 2, 3):
+            best = max(
+                objective.value(list(combo))
+                for combo in itertools.combinations(graph.road_ids, budget)
+            )
+            result = greedy_select(objective, budget)
+            assert result.final_value >= (1 - 1 / 2.718281828) * best - 1e-9
+
+    def test_result_validation(self):
+        with pytest.raises(SelectionError):
+            SelectionResult("m", (1, 2), (0.5,), (0.5,), 0)
+
+
+class TestLazyGreedy:
+    def test_identical_to_plain_greedy(self, objective):
+        for budget in (1, 4, 10):
+            plain = greedy_select(objective, budget)
+            lazy = lazy_greedy_select(objective, budget)
+            assert lazy.seeds == plain.seeds
+            assert lazy.values == pytest.approx(plain.values)
+
+    def test_fewer_evaluations(self, objective):
+        budget = 10
+        plain = greedy_select(objective, budget)
+        lazy = lazy_greedy_select(objective, budget)
+        assert lazy.evaluations < plain.evaluations
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_equivalence_on_random_graphs(self, data):
+        n = data.draw(st.integers(min_value=4, max_value=10))
+        edges = []
+        seen = set()
+        for _ in range(data.draw(st.integers(min_value=2, max_value=16))):
+            u = data.draw(st.integers(min_value=0, max_value=n - 1))
+            v = data.draw(st.integers(min_value=0, max_value=n - 1))
+            key = (min(u, v), max(u, v))
+            if u == v or key in seen:
+                continue
+            seen.add(key)
+            edges.append(
+                CorrelationEdge(
+                    u, v, data.draw(st.floats(min_value=0.55, max_value=0.95))
+                )
+            )
+        graph = CorrelationGraph(list(range(n)), edges)
+        objective = SeedSelectionObjective(graph, min_fidelity=0.01)
+        budget = data.draw(st.integers(min_value=1, max_value=n))
+        assert (
+            lazy_greedy_select(objective, budget).seeds
+            == greedy_select(objective, budget).seeds
+        )
+
+
+class TestPartition:
+    def test_partition_covers_all_roads(self, objective):
+        partitions = partition_graph(objective, 4)
+        flat = [r for p in partitions for r in p]
+        assert sorted(flat) == objective.road_ids
+
+    def test_partitions_disjoint(self, objective):
+        partitions = partition_graph(objective, 4)
+        flat = [r for p in partitions for r in p]
+        assert len(flat) == len(set(flat))
+
+    def test_allocate_budget_sums(self, objective):
+        partitions = partition_graph(objective, 4)
+        for budget in (1, 5, 17):
+            shares = allocate_budget(partitions, budget)
+            assert sum(shares) == budget
+            assert all(0 <= s <= len(p) for s, p in zip(shares, partitions))
+
+    def test_allocate_rejects_excess(self):
+        with pytest.raises(SelectionError):
+            allocate_budget([[1, 2]], 3)
+
+    def test_partition_select_budget(self, objective):
+        result = partition_greedy_select(objective, 8, num_partitions=4)
+        assert len(result.seeds) == 8
+        assert len(set(result.seeds)) == 8
+
+    def test_partition_quality_near_greedy(self, objective):
+        budget = 10
+        exact = greedy_select(objective, budget).final_value
+        approx = partition_greedy_select(objective, budget, 4).final_value
+        assert approx >= 0.85 * exact
+
+    def test_partition_fewer_evaluations(self, objective):
+        budget = 10
+        plain = greedy_select(objective, budget)
+        part = partition_greedy_select(objective, budget, 4)
+        assert part.evaluations < plain.evaluations
+
+    def test_invalid_partition_count(self, objective):
+        with pytest.raises(SelectionError):
+            partition_graph(objective, 0)
+
+
+class TestSelectionBaselines:
+    def test_random_deterministic_and_valid(self, objective):
+        a = random_select(objective, 6, seed=3)
+        b = random_select(objective, 6, seed=3)
+        assert a.seeds == b.seeds
+        assert len(set(a.seeds)) == 6
+
+    def test_random_differs_by_seed(self, objective):
+        assert (
+            random_select(objective, 6, seed=1).seeds
+            != random_select(objective, 6, seed=2).seeds
+        )
+
+    def test_top_degree_ordering(self, objective, small_dataset):
+        result = top_degree_select(objective, 5)
+        degrees = [small_dataset.graph.degree(r) for r in result.seeds]
+        max_degree = max(
+            small_dataset.graph.degree(r) for r in objective.road_ids
+        )
+        assert degrees[0] == max_degree
+
+    def test_betweenness_runs(self, objective):
+        result = betweenness_select(objective, 4)
+        assert len(result.seeds) == 4
+
+    def test_k_center_spreads_out(self, objective, small_dataset):
+        result = k_center_select(objective, 4, small_dataset.network)
+        mids = [small_dataset.network.segment_midpoint(r) for r in result.seeds]
+        min_pairwise = min(
+            a.distance_to(b)
+            for i, a in enumerate(mids)
+            for b in mids[i + 1 :]
+        )
+        assert min_pairwise > 500  # centres are far apart on a 2km grid
+
+    def test_greedy_beats_every_baseline(self, objective, small_dataset):
+        """The objective value ordering F5 reports."""
+        budget = 8
+        greedy_value = greedy_select(objective, budget).final_value
+        for result in (
+            random_select(objective, budget, seed=0),
+            top_degree_select(objective, budget),
+            k_center_select(objective, budget, small_dataset.network),
+        ):
+            assert greedy_value >= result.final_value - 1e-9
+
+    def test_budget_validation(self, objective):
+        with pytest.raises(SelectionError):
+            random_select(objective, 0)
+        with pytest.raises(SelectionError):
+            top_degree_select(objective, objective.num_roads + 1)

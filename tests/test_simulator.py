@@ -1,0 +1,172 @@
+"""Unit tests for the ground-truth traffic simulator and SpeedField."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DataError
+from repro.core.field import SpeedField
+from repro.history.timebuckets import TimeGrid
+from repro.traffic.simulator import SimulatorParams, TrafficSimulator
+
+
+@pytest.fixture(scope="module")
+def simulated(small_network):
+    grid = TimeGrid(15)
+    sim = TrafficSimulator(small_network, grid)
+    field, events = sim.simulate(0, 3, seed=42)
+    return small_network, grid, sim, field, events
+
+
+class TestSpeedField:
+    def test_shape(self, simulated):
+        net, grid, _, field, _ = simulated
+        assert field.matrix.shape == (3 * 96, net.num_segments)
+        assert field.intervals == range(0, 288)
+
+    def test_speed_lookup_matches_matrix(self, simulated):
+        net, _, _, field, _ = simulated
+        road = net.road_ids()[5]
+        assert field.speed(road, 10) == field.matrix[10, field.road_column(road)]
+
+    def test_speeds_at(self, simulated):
+        net, _, _, field, _ = simulated
+        row = field.speeds_at(100)
+        assert set(row) == set(net.road_ids())
+
+    def test_series_length(self, simulated):
+        net, _, _, field, _ = simulated
+        assert len(field.series(net.road_ids()[0])) == 288
+
+    def test_out_of_range_interval(self, simulated):
+        _, _, _, field, _ = simulated
+        with pytest.raises(DataError):
+            field.speed(0, 288)
+
+    def test_unknown_road(self, simulated):
+        _, _, _, field, _ = simulated
+        with pytest.raises(DataError):
+            field.speed(99999, 0)
+
+    def test_observations_at(self, simulated):
+        _, _, _, field, _ = simulated
+        obs = field.observations_at(50)
+        assert all(o.interval == 50 for o in obs)
+        assert all(o.speed_kmh > 0 for o in obs)
+
+    def test_constructor_validation(self):
+        with pytest.raises(DataError):
+            SpeedField(np.ones(5), [1], 0)  # 1-D
+        with pytest.raises(DataError):
+            SpeedField(np.ones((5, 2)), [1], 0)  # column mismatch
+        with pytest.raises(DataError):
+            SpeedField(np.ones((5, 1)), [1], -1)  # negative start
+
+
+class TestSimulator:
+    def test_deterministic_given_seed(self, small_network):
+        grid = TimeGrid(15)
+        a, _ = TrafficSimulator(small_network, grid).simulate(0, 1, seed=9)
+        b, _ = TrafficSimulator(small_network, grid).simulate(0, 1, seed=9)
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_different_seeds_differ(self, small_network):
+        grid = TimeGrid(15)
+        sim = TrafficSimulator(small_network, grid)
+        a, _ = sim.simulate(0, 1, seed=1)
+        b, _ = sim.simulate(0, 1, seed=2)
+        assert not np.array_equal(a.matrix, b.matrix)
+
+    def test_speeds_physical(self, simulated):
+        net, _, _, field, _ = simulated
+        params = SimulatorParams()
+        assert field.matrix.min() >= params.min_speed_kmh
+        for road in net.road_ids():
+            upper = net.segment(road).free_flow_kmh * params.max_over_free_flow
+            assert field.series(road).max() <= upper + 1e-9
+
+    def test_rush_hour_slower_on_average(self, simulated):
+        net, grid, _, field, _ = simulated
+        arterials = [
+            r for r in net.road_ids() if net.segment(r).road_class == "arterial"
+        ]
+        rush = [t for t in field.intervals if 7.5 <= grid.hour_of(t) <= 9.0]
+        night = [t for t in field.intervals if grid.hour_of(t) <= 4.0]
+        rush_mean = np.mean(
+            [field.speed(r, t) for r in arterials for t in rush]
+        )
+        night_mean = np.mean(
+            [field.speed(r, t) for r in arterials for t in night]
+        )
+        assert rush_mean < night_mean * 0.8
+
+    def test_adjacent_roads_correlate(self, simulated):
+        """The key property: neighbouring roads' deviations co-move."""
+        net, _, _, field, _ = simulated
+        rng = np.random.default_rng(0)
+        road_ids = net.road_ids()
+        correlations = []
+        for road in rng.choice(road_ids, size=20, replace=False):
+            neighbours = net.adjacent_roads(int(road))
+            if not neighbours:
+                continue
+            a = field.series(int(road))
+            b = field.series(neighbours[0])
+            # Correlate residuals from each road's own daily profile.
+            a_resid = a - a.reshape(3, 96).mean(axis=0).repeat(1).tolist() * 3
+            b_resid = b - b.reshape(3, 96).mean(axis=0).repeat(1).tolist() * 3
+            correlations.append(np.corrcoef(a_resid, b_resid)[0, 1])
+        assert np.mean(correlations) > 0.5
+
+    def test_distant_roads_correlate_less(self, simulated):
+        net, _, _, field, _ = simulated
+        road_ids = net.road_ids()
+        near_r, far_r = [], []
+        a = field.series(road_ids[0])
+        a = a - a.mean()
+        within = net.roads_within_hops(road_ids[0], 1)
+        mid_a = net.segment_midpoint(road_ids[0])
+        for other in road_ids[1:]:
+            b = field.series(other)
+            b = b - b.mean()
+            c = float(np.corrcoef(a, b)[0, 1])
+            if other in within:
+                near_r.append(c)
+            elif net.segment_midpoint(other).distance_to(mid_a) > 1500:
+                far_r.append(c)
+        assert np.mean(near_r) > np.mean(far_r)
+
+    def test_region_weights_sum_to_one(self, simulated):
+        net, _, sim, _, _ = simulated
+        for road in net.road_ids()[:10]:
+            weights = sim.region_weights_of(road)
+            assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_region_of_is_a_weight_key(self, simulated):
+        net, _, sim, _, _ = simulated
+        road = net.road_ids()[0]
+        assert sim.region_of(road) in sim.region_weights_of(road)
+
+    def test_zero_days_rejected(self, small_network):
+        sim = TrafficSimulator(small_network, TimeGrid(15))
+        with pytest.raises(DataError):
+            sim.simulate(0, 0, seed=1)
+
+    def test_later_day_interval_offsets(self, small_network):
+        grid = TimeGrid(15)
+        sim = TrafficSimulator(small_network, grid)
+        field, _ = sim.simulate(5, 1, seed=3)
+        assert field.intervals == range(5 * 96, 6 * 96)
+
+
+class TestSimulatorParams:
+    def test_stationarity_guard(self):
+        with pytest.raises(ValueError):
+            SimulatorParams(regional_persistence=0.95, regional_coupling=0.1)
+
+    def test_noise_persistence_bounds(self):
+        with pytest.raises(ValueError):
+            SimulatorParams(road_noise_persistence=1.0)
+
+    def test_region_size_positive(self):
+        with pytest.raises(ValueError):
+            SimulatorParams(region_size_m=0)

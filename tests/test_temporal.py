@@ -1,0 +1,186 @@
+"""Tests for temporal trend filtering and rotating seed schedules."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InferenceError
+from repro.core.types import Trend
+from repro.trend.model import TrendModel
+from repro.trend.propagation import TrendPropagationInference
+from repro.trend.temporal import RotatingSeedSchedule, TemporalTrendFilter
+
+
+@pytest.fixture(scope="module")
+def world(small_dataset):
+    model = TrendModel(small_dataset.graph, small_dataset.store)
+    return small_dataset, model
+
+
+class TestRotatingSchedule:
+    def test_groups_partition_seeds(self):
+        schedule = RotatingSeedSchedule(list(range(10)), num_groups=3)
+        seen = []
+        for g in range(3):
+            seen.extend(schedule.group(g))
+        assert sorted(seen) == list(range(10))
+
+    def test_groups_interleaved(self):
+        schedule = RotatingSeedSchedule([10, 20, 30, 40], num_groups=2)
+        assert schedule.group(0) == (10, 30)
+        assert schedule.group(1) == (20, 40)
+        assert schedule.group(2) == (10, 30)  # wraps
+
+    def test_cost_fraction(self):
+        schedule = RotatingSeedSchedule(list(range(10)), num_groups=2)
+        assert schedule.per_round_cost_fraction() == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(InferenceError):
+            RotatingSeedSchedule([], 1)
+        with pytest.raises(InferenceError):
+            RotatingSeedSchedule([1, 2], 3)
+        with pytest.raises(InferenceError):
+            RotatingSeedSchedule([1, 2], 1).group(-1)
+
+
+class TestTemporalFilter:
+    def test_first_round_equals_memoryless(self, world):
+        dataset, model = world
+        interval = dataset.test_day_intervals()[30]
+        truth = dataset.test.speeds_at(interval)
+        seeds = dataset.network.road_ids()[:6]
+        seed_trends = {
+            r: dataset.store.trend_of(r, interval, truth[r]) for r in seeds
+        }
+        inference = TrendPropagationInference()
+        filtered = TemporalTrendFilter(model, inference)
+        a = filtered.infer_at(interval, seed_trends)
+        b = inference.infer(model.instance(interval, seed_trends))
+        assert np.allclose(a.as_array(), b.as_array())
+
+    def test_memory_carries_forward(self, world):
+        """A road seeded FALL in round 1 keeps elevated P(fall) in round 2
+        even when round 2's seeds say nothing about it."""
+        dataset, model = world
+        intervals = dataset.test_day_intervals()
+        roads = dataset.network.road_ids()
+        seed_a, seed_b = roads[0], roads[-1]
+        inference = TrendPropagationInference()
+
+        filtered = TemporalTrendFilter(model, inference, stay_probability=0.9)
+        filtered.infer_at(intervals[10], {seed_a: Trend.FALL})
+        with_memory = filtered.infer_at(intervals[11], {seed_b: Trend.RISE})
+
+        memoryless = inference.infer(
+            model.instance(intervals[11], {seed_b: Trend.RISE})
+        )
+        neighbour = dataset.graph.neighbour_ids(seed_a)[0]
+        assert with_memory.p_rise(neighbour) < memoryless.p_rise(neighbour)
+
+    def test_gap_decays_memory(self, world):
+        dataset, model = world
+        intervals = dataset.test_day_intervals()
+        roads = dataset.network.road_ids()
+        inference = TrendPropagationInference()
+        neighbour = dataset.graph.neighbour_ids(roads[0])[0]
+
+        def p_after_gap(gap):
+            filtered = TemporalTrendFilter(
+                model, inference, stay_probability=0.8
+            )
+            filtered.infer_at(intervals[0], {roads[0]: Trend.FALL})
+            posterior = filtered.infer_at(
+                intervals[0] + gap, {roads[-1]: Trend.RISE}
+            )
+            return posterior.p_rise(neighbour)
+
+        # Longer silence -> memory of the FALL fades -> higher P(rise).
+        assert p_after_gap(1) < p_after_gap(6)
+
+    def test_intervals_must_increase(self, world):
+        dataset, model = world
+        inference = TrendPropagationInference()
+        filtered = TemporalTrendFilter(model, inference)
+        interval = dataset.test_day_intervals()[5]
+        road = dataset.network.road_ids()[0]
+        filtered.infer_at(interval, {road: Trend.RISE})
+        with pytest.raises(InferenceError, match="increase"):
+            filtered.infer_at(interval, {road: Trend.RISE})
+
+    def test_reset_forgets(self, world):
+        dataset, model = world
+        intervals = dataset.test_day_intervals()
+        roads = dataset.network.road_ids()
+        inference = TrendPropagationInference()
+        filtered = TemporalTrendFilter(model, inference)
+        filtered.infer_at(intervals[0], {roads[0]: Trend.FALL})
+        filtered.reset()
+        fresh = filtered.infer_at(intervals[1], {roads[-1]: Trend.RISE})
+        memoryless = inference.infer(
+            model.instance(intervals[1], {roads[-1]: Trend.RISE})
+        )
+        assert np.allclose(fresh.as_array(), memoryless.as_array())
+
+    def test_validation(self, world):
+        _, model = world
+        inference = TrendPropagationInference()
+        with pytest.raises(InferenceError):
+            TemporalTrendFilter(model, inference, stay_probability=1.0)
+        with pytest.raises(InferenceError):
+            TemporalTrendFilter(model, inference, prior_clip=0.5)
+
+
+class TestRotatingWithMemory:
+    def test_recovers_full_budget_accuracy(self, world):
+        """Half-budget rotating rounds + memory ≈ full-budget accuracy,
+        clearly better than half-budget without memory."""
+        dataset, model = world
+        from repro.seeds.lazy import lazy_greedy_select
+        from repro.seeds.objective import SeedSelectionObjective
+
+        seeds = list(
+            lazy_greedy_select(SeedSelectionObjective(dataset.graph), 12).seeds
+        )
+        schedule = RotatingSeedSchedule(seeds, num_groups=2)
+        inference = TrendPropagationInference()
+        intervals = dataset.test_day_intervals()
+        non_seeds = [r for r in dataset.network.road_ids() if r not in set(seeds)]
+
+        def accuracy(posteriors):
+            correct = total = 0
+            for interval, posterior in posteriors:
+                truth = dataset.test.speeds_at(interval)
+                for road in non_seeds:
+                    total += 1
+                    correct += posterior.trend(road) == dataset.store.trend_of(
+                        road, interval, truth[road]
+                    )
+            return correct / total
+
+        def seed_trends_at(interval, subset):
+            truth = dataset.test.speeds_at(interval)
+            return {
+                r: dataset.store.trend_of(r, interval, truth[r]) for r in subset
+            }
+
+        full = accuracy(
+            (t, inference.infer(model.instance(t, seed_trends_at(t, seeds))))
+            for t in intervals
+        )
+        no_memory = accuracy(
+            (
+                t,
+                inference.infer(
+                    model.instance(t, seed_trends_at(t, schedule.group(k)))
+                ),
+            )
+            for k, t in enumerate(intervals)
+        )
+        filtered = TemporalTrendFilter(model, inference, stay_probability=0.75)
+        with_memory = accuracy(
+            (t, filtered.infer_at(t, seed_trends_at(t, schedule.group(k))))
+            for k, t in enumerate(intervals)
+        )
+
+        assert with_memory > no_memory
+        assert with_memory > full - 0.04  # most of the gap recovered

@@ -1,0 +1,106 @@
+"""Unit tests for the time grid."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.history.timebuckets import MINUTES_PER_DAY, TimeGrid
+
+
+class TestConstruction:
+    def test_defaults(self):
+        grid = TimeGrid()
+        assert grid.interval_minutes == 15
+        assert grid.intervals_per_day == 96
+        assert grid.num_buckets == 96
+
+    def test_weekend_doubles_buckets(self):
+        grid = TimeGrid(30, distinguish_weekend=True)
+        assert grid.num_buckets == 2 * 48
+
+    @pytest.mark.parametrize("minutes", [0, -5, 7, 25])
+    def test_invalid_lengths_rejected(self, minutes):
+        with pytest.raises(ValueError):
+            TimeGrid(minutes)
+
+    @pytest.mark.parametrize("minutes", [1, 5, 10, 15, 20, 30, 60, 120])
+    def test_valid_lengths(self, minutes):
+        assert TimeGrid(minutes).intervals_per_day == MINUTES_PER_DAY // minutes
+
+
+class TestMapping:
+    def test_day_and_slot(self):
+        grid = TimeGrid(15)
+        assert grid.day_of(0) == 0
+        assert grid.day_of(95) == 0
+        assert grid.day_of(96) == 1
+        assert grid.slot_of(96) == 0
+        assert grid.slot_of(100) == 4
+
+    def test_hour_of(self):
+        grid = TimeGrid(15)
+        assert grid.hour_of(0) == 0.0
+        assert grid.hour_of(34) == 8.5
+        assert grid.hour_of(96 + 34) == 8.5  # same time next day
+
+    def test_interval_at(self):
+        grid = TimeGrid(15)
+        assert grid.interval_at(0, 8.5) == 34
+        assert grid.interval_at(2, 0.0) == 192
+
+    def test_interval_at_validation(self):
+        grid = TimeGrid(15)
+        with pytest.raises(ValueError):
+            grid.interval_at(-1, 0.0)
+        with pytest.raises(ValueError):
+            grid.interval_at(0, 24.0)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TimeGrid(15).day_of(-1)
+
+    def test_day_range(self):
+        grid = TimeGrid(60)
+        assert list(grid.day_range(1)) == list(range(24, 48))
+        with pytest.raises(ValueError):
+            grid.day_range(-1)
+
+    def test_days_range(self):
+        grid = TimeGrid(60)
+        assert list(grid.days_range(1, 2)) == list(range(24, 72))
+        assert list(grid.days_range(0, 0)) == []
+
+
+class TestWeekend:
+    def test_day_zero_is_monday(self):
+        grid = TimeGrid(60)
+        assert not grid.is_weekend(0)
+        # Day 5 = Saturday, day 6 = Sunday, day 7 = Monday again.
+        assert grid.is_weekend(5 * 24)
+        assert grid.is_weekend(6 * 24)
+        assert not grid.is_weekend(7 * 24)
+
+    def test_weekend_bucket_offset(self):
+        grid = TimeGrid(60, distinguish_weekend=True)
+        weekday_noon = grid.interval_at(0, 12.0)
+        weekend_noon = grid.interval_at(5, 12.0)
+        assert grid.bucket_of(weekday_noon) == 12
+        assert grid.bucket_of(weekend_noon) == 24 + 12
+
+    def test_without_flag_buckets_merge(self):
+        grid = TimeGrid(60)
+        assert grid.bucket_of(grid.interval_at(0, 12.0)) == grid.bucket_of(
+            grid.interval_at(5, 12.0)
+        )
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+def test_bucket_always_in_range(interval):
+    grid = TimeGrid(15, distinguish_weekend=True)
+    assert 0 <= grid.bucket_of(interval) < grid.num_buckets
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+def test_day_slot_reconstruction(interval):
+    grid = TimeGrid(15)
+    assert grid.day_of(interval) * 96 + grid.slot_of(interval) == interval

@@ -1,0 +1,114 @@
+"""Tests for weekday/weekend traffic profiles and weekend-aware buckets."""
+
+import numpy as np
+import pytest
+
+from repro.history.store import HistoricalSpeedStore
+from repro.history.timebuckets import TimeGrid
+from repro.traffic.profiles import (
+    WEEKEND_PROFILES,
+    ProfileSet,
+    weekday_weekend_profiles,
+)
+from repro.traffic.simulator import TrafficSimulator
+
+
+class TestWeekendProfiles:
+    def test_default_has_no_weekend(self):
+        assert not ProfileSet().has_weekend
+
+    def test_factory_has_weekend(self):
+        assert weekday_weekend_profiles().has_weekend
+
+    def test_weekend_skips_commuter_rush(self):
+        profiles = weekday_weekend_profiles()
+        rush = 8.25
+        for road_class in ("highway", "arterial"):
+            weekday = profiles.multiplier(road_class, rush, weekend=False)
+            weekend = profiles.multiplier(road_class, rush, weekend=True)
+            assert weekend > weekday + 0.15
+
+    def test_weekend_afternoon_dip(self):
+        profiles = weekday_weekend_profiles()
+        afternoon = profiles.multiplier("arterial", 14.0, weekend=True)
+        night = profiles.multiplier("arterial", 3.0, weekend=True)
+        assert afternoon < night
+
+    def test_without_weekend_flag_is_identity(self):
+        plain = ProfileSet()
+        assert plain.multiplier("local", 8.0, weekend=True) == plain.multiplier(
+            "local", 8.0, weekend=False
+        )
+
+    def test_weekend_table_covers_all_classes(self):
+        assert set(WEEKEND_PROFILES) == {
+            "highway", "arterial", "collector", "local",
+        }
+
+
+class TestWeekendSimulation:
+    @pytest.fixture(scope="class")
+    def fields(self, small_network):
+        grid = TimeGrid(60)
+        weekday_only = TrafficSimulator(small_network, grid)
+        with_weekend = TrafficSimulator(
+            small_network, grid, profiles=weekday_weekend_profiles()
+        )
+        a, _ = weekday_only.simulate(0, 7, seed=9)
+        b, _ = with_weekend.simulate(0, 7, seed=9)
+        return grid, a, b
+
+    def test_weekdays_identical(self, fields):
+        grid, plain, weekendised = fields
+        monday = list(grid.day_range(0))
+        assert np.allclose(
+            plain.matrix[monday[0] : monday[-1] + 1],
+            weekendised.matrix[monday[0] : monday[-1] + 1],
+        )
+
+    def test_weekend_days_differ(self, fields):
+        grid, plain, weekendised = fields
+        saturday = list(grid.day_range(5))
+        assert not np.allclose(
+            plain.matrix[saturday[0] : saturday[-1] + 1],
+            weekendised.matrix[saturday[0] : saturday[-1] + 1],
+        )
+
+    def test_weekend_rush_is_faster(self, fields):
+        grid, plain, weekendised = fields
+        rush_row = grid.interval_at(5, 8.0)  # Saturday 08:00
+        assert (
+            weekendised.matrix[rush_row].mean()
+            > plain.matrix[rush_row].mean() * 1.2
+        )
+
+
+class TestWeekendAwareBuckets:
+    def test_weekend_buckets_reduce_ha_error(self, small_network):
+        """With weekend traffic, weekend-aware buckets give a better
+        historical average on weekend test days (averaged across
+        several weekends — single days are dominated by day-level
+        noise, which is the whole point of the paper)."""
+        grid_plain = TimeGrid(60)
+        grid_aware = TimeGrid(60, distinguish_weekend=True)
+        simulator = TrafficSimulator(
+            small_network, grid_plain, profiles=weekday_weekend_profiles()
+        )
+        history, _ = simulator.simulate(0, 35, seed=4)  # 5 full weeks
+
+        store_plain = HistoricalSpeedStore.from_fields(grid_plain, [history])
+        store_aware = HistoricalSpeedStore.from_fields(grid_aware, [history])
+
+        errors_plain, errors_aware = [], []
+        for seed in (99, 100, 101):
+            test, _ = simulator.simulate(40, 2, seed=seed)  # Sat + Sun
+            for interval in test.intervals:
+                truth = test.speeds_at(interval)
+                for road, speed in truth.items():
+                    errors_plain.append(
+                        abs(store_plain.historical_speed(road, interval) - speed)
+                    )
+                    errors_aware.append(
+                        abs(store_aware.historical_speed(road, interval) - speed)
+                    )
+        assert np.mean(errors_aware) < np.mean(errors_plain) * 0.95
