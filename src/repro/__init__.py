@@ -35,7 +35,7 @@ from repro.core.errors import (
     SelectionError,
 )
 from repro.core.field import SpeedField
-from repro.core.pipeline import SpeedEstimationSystem
+from repro.core.pipeline import RoundOutcome, SpeedEstimationSystem
 from repro.core.routing import RoutePlan, RoutePlanner, route_travel_time_s
 from repro.core.types import CrowdAnswer, SpeedEstimate, SpeedObservation, Trend
 
@@ -50,6 +50,7 @@ __all__ = [
     "NetworkError",
     "PipelineConfig",
     "ReproError",
+    "RoundOutcome",
     "RoutePlan",
     "RoutePlanner",
     "SelectionError",

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.errors import ConfigError
+from repro.speed.degradation import DegradationParams
 from repro.speed.hlm import HlmParams
 
 #: Seed-selection algorithms the pipeline can run, by name.
@@ -30,6 +31,7 @@ class PipelineConfig:
     inference_method: str = "propagation"
     num_partitions: int = 8
     hlm: HlmParams = field(default_factory=HlmParams)
+    degradation: DegradationParams = field(default_factory=DegradationParams)
 
     def __post_init__(self) -> None:
         if self.selection_method not in SELECTION_METHODS:

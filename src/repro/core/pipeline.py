@@ -23,13 +23,16 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Mapping
+from dataclasses import dataclass, replace
+from typing import Iterator, Sequence
 
 from repro.core.config import PipelineConfig
 from repro.core.errors import ConfigError, SelectionError
 from repro.core.field import SpeedField
 from repro.core.types import SpeedEstimate
-from repro.crowd.platform import CrowdsourcingPlatform
+from repro.crowd.platform import CrowdsourcingPlatform, SpeedQueryTask
+from repro.crowd.report import RoundReport
 from repro.history.correlation import CorrelationGraph, mine_correlation_graph
 from repro.history.store import HistoricalSpeedStore
 from repro.history.timebuckets import TimeGrid
@@ -39,10 +42,59 @@ from repro.seeds.greedy import SelectionResult, greedy_select
 from repro.seeds.lazy import lazy_greedy_select
 from repro.seeds.objective import SeedSelectionObjective
 from repro.seeds.partition import partition_greedy_select
+from repro.speed.degradation import DegradationParams, DegradationPolicy
 from repro.speed.estimator import TwoStepEstimator
 from repro.trend.bp import LoopyBeliefPropagation
 from repro.trend.gibbs import GibbsSamplingInference
 from repro.trend.propagation import TrendPropagationInference
+
+
+class RoundOutcome(Mapping):
+    """Everything one :meth:`SpeedEstimationSystem.run_round` produced.
+
+    Behaves as a road id -> :class:`~repro.core.types.SpeedEstimate`
+    mapping for drop-in compatibility with the previous return type,
+    and additionally carries the crowdsourcing
+    :class:`~repro.crowd.report.RoundReport`, the real observations the
+    crowd delivered, and the seeds whose observations had to be
+    substituted (road id -> ``"stale"`` | ``"prior"``).
+    """
+
+    def __init__(
+        self,
+        estimates: dict[int, SpeedEstimate],
+        report: RoundReport,
+        observed: dict[int, float],
+        substituted: dict[int, str],
+    ) -> None:
+        self._estimates = estimates
+        self.report = report
+        self.observed = dict(observed)
+        self.substituted = dict(substituted)
+
+    @property
+    def estimates(self) -> dict[int, SpeedEstimate]:
+        return dict(self._estimates)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the round was partial in any way."""
+        return bool(self.substituted) or self.report.is_degraded
+
+    def __getitem__(self, road_id: int) -> SpeedEstimate:
+        return self._estimates[road_id]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._estimates)
+
+    def __len__(self) -> int:
+        return len(self._estimates)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"RoundOutcome(roads={len(self)}, degraded={self.degraded}, "
+            f"substituted={len(self.substituted)})"
+        )
 
 
 class SpeedEstimationSystem:
@@ -71,6 +123,7 @@ class SpeedEstimationSystem:
         )
         self._seeds: list[int] = []
         self._selection: SelectionResult | None = None
+        self._degradation = DegradationPolicy(store, config.degradation)
 
     # ------------------------------------------------------------------
     # Construction
@@ -161,6 +214,14 @@ class SpeedEstimationSystem:
         self, budget: int, method: str | None = None, random_seed: int = 0
     ) -> list[int]:
         """Select and remember the budget-K crowdsourcing seed roads."""
+        num_roads = len(self._graph.road_ids)
+        if budget < 1:
+            raise SelectionError(f"seed budget must be >= 1, got {budget}")
+        if budget > num_roads:
+            raise SelectionError(
+                f"seed budget {budget} exceeds the {num_roads} roads "
+                "in the correlation graph"
+            )
         method = method or self._config.selection_method
         if method == "greedy":
             result = greedy_select(self._objective, budget)
@@ -188,21 +249,46 @@ class SpeedEstimationSystem:
         """One estimation round from crowdsourced seed speeds."""
         return self._estimator.estimate_interval(interval, seed_speeds)
 
+    @property
+    def degradation(self) -> DegradationPolicy:
+        """The seed-substitution policy state shared across rounds."""
+        return self._degradation
+
     def run_round(
         self,
         interval: int,
         truth: SpeedField,
         platform: CrowdsourcingPlatform,
         crowd_seed: int = 0,
-    ) -> dict[int, SpeedEstimate]:
+    ) -> RoundOutcome:
         """Full round: crowdsource the selected seeds, then estimate.
 
         Requires :meth:`select_seeds` to have been called. The platform
         perturbs the truth with worker noise before estimation, so this
-        is the realistic end-to-end path.
+        is the realistic end-to-end path. The round degrades gracefully:
+        tasks the crowd failed to answer are substituted with decayed
+        last-known observations or historical-prior pseudo-observations,
+        estimation always completes, and the substituted seeds' estimates
+        come back flagged ``degraded``.
         """
         if not self._seeds:
             raise SelectionError("call select_seeds before run_round")
-        true_speeds = {road: truth.speed(road, interval) for road in self._seeds}
-        observed = platform.collect_speeds(interval, true_speeds, seed=crowd_seed)
-        return self.estimate(interval, observed)
+        tasks = [
+            SpeedQueryTask(road, interval, truth.speed(road, interval))
+            for road in self._seeds
+        ]
+        crowd_round = platform.collect(tasks, seed=crowd_seed)
+        observed = crowd_round.speeds()
+        filled, substituted = self._degradation.fill_missing(
+            interval, observed, self._seeds
+        )
+        estimates = self.estimate(interval, filled)
+        for road in substituted:
+            estimates[road] = replace(estimates[road], degraded=True)
+        self._degradation.observe(interval, observed)
+        return RoundOutcome(
+            estimates=estimates,
+            report=crowd_round.report,
+            observed=observed,
+            substituted=substituted,
+        )

@@ -55,7 +55,10 @@ class SpeedEstimate:
 
     ``trend_probability`` is the Step-1 posterior probability that the
     road's trend is RISE; ``is_seed`` marks roads whose speed came from
-    crowdsourcing rather than inference.
+    crowdsourcing rather than inference. ``degraded`` marks estimates
+    produced under graceful degradation — the seed observation behind
+    them was substituted (stale or prior), so their confidence is lower
+    than the numbers alone suggest.
     """
 
     road_id: int
@@ -64,6 +67,7 @@ class SpeedEstimate:
     trend: Trend
     trend_probability: float
     is_seed: bool = False
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.trend_probability <= 1.0:

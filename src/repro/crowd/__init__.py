@@ -1,23 +1,41 @@
-"""Crowdsourcing substrate: workers, aggregation, budgeted platform."""
+"""Crowdsourcing substrate: workers, aggregation, budgeted platform,
+round reporting, worker health and the adaptive scheduler."""
 
 from repro.crowd.aggregation import (
     mad_filtered_mean,
     mean_aggregate,
     median_aggregate,
 )
-from repro.crowd.platform import CrowdsourcingPlatform, SpeedQueryTask
+from repro.crowd.health import (
+    BreakerState,
+    CircuitBreaker,
+    WorkerHealth,
+    WorkerHealthTracker,
+    mad_outlier_mask,
+)
+from repro.crowd.platform import CrowdRound, CrowdsourcingPlatform, SpeedQueryTask
+from repro.crowd.report import RoundReport, TaskOutcome, TaskStatus
 from repro.crowd.scheduler import AdaptiveBudgetScheduler, RoundPlan
 from repro.crowd.workers import Worker, WorkerPool, WorkerPoolParams
 
 __all__ = [
     "AdaptiveBudgetScheduler",
+    "BreakerState",
+    "CircuitBreaker",
+    "CrowdRound",
     "CrowdsourcingPlatform",
     "RoundPlan",
+    "RoundReport",
     "SpeedQueryTask",
+    "TaskOutcome",
+    "TaskStatus",
     "Worker",
+    "WorkerHealth",
+    "WorkerHealthTracker",
     "WorkerPool",
     "WorkerPoolParams",
     "mad_filtered_mean",
+    "mad_outlier_mask",
     "mean_aggregate",
     "median_aggregate",
 ]

@@ -1,25 +1,42 @@
-"""The budgeted crowdsourcing platform.
+"""The budgeted, fault-tolerant crowdsourcing platform.
 
 One :meth:`CrowdsourcingPlatform.collect` call is one crowdsourcing
 round: for every seed road it assigns ``workers_per_task`` workers,
 gathers their noisy answers against the true speed, aggregates them
-robustly, and returns a :class:`~repro.core.types.CrowdAnswer` per task
-with the money spent. This is the layer that turns "true speeds of the
-K seeds" (what the evaluation needs) into "what the system actually
-sees" (noisy aggregates), so the full pipeline is exercised under
-realistic observation error.
+robustly, and returns a :class:`CrowdRound` — the aggregated
+:class:`~repro.core.types.CrowdAnswer` per answered task plus a
+:class:`~repro.crowd.report.RoundReport` recording what happened to
+every task. This is the layer that turns "true speeds of the K seeds"
+(what the evaluation needs) into "what the system actually sees"
+(noisy, possibly partial aggregates).
+
+The round lifecycle is deliberately non-aborting: a task whose retry
+budget runs out is recorded as failed and the round continues, so one
+unanswered task can never sink a whole round. A
+:class:`~repro.crowd.health.CircuitBreaker` stops paying for tasks
+during a platform-wide outage, and an optional
+:class:`~repro.crowd.health.WorkerHealthTracker` quarantines chronic
+non-responders and spammers from future assignment.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterator
 
 import numpy as np
 
 from repro.core.errors import CrowdsourcingError
 from repro.core.types import CrowdAnswer
 from repro.crowd.aggregation import mad_filtered_mean
+from repro.crowd.health import (
+    BreakerState,
+    CircuitBreaker,
+    WorkerHealthTracker,
+    mad_outlier_mask,
+)
+from repro.crowd.report import RoundReport, TaskOutcome, TaskStatus
 from repro.crowd.workers import WorkerPool
 
 
@@ -38,6 +55,36 @@ class SpeedQueryTask:
             )
 
 
+class CrowdRound(Mapping):
+    """One round's answers (a road id -> answer mapping) plus its report."""
+
+    def __init__(
+        self, answers: dict[int, CrowdAnswer], report: RoundReport
+    ) -> None:
+        self._answers = dict(answers)
+        self.report = report
+
+    @property
+    def answers(self) -> dict[int, CrowdAnswer]:
+        return dict(self._answers)
+
+    def speeds(self) -> dict[int, float]:
+        """road id -> aggregated speed for the answered tasks."""
+        return {road: a.speed_kmh for road, a in self._answers.items()}
+
+    def __getitem__(self, road_id: int) -> CrowdAnswer:
+        return self._answers[road_id]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._answers)
+
+    def __len__(self) -> int:
+        return len(self._answers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"CrowdRound(answered={len(self)}, report={self.report!r})"
+
+
 class CrowdsourcingPlatform:
     """Assigns tasks to workers and aggregates their answers."""
 
@@ -47,6 +94,9 @@ class CrowdsourcingPlatform:
         workers_per_task: int = 5,
         cost_per_answer: float = 1.0,
         aggregator: Callable[[list[float]], float] = mad_filtered_mean,
+        max_postings: int = 10,
+        health: WorkerHealthTracker | None = None,
+        circuit_breaker: CircuitBreaker | None = None,
     ) -> None:
         if workers_per_task < 1:
             raise CrowdsourcingError("workers_per_task must be >= 1")
@@ -56,57 +106,177 @@ class CrowdsourcingPlatform:
             )
         if cost_per_answer < 0:
             raise CrowdsourcingError("cost per answer must be non-negative")
+        if max_postings < 1:
+            raise CrowdsourcingError("max_postings must be >= 1")
         self._pool = pool
         self._workers_per_task = workers_per_task
         self._cost_per_answer = cost_per_answer
         self._aggregator = aggregator
+        self._max_postings = max_postings
+        self._health = health
+        self._breaker = circuit_breaker
         self.total_cost = 0.0
         self.total_answers = 0
+        self.last_report: RoundReport | None = None
 
-    def collect_one(
-        self, task: SpeedQueryTask, rng: np.random.Generator
-    ) -> CrowdAnswer:
-        """Run one task; always produces an answer.
+    @property
+    def health(self) -> WorkerHealthTracker | None:
+        return self._health
 
-        If every assigned worker fails to respond, replacement workers
-        are drawn until at least one answer arrives (platforms re-post
-        unanswered tasks); only delivered answers are paid for.
+    @property
+    def circuit_breaker(self) -> CircuitBreaker | None:
+        return self._breaker
+
+    # ------------------------------------------------------------------
+    # Single-task path
+    # ------------------------------------------------------------------
+    def _run_task(
+        self,
+        task: SpeedQueryTask,
+        rng: np.random.Generator,
+        quarantined: frozenset[int],
+    ) -> tuple[TaskOutcome, CrowdAnswer | None]:
+        """Post one task with a capped retry budget; never raises.
+
+        Returns the task's outcome and, when answered, the aggregated
+        answer. Only delivered answers are paid for.
         """
-        answers: list[float] = []
-        attempts = 0
-        while not answers and attempts < 10:
-            attempts += 1
-            for worker in self._pool.draw(self._workers_per_task, rng):
-                answer = worker.answer(task.true_speed_kmh, rng)
-                if answer is not None:
-                    answers.append(answer)
-        if not answers:
-            raise CrowdsourcingError(
-                f"no worker answered the task on road {task.road_id} "
-                f"after {attempts} postings"
+        dropped = getattr(self._pool, "task_dropped", None)
+        if dropped is not None and dropped(task.road_id):
+            return (
+                TaskOutcome(task.road_id, TaskStatus.DROPPED, 0, 0, 0, 0.0),
+                None,
             )
+        by_worker: list[tuple[int, float]] = []
+        postings = 0
+        while not by_worker and postings < self._max_postings:
+            postings += 1
+            for worker in self._pool.draw(
+                self._workers_per_task, rng, exclude=quarantined
+            ):
+                answer = worker.answer(task.true_speed_kmh, rng)
+                if self._health is not None:
+                    self._health.record_assignment(
+                        worker.worker_id, answer is not None
+                    )
+                if answer is not None:
+                    by_worker.append((worker.worker_id, answer))
+        if not by_worker:
+            return (
+                TaskOutcome(
+                    task.road_id, TaskStatus.NO_RESPONSE, postings, 0, 0, 0.0
+                ),
+                None,
+            )
+        answers = [value for _, value in by_worker]
+        outliers = mad_outlier_mask(answers)
+        if self._health is not None:
+            for (worker_id, _), is_outlier in zip(by_worker, outliers):
+                if is_outlier:
+                    self._health.record_outlier(worker_id)
         cost = len(answers) * self._cost_per_answer
         self.total_cost += cost
         self.total_answers += len(answers)
-        return CrowdAnswer(
+        outcome = TaskOutcome(
+            road_id=task.road_id,
+            status=TaskStatus.ANSWERED,
+            postings=postings,
+            num_answers=len(answers),
+            num_outliers=sum(outliers),
+            cost=cost,
+        )
+        answer = CrowdAnswer(
             road_id=task.road_id,
             interval=task.interval,
             speed_kmh=self._aggregator(answers),
             num_workers=len(answers),
             cost=cost,
         )
+        return outcome, answer
 
-    def collect(
-        self, tasks: list[SpeedQueryTask], seed: int
-    ) -> dict[int, CrowdAnswer]:
-        """Run a full round; returns road id -> aggregated answer."""
+    def collect_one(
+        self, task: SpeedQueryTask, rng: np.random.Generator
+    ) -> CrowdAnswer:
+        """Run one task in isolation; raises if nobody ever answers.
+
+        The round path (:meth:`collect`) records such failures instead
+        of raising; this strict variant serves callers that need exactly
+        one answer.
+        """
+        quarantined = (
+            self._health.quarantined() if self._health is not None else frozenset()
+        )
+        outcome, answer = self._run_task(task, rng, quarantined)
+        if answer is None:
+            raise CrowdsourcingError(
+                f"no worker answered the task on road {task.road_id} "
+                f"after {outcome.postings} postings"
+            )
+        return answer
+
+    # ------------------------------------------------------------------
+    # Round path
+    # ------------------------------------------------------------------
+    def collect(self, tasks: list[SpeedQueryTask], seed: int) -> CrowdRound:
+        """Run a full round; never raises mid-round.
+
+        Every task terminates in exactly one
+        :class:`~repro.crowd.report.TaskOutcome`: answered, no-response
+        (retry budget exhausted), dropped in transit, or skipped because
+        the circuit breaker opened. An empty task list is a legal empty
+        round — the scheduler's light rounds may shrink to zero
+        sentinels.
+        """
         if not tasks:
-            raise CrowdsourcingError("a crowdsourcing round needs tasks")
+            report = RoundReport.empty()
+            self.last_report = report
+            return CrowdRound({}, report)
         roads = [t.road_id for t in tasks]
         if len(set(roads)) != len(roads):
             raise CrowdsourcingError("duplicate roads in one round")
+        interval = tasks[0].interval
         rng = np.random.default_rng(seed)
-        return {task.road_id: self.collect_one(task, rng) for task in tasks}
+        self._pool.begin_round(interval)
+        if self._breaker is not None:
+            self._breaker.begin_round()
+        quarantined = (
+            self._health.quarantined() if self._health is not None else frozenset()
+        )
+
+        answers: dict[int, CrowdAnswer] = {}
+        outcomes: list[TaskOutcome] = []
+        tripped = False
+        for task in tasks:
+            if self._breaker is not None and not self._breaker.allow():
+                outcomes.append(
+                    TaskOutcome(
+                        task.road_id,
+                        TaskStatus.SKIPPED_CIRCUIT_OPEN,
+                        0,
+                        0,
+                        0,
+                        0.0,
+                    )
+                )
+                continue
+            outcome, answer = self._run_task(task, rng, quarantined)
+            outcomes.append(outcome)
+            if answer is not None:
+                answers[task.road_id] = answer
+            if self._breaker is not None:
+                if outcome.status is TaskStatus.ANSWERED:
+                    self._breaker.record_success()
+                elif outcome.status is TaskStatus.NO_RESPONSE:
+                    self._breaker.record_failure()
+                    tripped = tripped or self._breaker.state is BreakerState.OPEN
+        report = RoundReport(
+            interval=interval,
+            outcomes=tuple(outcomes),
+            circuit_tripped=tripped,
+            quarantined_workers=tuple(sorted(quarantined)),
+        )
+        self.last_report = report
+        return CrowdRound(answers, report)
 
     def collect_speeds(
         self,
@@ -114,10 +284,13 @@ class CrowdsourcingPlatform:
         true_speeds: dict[int, float],
         seed: int,
     ) -> dict[int, float]:
-        """Convenience: seed road -> aggregated crowd speed for a round."""
+        """Convenience: seed road -> aggregated crowd speed for a round.
+
+        Failed tasks are simply absent from the result; consult
+        :attr:`last_report` for their outcomes.
+        """
         tasks = [
             SpeedQueryTask(road, interval, speed)
             for road, speed in sorted(true_speeds.items())
         ]
-        answers = self.collect(tasks, seed)
-        return {road: answer.speed_kmh for road, answer in answers.items()}
+        return self.collect(tasks, seed).speeds()

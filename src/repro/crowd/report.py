@@ -1,0 +1,125 @@
+"""Structured reporting for crowdsourcing rounds.
+
+A production round rarely comes back perfect: tasks expire unanswered,
+the platform has outage windows, spam gets filtered. The estimator can
+degrade gracefully only if the crowd layer *tells it what happened*, so
+:meth:`~repro.crowd.platform.CrowdsourcingPlatform.collect` returns a
+:class:`RoundReport` alongside the answers — one
+:class:`TaskOutcome` per posted task with its status, posting count,
+answer count, discarded-outlier count and cost.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.errors import CrowdsourcingError
+
+
+class TaskStatus(enum.Enum):
+    """Terminal state of one crowdsourcing task within a round."""
+
+    ANSWERED = "answered"  # at least one worker answer survived
+    NO_RESPONSE = "no_response"  # retry budget exhausted with zero answers
+    DROPPED = "dropped"  # task lost before reaching any worker
+    SKIPPED_CIRCUIT_OPEN = "skipped_circuit_open"  # breaker refused to post
+
+    @property
+    def is_failure(self) -> bool:
+        return self is not TaskStatus.ANSWERED
+
+
+@dataclass(frozen=True, slots=True)
+class TaskOutcome:
+    """What happened to one task in one round."""
+
+    road_id: int
+    status: TaskStatus
+    postings: int  # times the task was (re-)posted to workers
+    num_answers: int  # answers delivered (and paid for)
+    num_outliers: int  # answers flagged as MAD outliers
+    cost: float
+
+    def __post_init__(self) -> None:
+        if self.postings < 0 or self.num_answers < 0 or self.cost < 0:
+            raise CrowdsourcingError("task outcome counters must be non-negative")
+        if self.status is TaskStatus.ANSWERED and self.num_answers == 0:
+            raise CrowdsourcingError("an answered task must have answers")
+        if self.status.is_failure and self.num_answers > 0:
+            raise CrowdsourcingError("a failed task cannot carry answers")
+
+
+@dataclass(frozen=True)
+class RoundReport:
+    """Per-task accounting for one crowdsourcing round.
+
+    ``interval`` is ``None`` for an empty round (no tasks posted).
+    ``circuit_tripped`` records whether the platform circuit breaker
+    opened at any point during the round; ``quarantined_workers`` is the
+    quarantine set that was in force when the round started.
+    """
+
+    interval: int | None
+    outcomes: tuple[TaskOutcome, ...]
+    circuit_tripped: bool = False
+    quarantined_workers: tuple[int, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def empty(cls, interval: int | None = None) -> "RoundReport":
+        """The report of a legally empty round (zero tasks)."""
+        return cls(interval=interval, outcomes=())
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def answered_roads(self) -> tuple[int, ...]:
+        return tuple(
+            o.road_id for o in self.outcomes if o.status is TaskStatus.ANSWERED
+        )
+
+    @property
+    def failed_roads(self) -> tuple[int, ...]:
+        return tuple(o.road_id for o in self.outcomes if o.status.is_failure)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(o.cost for o in self.outcomes)
+
+    @property
+    def total_postings(self) -> int:
+        return sum(o.postings for o in self.outcomes)
+
+    @property
+    def total_answers(self) -> int:
+        return sum(o.num_answers for o in self.outcomes)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of tasks answered; 1.0 for an empty round."""
+        if not self.outcomes:
+            return 1.0
+        return len(self.answered_roads) / len(self.outcomes)
+
+    @property
+    def is_degraded(self) -> bool:
+        """True when any task failed — the round is partial."""
+        return any(o.status.is_failure for o in self.outcomes)
+
+    def outcome_for(self, road_id: int) -> TaskOutcome:
+        for outcome in self.outcomes:
+            if outcome.road_id == road_id:
+                return outcome
+        raise CrowdsourcingError(f"no task for road {road_id} in this round")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"RoundReport(interval={self.interval}, tasks={self.num_tasks}, "
+            f"answered={len(self.answered_roads)}, "
+            f"failed={len(self.failed_roads)}, cost={self.total_cost:.2f})"
+        )

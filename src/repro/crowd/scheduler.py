@@ -57,8 +57,10 @@ class AdaptiveBudgetScheduler:
         self._baseline: dict[int, float] | None = None
         self._light_rounds_since_full = 0
         self._drift_pending = False
+        self._degraded_pending = False
         self.full_rounds = 0
         self.light_rounds = 0
+        self.degraded_rounds = 0
         self.queries_issued = 0
 
     @property
@@ -73,6 +75,8 @@ class AdaptiveBudgetScheduler:
         """Decide this interval's query set."""
         if self._baseline is None:
             return RoundPlan(self._full_seeds, True, "bootstrap")
+        if self._degraded_pending:
+            return RoundPlan(self._full_seeds, True, "degraded round")
         if self._drift_pending:
             return RoundPlan(self._full_seeds, True, "drift detected")
         if self._light_rounds_since_full >= self._max_light_rounds:
@@ -80,22 +84,38 @@ class AdaptiveBudgetScheduler:
         return RoundPlan(self._light_seeds, False, "calm")
 
     def record_round(
-        self, plan: RoundPlan, deviations: dict[int, float]
+        self,
+        plan: RoundPlan,
+        deviations: dict[int, float],
+        *,
+        degraded: bool = False,
     ) -> None:
         """Feed back the observed deviation ratios of the queried seeds.
 
         After a full round the observations become the new baseline;
         after a light round the sentinels are compared to the baseline
         and a drift flag may arm the next full round.
+
+        Rounds may legitimately come back partial — queried seeds with
+        no observation count as degradation rather than an error, and a
+        degraded round (partial, or flagged ``degraded`` by the caller,
+        e.g. because seed substitution kicked in) escalates the next
+        round to full.
         """
         missing = [s for s in plan.seeds if s not in deviations]
-        if missing:
-            raise CrowdsourcingError(
-                f"observations missing for queried seeds {missing[:3]}"
-            )
+        degraded = degraded or bool(missing)
         self.queries_issued += len(plan.seeds)
+        if degraded:
+            self.degraded_rounds += 1
+        self._degraded_pending = degraded
         if plan.is_full:
-            self._baseline = {s: deviations[s] for s in self._full_seeds}
+            # Refresh what was observed; keep prior baseline values for
+            # seeds the round failed to deliver.
+            baseline = dict(self._baseline or {})
+            baseline.update(
+                {s: deviations[s] for s in self._full_seeds if s in deviations}
+            )
+            self._baseline = baseline
             self._light_rounds_since_full = 0
             self._drift_pending = False
             self.full_rounds += 1
@@ -105,8 +125,13 @@ class AdaptiveBudgetScheduler:
         self._light_rounds_since_full += 1
         assert self._baseline is not None  # light rounds follow a full one
         shifts = [
-            abs(deviations[s] - self._baseline[s]) for s in plan.seeds
+            abs(deviations[s] - self._baseline[s])
+            for s in plan.seeds
+            if s in deviations and s in self._baseline
         ]
+        if not shifts:
+            self._degraded_pending = True
+            return
         if float(np.mean(shifts)) > self._drift_threshold:
             self._drift_pending = True
 

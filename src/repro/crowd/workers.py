@@ -103,11 +103,37 @@ class WorkerPool:
     def workers(self) -> list[Worker]:
         return list(self._workers)
 
-    def draw(self, count: int, rng: np.random.Generator) -> list[Worker]:
-        """``count`` distinct workers chosen uniformly."""
+    def begin_round(self, interval: int) -> None:
+        """Hook called by the platform at the start of each round.
+
+        A plain pool ignores it; fault-injecting pools
+        (:class:`~repro.faults.injector.FaultyWorkerPool`) use it to
+        advance their scenario clock.
+        """
+
+    def draw(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        exclude: frozenset[int] = frozenset(),
+    ) -> list[Worker]:
+        """``count`` distinct workers chosen uniformly.
+
+        ``exclude`` names quarantined worker ids to avoid. If excluding
+        them would leave fewer than ``count`` candidates, the exclusion
+        is waived (quarantined workers are paroled) so a round can
+        always be staffed.
+        """
         if count > len(self._workers):
             raise CrowdsourcingError(
                 f"requested {count} workers from a pool of {len(self._workers)}"
             )
-        picks = rng.choice(len(self._workers), size=count, replace=False)
-        return [self._workers[int(i)] for i in picks]
+        candidates = list(range(len(self._workers)))
+        if exclude:
+            eligible = [
+                i for i in candidates if self._workers[i].worker_id not in exclude
+            ]
+            if len(eligible) >= count:
+                candidates = eligible
+        picks = rng.choice(len(candidates), size=count, replace=False)
+        return [self._workers[candidates[int(i)]] for i in picks]

@@ -1,0 +1,40 @@
+"""Deterministic fault injection for the crowdsourcing layer.
+
+Fault **scenarios** (:mod:`repro.faults.scenarios`) describe *what goes
+wrong when*: windows of rounds during which a deterministic subset of
+workers stops responding (no-show storm), starts spamming, answers with
+stale speeds, the whole platform goes dark (outage), or tasks are lost
+in transit (task dropout). The **injector**
+(:mod:`repro.faults.injector`) wraps any
+:class:`~repro.crowd.workers.WorkerPool` so the faults manifest through
+the normal platform path — no caller changes required.
+
+    from repro.faults import get_scenario, inject_faults
+
+    pool = WorkerPool.sample(100, seed=1)
+    faulty = inject_faults(pool, get_scenario("no-show-storm"))
+    platform = CrowdsourcingPlatform(faulty, workers_per_task=5)
+
+Everything is reproducible: the affected-worker subsets derive from the
+scenario seed, and per-answer randomness comes from the round rng the
+platform already threads through.
+"""
+
+from repro.faults.injector import FaultyWorkerPool, inject_faults
+from repro.faults.scenarios import (
+    FAULT_KINDS,
+    FaultScenario,
+    FaultWindow,
+    bundled_scenarios,
+    get_scenario,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultScenario",
+    "FaultWindow",
+    "FaultyWorkerPool",
+    "bundled_scenarios",
+    "get_scenario",
+    "inject_faults",
+]

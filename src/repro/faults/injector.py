@@ -1,0 +1,191 @@
+"""Injecting fault scenarios into a worker pool.
+
+:class:`FaultyWorkerPool` subclasses
+:class:`~repro.crowd.workers.WorkerPool`, so it drops into any
+:class:`~repro.crowd.platform.CrowdsourcingPlatform` unchanged. The
+platform's per-round :meth:`begin_round` call advances the scenario
+clock; :meth:`draw` then hands out workers wrapped so that active fault
+windows manifest through the normal ``worker.answer`` path:
+
+* **no_show / spam / stale** afflict a deterministic subset of the pool
+  (fraction = window intensity, membership drawn from the scenario
+  seed), so the same workers misbehave round after round — which is
+  exactly what lets the health tracker quarantine them;
+* **outage** silences everyone, which the platform's circuit breaker
+  turns into cheap skipped tasks instead of paid retry storms;
+* **task_dropout** is consulted by the platform through the
+  :meth:`task_dropped` hook before any worker is drawn.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.crowd.workers import Worker, WorkerPool
+from repro.faults.scenarios import FaultScenario, FaultWindow
+
+
+class _FaultedWorker:
+    """A worker seen through the currently active fault windows.
+
+    Duck-types :class:`~repro.crowd.workers.Worker` for the platform's
+    purposes (``worker_id`` + ``answer``).
+    """
+
+    __slots__ = ("_base", "_pool", "_no_show", "_spam", "_stale", "_outage")
+
+    def __init__(
+        self,
+        base: Worker,
+        pool: "FaultyWorkerPool",
+        no_show: bool,
+        spam: bool,
+        stale: bool,
+        outage: bool,
+    ) -> None:
+        self._base = base
+        self._pool = pool
+        self._no_show = no_show
+        self._spam = spam
+        self._stale = stale
+        self._outage = outage
+
+    @property
+    def worker_id(self) -> int:
+        return self._base.worker_id
+
+    def answer(
+        self, true_speed_kmh: float, rng: np.random.Generator
+    ) -> float | None:
+        self._pool.remember_truth(true_speed_kmh)
+        if self._outage or self._no_show:
+            return None
+        if self._spam:
+            # Consume the reliability draw the honest path would use, so
+            # spam windows do not shift the rng stream for other workers.
+            rng.random()
+            return float(rng.uniform(1.0, 100.0))
+        if self._stale:
+            old = self._pool.stale_truth()
+            if old is not None:
+                return self._base.answer(old, rng)
+        return self._base.answer(true_speed_kmh, rng)
+
+
+class FaultyWorkerPool(WorkerPool):
+    """A worker pool that replays a :class:`FaultScenario`."""
+
+    def __init__(self, base: WorkerPool, scenario: FaultScenario) -> None:
+        super().__init__(base.workers())
+        self._scenario = scenario
+        self._round_index = -1
+        self._memory: deque[float] = deque(maxlen=256)
+        # Stale windows replay remembered truths, so memory must accrue
+        # from round 0 — wrap workers even while no window is active.
+        self._needs_memory = any(w.kind == "stale" for w in scenario.windows)
+        # Deterministic afflicted subsets per worker-level window.
+        self._afflicted: dict[FaultWindow, frozenset[int]] = {}
+        for window in scenario.windows:
+            if window.kind in ("no_show", "spam", "stale"):
+                wrng = np.random.default_rng(
+                    (scenario.seed, window.seed_offset, window.start_round)
+                )
+                mask = wrng.random(self.size) < window.intensity
+                self._afflicted[window] = frozenset(
+                    w.worker_id
+                    for w, hit in zip(self.workers(), mask)
+                    if hit
+                )
+
+    @property
+    def scenario(self) -> FaultScenario:
+        return self._scenario
+
+    @property
+    def round_index(self) -> int:
+        """Rounds seen so far (-1 before the first ``begin_round``)."""
+        return self._round_index
+
+    def afflicted_workers(self, window: FaultWindow) -> frozenset[int]:
+        """The deterministic subset a worker-level window afflicts."""
+        return self._afflicted.get(window, frozenset())
+
+    # ------------------------------------------------------------------
+    # Platform hooks
+    # ------------------------------------------------------------------
+    def begin_round(self, interval: int) -> None:
+        self._round_index += 1
+
+    def task_dropped(self, road_id: int) -> bool:
+        """Is this round's task for ``road_id`` lost in transit?"""
+        for window in self._scenario.active_windows(self._round_index):
+            if window.kind != "task_dropout":
+                continue
+            trng = np.random.default_rng(
+                (
+                    self._scenario.seed,
+                    window.seed_offset,
+                    self._round_index,
+                    road_id,
+                )
+            )
+            if trng.random() < window.intensity:
+                return True
+        return False
+
+    def draw(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        exclude: frozenset[int] = frozenset(),
+    ) -> list:
+        workers = super().draw(count, rng, exclude=exclude)
+        active = self._scenario.active_windows(self._round_index)
+        if not active and not self._needs_memory:
+            return workers
+        outage = any(w.kind == "outage" for w in active)
+        no_show_ids: set[int] = set()
+        spam_ids: set[int] = set()
+        stale_ids: set[int] = set()
+        for window in active:
+            if window.kind == "no_show":
+                no_show_ids |= self._afflicted[window]
+            elif window.kind == "spam":
+                spam_ids |= self._afflicted[window]
+            elif window.kind == "stale":
+                stale_ids |= self._afflicted[window]
+        return [
+            _FaultedWorker(
+                worker,
+                self,
+                no_show=worker.worker_id in no_show_ids,
+                spam=worker.worker_id in spam_ids,
+                stale=worker.worker_id in stale_ids,
+                outage=outage,
+            )
+            for worker in workers
+        ]
+
+    # ------------------------------------------------------------------
+    # Stale-answer memory
+    # ------------------------------------------------------------------
+    def remember_truth(self, true_speed_kmh: float) -> None:
+        self._memory.append(true_speed_kmh)
+
+    def stale_truth(self) -> float | None:
+        """An old remembered truth, or None while memory is thin.
+
+        Picks from the oldest quarter of the memory so the reported
+        value genuinely lags the current traffic state.
+        """
+        if len(self._memory) < 8:
+            return None
+        return self._memory[len(self._memory) // 4]
+
+
+def inject_faults(pool: WorkerPool, scenario: FaultScenario) -> FaultyWorkerPool:
+    """Wrap ``pool`` so it replays ``scenario`` — callers keep using the
+    normal :class:`~repro.crowd.platform.CrowdsourcingPlatform` API."""
+    return FaultyWorkerPool(pool, scenario)

@@ -1,0 +1,187 @@
+"""Fault-scenario descriptions: what goes wrong, when, how hard.
+
+A :class:`FaultScenario` is a named, seed-reproducible schedule of
+:class:`FaultWindow` entries. Windows are expressed in **round
+indices** — the 0-based count of crowdsourcing rounds since injection —
+so a scenario replays identically regardless of the absolute interval
+numbering of the day it is run against.
+
+Fault kinds
+-----------
+``no_show``
+    A deterministic fraction ``intensity`` of the pool stops responding
+    for the window (reliability collapses to zero for those workers).
+``spam``
+    A fraction ``intensity`` of the pool answers uniformly at random
+    for the window.
+``stale``
+    A fraction ``intensity`` of the pool answers with *old* speeds —
+    truths remembered from earlier rounds — instead of the current one.
+``outage``
+    The platform is dark: every worker is silent for the window,
+    regardless of ``intensity``. This is what trips the platform
+    circuit breaker.
+``task_dropout``
+    Each task is lost in transit with probability ``intensity`` before
+    reaching any worker (expired HIT, routing failure). Loss is decided
+    per ``(round, road)`` from the scenario seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import CrowdsourcingError
+
+#: Recognised fault kinds, with their per-kind seed offsets (stable
+#: across processes — never use ``hash``).
+FAULT_KINDS = ("no_show", "spam", "stale", "outage", "task_dropout")
+_KIND_SEED_OFFSET = {kind: i + 1 for i, kind in enumerate(FAULT_KINDS)}
+
+
+@dataclass(frozen=True, slots=True)
+class FaultWindow:
+    """One contiguous stretch of rounds during which a fault is active."""
+
+    kind: str
+    start_round: int
+    num_rounds: int
+    intensity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise CrowdsourcingError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if self.start_round < 0:
+            raise CrowdsourcingError("start_round must be >= 0")
+        if self.num_rounds < 1:
+            raise CrowdsourcingError("num_rounds must be >= 1")
+        if not 0.0 < self.intensity <= 1.0:
+            raise CrowdsourcingError("intensity must be in (0, 1]")
+
+    def active(self, round_index: int) -> bool:
+        return self.start_round <= round_index < self.start_round + self.num_rounds
+
+    @property
+    def seed_offset(self) -> int:
+        return _KIND_SEED_OFFSET[self.kind]
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "start_round": self.start_round,
+            "num_rounds": self.num_rounds,
+            "intensity": self.intensity,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultWindow":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named, reproducible schedule of fault windows."""
+
+    name: str
+    windows: tuple[FaultWindow, ...]
+    seed: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CrowdsourcingError("scenario needs a name")
+        object.__setattr__(self, "windows", tuple(self.windows))
+
+    def active_windows(self, round_index: int) -> tuple[FaultWindow, ...]:
+        return tuple(w for w in self.windows if w.active(round_index))
+
+    @property
+    def last_faulty_round(self) -> int:
+        """Index of the last round any window covers (-1 if none)."""
+        if not self.windows:
+            return -1
+        return max(w.start_round + w.num_rounds - 1 for w in self.windows)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "description": self.description,
+            "windows": [w.to_dict() for w in self.windows],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultScenario":
+        return cls(
+            name=payload["name"],
+            windows=tuple(
+                FaultWindow.from_dict(w) for w in payload.get("windows", ())
+            ),
+            seed=int(payload.get("seed", 0)),
+            description=payload.get("description", ""),
+        )
+
+
+# ----------------------------------------------------------------------
+# Bundled scenarios — the chaos suite drives every one of these.
+# ----------------------------------------------------------------------
+def bundled_scenarios() -> dict[str, FaultScenario]:
+    """The scenario library shipped with the package."""
+    scenarios = (
+        FaultScenario(
+            name="no-show-storm",
+            description="85% of the pool goes silent for rounds 2-5",
+            windows=(FaultWindow("no_show", 2, 4, 0.85),),
+            seed=101,
+        ),
+        FaultScenario(
+            name="spam-burst",
+            description="45% of the pool answers uniform noise for rounds 2-5",
+            windows=(FaultWindow("spam", 2, 4, 0.45),),
+            seed=202,
+        ),
+        FaultScenario(
+            name="outage-window",
+            description="total platform outage for rounds 3-5",
+            windows=(FaultWindow("outage", 3, 3),),
+            seed=303,
+        ),
+        FaultScenario(
+            name="stale-answers",
+            description="70% of the pool reports remembered old speeds "
+            "for rounds 2-5",
+            windows=(FaultWindow("stale", 2, 4, 0.7),),
+            seed=404,
+        ),
+        FaultScenario(
+            name="seed-dropout-30",
+            description="every round loses ~30% of its tasks in transit",
+            windows=(FaultWindow("task_dropout", 0, 10_000, 0.3),),
+            seed=505,
+        ),
+        FaultScenario(
+            name="rolling-chaos",
+            description="storm, spam burst and a short outage back to back",
+            windows=(
+                FaultWindow("no_show", 1, 2, 0.7),
+                FaultWindow("spam", 3, 2, 0.5),
+                FaultWindow("outage", 6, 2),
+                FaultWindow("task_dropout", 1, 8, 0.15),
+            ),
+            seed=606,
+        ),
+    )
+    return {s.name: s for s in scenarios}
+
+
+def get_scenario(name: str) -> FaultScenario:
+    """Look up a bundled scenario by name."""
+    scenarios = bundled_scenarios()
+    if name not in scenarios:
+        raise CrowdsourcingError(
+            f"unknown fault scenario {name!r}; "
+            f"bundled: {sorted(scenarios)}"
+        )
+    return scenarios[name]

@@ -1,5 +1,11 @@
 """Step-2 speed inference: deviation hierarchy, HLM, two-step estimator."""
 
+from repro.speed.degradation import (
+    PRIOR,
+    STALE,
+    DegradationParams,
+    DegradationPolicy,
+)
 from repro.speed.estimator import TwoStepEstimator
 from repro.speed.uncertainty import (
     SpeedBand,
@@ -19,7 +25,11 @@ from repro.speed.hlm import (
 )
 
 __all__ = [
+    "DegradationParams",
+    "DegradationPolicy",
     "DeviationHierarchy",
+    "PRIOR",
+    "STALE",
     "HierarchicalLinearModel",
     "HlmParams",
     "JointSeedRegression",

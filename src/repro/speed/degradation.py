@@ -1,0 +1,100 @@
+"""Graceful degradation when seed observations go missing.
+
+The estimator can run on any non-empty seed subset, but a round that
+comes back badly mutilated (outage, storm, task loss) still needs
+*something* at every seed for estimation quality to stay bounded. The
+:class:`DegradationPolicy` substitutes, per missing seed:
+
+* a **decayed last-known observation** — the most recent crowd answer
+  pulled geometrically toward the historical bucket mean, one factor of
+  ``decay_per_interval`` per elapsed interval — while it is fresh
+  enough, otherwise
+* a **historical-prior pseudo-observation** — the bucket mean itself.
+
+Substituted seeds are reported back so the pipeline can mark the
+resulting estimates as degraded (and the uncertainty model can widen
+their bands); the scheduler escalates to a full round after any
+degraded one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import DataError
+from repro.history.store import HistoricalSpeedStore
+
+#: How a missing seed was filled.
+STALE = "stale"  # decayed last-known observation
+PRIOR = "prior"  # historical bucket-mean pseudo-observation
+
+
+@dataclass(frozen=True)
+class DegradationParams:
+    """Knobs of the seed-substitution policy."""
+
+    decay_per_interval: float = 0.8
+    max_staleness_intervals: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.decay_per_interval <= 1.0:
+            raise DataError("decay_per_interval must be in (0, 1]")
+        if self.max_staleness_intervals < 0:
+            raise DataError("max_staleness_intervals must be >= 0")
+
+
+class DegradationPolicy:
+    """Stateful seed substitution across a sequence of rounds."""
+
+    def __init__(
+        self,
+        store: HistoricalSpeedStore,
+        params: DegradationParams | None = None,
+    ) -> None:
+        self._store = store
+        self._params = params or DegradationParams()
+        self._last_known: dict[int, tuple[int, float]] = {}
+
+    @property
+    def params(self) -> DegradationParams:
+        return self._params
+
+    def last_known(self, road_id: int) -> tuple[int, float] | None:
+        """(interval, speed) of the road's last real observation."""
+        return self._last_known.get(road_id)
+
+    def observe(self, interval: int, observed: dict[int, float]) -> None:
+        """Record this round's *real* crowd observations."""
+        for road, speed in observed.items():
+            self._last_known[road] = (interval, speed)
+
+    def fill_missing(
+        self,
+        interval: int,
+        observed: dict[int, float],
+        expected_seeds: list[int] | tuple[int, ...],
+    ) -> tuple[dict[int, float], dict[int, str]]:
+        """Complete a partial round's seed observations.
+
+        Returns the filled ``{road: speed}`` covering every expected
+        seed, plus ``{road: STALE | PRIOR}`` for the substituted ones.
+        Real observations pass through verbatim.
+        """
+        filled = dict(observed)
+        substituted: dict[int, str] = {}
+        for road in expected_seeds:
+            if road in filled:
+                continue
+            prior = self._store.historical_speed(road, interval)
+            last = self._last_known.get(road)
+            if last is not None:
+                last_interval, last_speed = last
+                age = max(0, interval - last_interval)
+                if age <= self._params.max_staleness_intervals:
+                    weight = self._params.decay_per_interval**age
+                    filled[road] = prior + (last_speed - prior) * weight
+                    substituted[road] = STALE
+                    continue
+            filled[road] = prior
+            substituted[road] = PRIOR
+        return filled, substituted

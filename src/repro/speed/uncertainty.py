@@ -60,6 +60,7 @@ class UncertaintyModel:
         store: HistoricalSpeedStore,
         confidence: float = 0.90,
         seed_observation_std_kmh: float = 1.0,
+        degraded_inflation: float = 1.5,
     ) -> None:
         z = _Z_BY_CONFIDENCE.get(round(confidence, 2))
         if z is None:
@@ -67,11 +68,14 @@ class UncertaintyModel:
                 f"confidence must be one of {sorted(_Z_BY_CONFIDENCE)}, "
                 f"got {confidence}"
             )
+        if degraded_inflation < 1.0:
+            raise InferenceError("degraded_inflation must be >= 1")
         self._estimator = estimator
         self._store = store
         self._confidence = confidence
         self._z = z
         self._seed_std = seed_observation_std_kmh
+        self._degraded_inflation = degraded_inflation
         # Per-road historical deviation std: the prior-only fallback.
         deviations = store.deviation_matrix()
         self._prior_dev_std = deviations.std(axis=0)
@@ -109,6 +113,10 @@ class UncertaintyModel:
                 else:
                     dev_std = fitted.residual_std
                 std_kmh = max(0.1, dev_std * historical)
+            if estimate.degraded:
+                # A substituted seed observation is no real observation:
+                # widen its band so consumers see the lower confidence.
+                std_kmh *= self._degraded_inflation
             margin = self._z * std_kmh
             bands[road] = SpeedBand(
                 road_id=road,

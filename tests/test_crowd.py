@@ -156,9 +156,15 @@ class TestPlatform:
         with pytest.raises(CrowdsourcingError):
             platform.collect(tasks, seed=1)
 
-    def test_empty_round_rejected(self, platform):
-        with pytest.raises(CrowdsourcingError):
-            platform.collect([], seed=1)
+    def test_empty_round_is_legal(self, platform):
+        """Light rounds may shrink to zero sentinels: an empty task list
+        yields an empty round with an empty report, not an exception."""
+        round_ = platform.collect([], seed=1)
+        assert len(round_) == 0
+        assert round_.report.num_tasks == 0
+        assert round_.report.success_rate == 1.0
+        assert not round_.report.is_degraded
+        assert platform.last_report is round_.report
 
     def test_collect_speeds_convenience(self, platform):
         speeds = platform.collect_speeds(5, {1: 30.0, 2: 60.0}, seed=3)
@@ -189,3 +195,33 @@ class TestPlatform:
             SpeedQueryTask(1, 0, 40.0), np.random.default_rng(0)
         )
         assert answer.num_workers >= 1
+
+    def test_round_never_raises_on_dead_pool(self):
+        """A fully silent pool exhausts each task's retry budget and the
+        round completes with per-task NO_RESPONSE outcomes."""
+        dead = WorkerPool(
+            [Worker(i, 0.05, 0.0, reliability=0.0) for i in range(10)]
+        )
+        platform = CrowdsourcingPlatform(
+            dead, workers_per_task=3, max_postings=4
+        )
+        tasks = [SpeedQueryTask(r, 0, 40.0) for r in range(3)]
+        round_ = platform.collect(tasks, seed=1)
+        assert len(round_) == 0
+        assert round_.report.failed_roads == (0, 1, 2)
+        assert round_.report.is_degraded
+        assert all(o.postings == 4 for o in round_.report.outcomes)
+        assert platform.total_cost == 0.0
+
+    def test_report_accounts_every_task(self, platform):
+        tasks = [SpeedQueryTask(r, 3, 40.0) for r in range(6)]
+        round_ = platform.collect(tasks, seed=2)
+        report = round_.report
+        assert report.interval == 3
+        assert report.num_tasks == 6
+        assert set(report.answered_roads) == set(round_)
+        assert report.total_cost == pytest.approx(platform.total_cost)
+        outcome = report.outcome_for(2)
+        assert outcome.num_answers == round_[2].num_workers
+        with pytest.raises(CrowdsourcingError):
+            report.outcome_for(999)

@@ -1,0 +1,469 @@
+"""Chaos suite: fault scenarios, injection, and graceful degradation.
+
+Unit-tests the `repro.faults` package, the platform's non-aborting
+round lifecycle, worker quarantine and the circuit breaker — then
+drives the full pipeline through every bundled fault scenario and
+asserts estimates are always produced with bounded accuracy loss
+relative to the fault-free rounds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import CrowdsourcingError
+from repro.core.pipeline import RoundOutcome, SpeedEstimationSystem
+from repro.crowd import (
+    BreakerState,
+    CircuitBreaker,
+    CrowdsourcingPlatform,
+    SpeedQueryTask,
+    TaskStatus,
+    Worker,
+    WorkerHealthTracker,
+    WorkerPool,
+)
+from repro.speed.degradation import (
+    PRIOR,
+    STALE,
+    DegradationParams,
+    DegradationPolicy,
+)
+from repro.faults import (
+    FaultScenario,
+    FaultWindow,
+    bundled_scenarios,
+    get_scenario,
+    inject_faults,
+)
+
+
+def silent_pool(size=10):
+    return WorkerPool(
+        [Worker(i, 0.05, 0.0, reliability=0.0) for i in range(size)]
+    )
+
+
+def honest_pool(size=20):
+    return WorkerPool(
+        [Worker(i, 0.05, 0.0, reliability=1.0) for i in range(size)]
+    )
+
+
+class TestScenarios:
+    def test_window_validation(self):
+        with pytest.raises(CrowdsourcingError):
+            FaultWindow("gremlins", 0, 1)
+        with pytest.raises(CrowdsourcingError):
+            FaultWindow("spam", -1, 1)
+        with pytest.raises(CrowdsourcingError):
+            FaultWindow("spam", 0, 0)
+        with pytest.raises(CrowdsourcingError):
+            FaultWindow("spam", 0, 1, intensity=0.0)
+
+    def test_window_activity(self):
+        window = FaultWindow("no_show", 2, 3, 0.5)
+        assert [window.active(i) for i in range(6)] == [
+            False, False, True, True, True, False,
+        ]
+
+    def test_scenario_round_trip(self):
+        scenario = get_scenario("rolling-chaos")
+        clone = FaultScenario.from_dict(scenario.to_dict())
+        assert clone == scenario
+
+    def test_bundled_cover_every_kind(self):
+        kinds = {
+            w.kind for s in bundled_scenarios().values() for w in s.windows
+        }
+        assert kinds == {"no_show", "spam", "stale", "outage", "task_dropout"}
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(CrowdsourcingError, match="unknown fault scenario"):
+            get_scenario("volcano")
+
+
+class TestInjector:
+    def test_afflicted_subset_deterministic(self):
+        scenario = get_scenario("no-show-storm")
+        a = inject_faults(WorkerPool.sample(50, seed=3), scenario)
+        b = inject_faults(WorkerPool.sample(50, seed=3), scenario)
+        window = scenario.windows[0]
+        assert a.afflicted_workers(window) == b.afflicted_workers(window)
+        fraction = len(a.afflicted_workers(window)) / a.size
+        assert 0.6 < fraction < 1.0  # ~ the window's 0.85 intensity
+
+    def test_no_show_silences_afflicted_only(self):
+        scenario = FaultScenario(
+            "storm", (FaultWindow("no_show", 0, 10, 0.5),), seed=9
+        )
+        pool = inject_faults(honest_pool(40), scenario)
+        pool.begin_round(0)
+        afflicted = pool.afflicted_workers(scenario.windows[0])
+        rng = np.random.default_rng(1)
+        for worker in pool.draw(10, rng):
+            answer = worker.answer(40.0, rng)
+            if worker.worker_id in afflicted:
+                assert answer is None
+            else:
+                assert answer is not None
+
+    def test_outage_silences_everyone(self):
+        scenario = FaultScenario("dark", (FaultWindow("outage", 0, 2),))
+        pool = inject_faults(honest_pool(), scenario)
+        pool.begin_round(0)
+        rng = np.random.default_rng(1)
+        assert all(w.answer(40.0, rng) is None for w in pool.draw(8, rng))
+        # The window ends; the pool recovers.
+        pool.begin_round(1)
+        pool.begin_round(2)
+        assert all(
+            w.answer(40.0, rng) is not None for w in pool.draw(8, rng)
+        )
+
+    def test_spam_burst_answers_are_noise(self):
+        scenario = FaultScenario(
+            "burst", (FaultWindow("spam", 0, 5, 1.0),), seed=4
+        )
+        pool = inject_faults(honest_pool(), scenario)
+        pool.begin_round(0)
+        rng = np.random.default_rng(2)
+        answers = [w.answer(40.0, rng) for w in pool.draw(15, rng)]
+        assert np.std(answers) > 15  # uniform(1, 100), not 40 +- 5%
+
+    def test_stale_answers_lag_current_truth(self):
+        scenario = FaultScenario(
+            "lag", (FaultWindow("stale", 1, 5, 1.0),), seed=5
+        )
+        pool = inject_faults(honest_pool(), scenario)
+        rng = np.random.default_rng(3)
+        # Round 0 is clean and seeds the memory with ~20 km/h truths.
+        pool.begin_round(0)
+        for worker in pool.draw(10, rng):
+            worker.answer(20.0, rng)
+        # Round 1: truth jumped to 60, stale workers still report ~20.
+        pool.begin_round(1)
+        answers = [w.answer(60.0, rng) for w in pool.draw(10, rng)]
+        assert np.mean(answers) < 40.0
+
+    def test_task_dropout_deterministic_per_round_and_road(self):
+        scenario = get_scenario("seed-dropout-30")
+        pool = inject_faults(honest_pool(), scenario)
+        pool.begin_round(0)
+        first = [pool.task_dropped(road) for road in range(200)]
+        assert 0.15 < np.mean(first) < 0.45
+        again = [pool.task_dropped(road) for road in range(200)]
+        assert first == again
+        pool.begin_round(1)
+        assert [pool.task_dropped(r) for r in range(200)] != first
+
+    def test_clean_rounds_are_untouched(self):
+        scenario = get_scenario("no-show-storm")  # active rounds 2-5
+        pool = inject_faults(honest_pool(), scenario)
+        pool.begin_round(0)
+        rng = np.random.default_rng(1)
+        drawn = pool.draw(5, rng)
+        assert all(isinstance(w, Worker) for w in drawn)
+
+
+class TestRoundLifecycle:
+    def test_collect_never_raises_and_reports_failures(self):
+        platform = CrowdsourcingPlatform(
+            silent_pool(), workers_per_task=3, max_postings=2
+        )
+        tasks = [SpeedQueryTask(r, 0, 40.0) for r in range(4)]
+        round_ = platform.collect(tasks, seed=0)
+        assert len(round_) == 0
+        statuses = {o.status for o in round_.report.outcomes}
+        assert statuses == {TaskStatus.NO_RESPONSE}
+        assert round_.report.success_rate == 0.0
+
+    def test_dropped_tasks_reported_without_postings(self):
+        scenario = FaultScenario(
+            "loss", (FaultWindow("task_dropout", 0, 10, 1.0),), seed=1
+        )
+        platform = CrowdsourcingPlatform(
+            inject_faults(honest_pool(), scenario), workers_per_task=3
+        )
+        round_ = platform.collect(
+            [SpeedQueryTask(r, 0, 40.0) for r in range(3)], seed=0
+        )
+        assert len(round_) == 0
+        for outcome in round_.report.outcomes:
+            assert outcome.status is TaskStatus.DROPPED
+            assert outcome.postings == 0
+            assert outcome.cost == 0.0
+
+    def test_circuit_breaker_saves_retry_budget(self):
+        spendthrift = CrowdsourcingPlatform(
+            silent_pool(), workers_per_task=3, max_postings=10
+        )
+        protected = CrowdsourcingPlatform(
+            silent_pool(),
+            workers_per_task=3,
+            max_postings=10,
+            circuit_breaker=CircuitBreaker(failure_threshold=2),
+        )
+        tasks = [SpeedQueryTask(r, 0, 40.0) for r in range(6)]
+        unprotected_report = spendthrift.collect(tasks, seed=0).report
+        protected_report = protected.collect(tasks, seed=0).report
+        assert protected_report.circuit_tripped
+        skipped = [
+            o
+            for o in protected_report.outcomes
+            if o.status is TaskStatus.SKIPPED_CIRCUIT_OPEN
+        ]
+        assert len(skipped) == 4  # everything after the second failure
+        assert (
+            protected_report.total_postings
+            < unprotected_report.total_postings
+        )
+
+    def test_breaker_probes_next_round_and_recovers(self):
+        scenario = FaultScenario("dark", (FaultWindow("outage", 0, 1),))
+        pool = inject_faults(honest_pool(), scenario)
+        breaker = CircuitBreaker(failure_threshold=1)
+        platform = CrowdsourcingPlatform(
+            pool, workers_per_task=3, max_postings=1, circuit_breaker=breaker
+        )
+        tasks = [SpeedQueryTask(r, 0, 40.0) for r in range(4)]
+        dark = platform.collect(tasks, seed=0)
+        assert len(dark) == 0
+        assert breaker.state is BreakerState.OPEN
+        # Outage over: the half-open probe succeeds and the round runs.
+        bright = platform.collect(tasks, seed=1)
+        assert len(bright) == 4
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestQuarantine:
+    def test_chronic_non_responders_quarantined(self):
+        workers = [
+            Worker(i, 0.05, 0.0, reliability=0.0 if i < 3 else 1.0)
+            for i in range(12)
+        ]
+        health = WorkerHealthTracker(min_assignments=8)
+        platform = CrowdsourcingPlatform(
+            WorkerPool(workers), workers_per_task=6, health=health
+        )
+        for round_index in range(12):
+            platform.collect(
+                [SpeedQueryTask(r, round_index, 40.0) for r in range(5)],
+                seed=round_index,
+            )
+        quarantined = health.quarantined()
+        assert quarantined <= {0, 1, 2}
+        assert quarantined  # the dead workers got caught
+        # Quarantined workers stop being assigned.
+        report = platform.last_report
+        assert set(report.quarantined_workers) == set(quarantined)
+
+    def test_spammers_quarantined_by_outlier_rate(self):
+        workers = [
+            Worker(i, 0.02, 0.0, reliability=1.0, is_spammer=(i == 0))
+            for i in range(8)
+        ]
+        health = WorkerHealthTracker(
+            min_assignments=8, max_outlier_rate=0.5
+        )
+        platform = CrowdsourcingPlatform(
+            WorkerPool(workers), workers_per_task=5, health=health
+        )
+        for round_index in range(15):
+            platform.collect(
+                [SpeedQueryTask(r, round_index, 40.0) for r in range(4)],
+                seed=round_index,
+            )
+        assert 0 in health.quarantined()
+
+    def test_quarantine_waived_when_pool_would_starve(self):
+        health = WorkerHealthTracker(min_assignments=2)
+        pool = silent_pool(4)
+        platform = CrowdsourcingPlatform(
+            pool, workers_per_task=3, max_postings=2, health=health
+        )
+        for round_index in range(4):
+            platform.collect(
+                [SpeedQueryTask(0, round_index, 40.0)], seed=round_index
+            )
+        # Everyone is quarantined, yet rounds still staff their tasks.
+        assert len(health.quarantined()) == 4
+        report = platform.collect([SpeedQueryTask(0, 9, 40.0)], seed=9).report
+        assert report.outcomes[0].postings >= 1
+
+
+class TestDegradationPolicy:
+    @pytest.fixture
+    def policy(self, small_dataset):
+        return DegradationPolicy(
+            small_dataset.store,
+            DegradationParams(decay_per_interval=0.5, max_staleness_intervals=4),
+        )
+
+    def test_real_observations_pass_through(self, policy, small_dataset):
+        roads = small_dataset.store.road_ids[:3]
+        observed = {roads[0]: 31.0, roads[1]: 45.0, roads[2]: 20.0}
+        filled, substituted = policy.fill_missing(0, observed, list(roads))
+        assert filled == observed
+        assert substituted == {}
+
+    def test_stale_fill_decays_toward_prior(self, policy, small_dataset):
+        road = small_dataset.store.road_ids[0]
+        prior = small_dataset.store.historical_speed(road, 2)
+        observed_speed = prior + 12.0
+        policy.observe(0, {road: observed_speed})
+        filled, substituted = policy.fill_missing(2, {}, [road])
+        assert substituted == {road: STALE}
+        expected = prior + 12.0 * 0.5**2
+        assert filled[road] == pytest.approx(expected, rel=0.02)
+
+    def test_prior_fill_beyond_staleness_horizon(self, policy, small_dataset):
+        road = small_dataset.store.road_ids[0]
+        policy.observe(0, {road: 99.0})
+        filled, substituted = policy.fill_missing(20, {}, [road])
+        assert substituted == {road: PRIOR}
+        assert filled[road] == pytest.approx(
+            small_dataset.store.historical_speed(road, 20)
+        )
+
+    def test_unseen_road_uses_prior(self, policy, small_dataset):
+        road = small_dataset.store.road_ids[5]
+        filled, substituted = policy.fill_missing(7, {}, [road])
+        assert substituted == {road: PRIOR}
+
+
+# ----------------------------------------------------------------------
+# The chaos drive: every bundled scenario through the full pipeline.
+# ----------------------------------------------------------------------
+NUM_SEEDS = 10
+#: Acceptable full-network MAE inflation per scenario, versus the
+#: fault-free rounds. Spam is hardest: a burst can make spammers the
+#: per-task majority, which no aggregator fully repairs.
+MAE_BOUNDS = {
+    "no-show-storm": 1.5,
+    "spam-burst": 2.2,
+    "outage-window": 1.6,
+    "stale-answers": 1.8,
+    "seed-dropout-30": 1.5,
+    "rolling-chaos": 2.0,
+}
+
+
+@pytest.fixture(scope="module")
+def chaos_intervals(small_dataset):
+    return small_dataset.test_day_intervals(stride=8)[:10]
+
+
+def drive(system, platform, dataset, intervals):
+    seed_set = set(system.seeds)
+    outcomes, errors = [], []
+    for interval in intervals:
+        outcome = system.run_round(
+            interval, dataset.test, platform, crowd_seed=interval
+        )
+        truth = dataset.test.speeds_at(interval)
+        for road in dataset.network.road_ids():
+            if road not in seed_set:
+                errors.append(abs(outcome[road].speed_kmh - truth[road]))
+        outcomes.append(outcome)
+    return outcomes, float(np.mean(errors))
+
+
+@pytest.fixture(scope="module")
+def clean_mae(small_dataset, chaos_intervals):
+    system = SpeedEstimationSystem.from_parts(
+        small_dataset.network, small_dataset.store, small_dataset.graph
+    )
+    system.select_seeds(NUM_SEEDS)
+    platform = CrowdsourcingPlatform(
+        WorkerPool.sample(60, seed=2), workers_per_task=5
+    )
+    _, mae = drive(system, platform, small_dataset, chaos_intervals)
+    return mae
+
+
+class TestChaos:
+    @pytest.mark.parametrize("name", sorted(MAE_BOUNDS))
+    def test_pipeline_survives_scenario(
+        self, name, small_dataset, chaos_intervals, clean_mae
+    ):
+        system = SpeedEstimationSystem.from_parts(
+            small_dataset.network, small_dataset.store, small_dataset.graph
+        )
+        seeds = system.select_seeds(NUM_SEEDS)
+        platform = CrowdsourcingPlatform(
+            inject_faults(WorkerPool.sample(60, seed=2), get_scenario(name)),
+            workers_per_task=5,
+            max_postings=4,
+            health=WorkerHealthTracker(),
+            circuit_breaker=CircuitBreaker(failure_threshold=3),
+        )
+        outcomes, mae = drive(system, platform, small_dataset, chaos_intervals)
+
+        for outcome in outcomes:
+            assert isinstance(outcome, RoundOutcome)
+            # Estimation always completes for the whole network.
+            assert len(outcome) == small_dataset.network.num_segments
+            # Per-task accounting is exact: every planned seed is either
+            # answered or failed, and failures are what got substituted.
+            report = outcome.report
+            accounted = set(report.answered_roads) | set(report.failed_roads)
+            assert accounted == set(seeds)
+            assert set(outcome.substituted) == set(report.failed_roads)
+            assert set(outcome.observed) == set(report.answered_roads)
+            for road, source in outcome.substituted.items():
+                assert source in (STALE, PRIOR)
+                assert outcome[road].degraded
+            if outcome.substituted:
+                assert outcome.degraded
+
+        # Accuracy loss is bounded relative to the fault-free rounds.
+        assert mae < clean_mae * MAE_BOUNDS[name], (
+            f"{name}: MAE {mae:.2f} vs clean {clean_mae:.2f}"
+        )
+
+    def test_outage_trips_circuit_breaker(
+        self, small_dataset, chaos_intervals
+    ):
+        system = SpeedEstimationSystem.from_parts(
+            small_dataset.network, small_dataset.store, small_dataset.graph
+        )
+        system.select_seeds(NUM_SEEDS)
+        breaker = CircuitBreaker(failure_threshold=3)
+        platform = CrowdsourcingPlatform(
+            inject_faults(
+                WorkerPool.sample(60, seed=2), get_scenario("outage-window")
+            ),
+            workers_per_task=5,
+            max_postings=4,
+            circuit_breaker=breaker,
+        )
+        outcomes, _ = drive(system, platform, small_dataset, chaos_intervals)
+        assert breaker.times_tripped >= 1
+        tripped_rounds = [o for o in outcomes if o.report.circuit_tripped]
+        assert tripped_rounds
+        # During the outage, skipped tasks cost nothing.
+        for outcome in tripped_rounds:
+            for task in outcome.report.outcomes:
+                if task.status is TaskStatus.SKIPPED_CIRCUIT_OPEN:
+                    assert task.cost == 0.0
+
+    def test_dropout_scenario_produces_degraded_rounds(
+        self, small_dataset, chaos_intervals
+    ):
+        system = SpeedEstimationSystem.from_parts(
+            small_dataset.network, small_dataset.store, small_dataset.graph
+        )
+        system.select_seeds(NUM_SEEDS)
+        platform = CrowdsourcingPlatform(
+            inject_faults(
+                WorkerPool.sample(60, seed=2), get_scenario("seed-dropout-30")
+            ),
+            workers_per_task=5,
+        )
+        outcomes, _ = drive(system, platform, small_dataset, chaos_intervals)
+        degraded = [o for o in outcomes if o.degraded]
+        assert degraded  # ~30% task loss must show up
+        statuses = {
+            t.status for o in degraded for t in o.report.outcomes
+        }
+        assert TaskStatus.DROPPED in statuses

@@ -77,6 +77,16 @@ class TestSelection:
         with pytest.raises(SelectionError):
             system.select_seeds(4, method="sorcery")
 
+    @pytest.mark.parametrize("budget", [0, -3])
+    def test_non_positive_budget_rejected(self, system, budget):
+        with pytest.raises(SelectionError, match="budget"):
+            system.select_seeds(budget)
+
+    def test_oversized_budget_rejected(self, system, small_dataset):
+        too_many = len(small_dataset.graph.road_ids) + 1
+        with pytest.raises(SelectionError, match="exceeds"):
+            system.select_seeds(too_many)
+
 
 class TestEstimation:
     def test_estimate_round(self, system, small_dataset):
@@ -99,6 +109,38 @@ class TestEstimation:
         assert platform.total_cost > 0
         seed_estimates = [e for e in estimates.values() if e.is_seed]
         assert len(seed_estimates) == 8
+
+    def test_run_round_outcome_carries_report(self, system, small_dataset):
+        seeds = system.select_seeds(8)
+        platform = CrowdsourcingPlatform(
+            WorkerPool.sample(30, seed=4), workers_per_task=5
+        )
+        interval = small_dataset.test_day_intervals()[40]
+        outcome = system.run_round(
+            interval, small_dataset.test, platform, crowd_seed=1
+        )
+        assert outcome.report.interval == interval
+        assert set(outcome.report.answered_roads) == set(seeds)
+        assert set(outcome.observed) == set(seeds)
+        assert not outcome.degraded
+        assert outcome.substituted == {}
+
+    def test_run_round_degrades_when_crowd_fails(self, system, small_dataset):
+        from repro.crowd.workers import Worker
+
+        seeds = system.select_seeds(8)
+        dead = CrowdsourcingPlatform(
+            WorkerPool([Worker(i, 0.05, 0.0, 0.0) for i in range(10)]),
+            workers_per_task=3,
+            max_postings=2,
+        )
+        interval = small_dataset.test_day_intervals()[40]
+        outcome = system.run_round(interval, small_dataset.test, dead)
+        assert outcome.degraded
+        assert set(outcome.substituted) == set(seeds)
+        assert len(outcome) == small_dataset.network.num_segments
+        for road in seeds:
+            assert outcome[road].degraded
 
     def test_run_round_requires_selection(self, small_dataset):
         fresh = SpeedEstimationSystem.from_parts(

@@ -95,11 +95,92 @@ class TestScheduling:
         scheduler.record_round(plan, neutral(plan.seeds, 0.81))
         assert not scheduler.plan_round().is_full
 
-    def test_missing_observation_rejected(self):
+    def test_partial_round_counts_as_degraded(self):
+        """Missing observations no longer raise: the round is recorded
+        as degraded and the next round escalates to full."""
         scheduler = AdaptiveBudgetScheduler(SEEDS)
         plan = scheduler.plan_round()
-        with pytest.raises(CrowdsourcingError, match="missing"):
-            scheduler.record_round(plan, {})
+        scheduler.record_round(plan, {})
+        assert scheduler.degraded_rounds == 1
+        escalation = scheduler.plan_round()
+        assert escalation.is_full
+        assert escalation.reason == "degraded round"
+
+    def test_degraded_flag_escalates_to_full(self):
+        scheduler = AdaptiveBudgetScheduler(SEEDS)
+        plan = scheduler.plan_round()
+        scheduler.record_round(plan, neutral(plan.seeds))
+        plan = scheduler.plan_round()
+        assert not plan.is_full
+        # The caller saw seed substitution this round.
+        scheduler.record_round(plan, neutral(plan.seeds), degraded=True)
+        escalation = scheduler.plan_round()
+        assert escalation.is_full
+        assert escalation.reason == "degraded round"
+        # A clean full round clears the escalation.
+        scheduler.record_round(escalation, neutral(escalation.seeds))
+        assert not scheduler.plan_round().is_full
+
+    def test_degraded_full_round_keeps_escalating(self):
+        scheduler = AdaptiveBudgetScheduler(SEEDS)
+        plan = scheduler.plan_round()
+        observed = {s: 1.0 for s in plan.seeds if s != plan.seeds[0]}
+        scheduler.record_round(plan, observed)  # partial full round
+        again = scheduler.plan_round()
+        assert again.is_full and again.reason == "degraded round"
+
+    def test_partial_full_round_keeps_old_baseline_values(self):
+        """A full round that misses a sentinel must not lose that
+        sentinel's baseline entry — later light rounds still judge it
+        against the last value actually observed."""
+        scheduler = AdaptiveBudgetScheduler(
+            SEEDS, max_light_rounds=2, drift_threshold=0.05
+        )
+        plan = scheduler.plan_round()  # bootstrap full
+        scheduler.record_round(plan, neutral(plan.seeds, 1.0))
+        for _ in range(2):  # burn the light-round allowance
+            plan = scheduler.plan_round()
+            scheduler.record_round(plan, neutral(plan.seeds, 1.0))
+        missing = scheduler.light_seeds[0]
+        plan = scheduler.plan_round()  # staleness-deadline full
+        assert plan.is_full
+        scheduler.record_round(
+            plan, {s: 1.0 for s in plan.seeds if s != missing}
+        )
+        full = scheduler.plan_round()  # degraded escalation
+        assert full.reason == "degraded round"
+        scheduler.record_round(full, neutral(full.seeds, 1.0))
+        light = scheduler.plan_round()
+        assert not light.is_full
+        scheduler.record_round(light, neutral(light.seeds, 1.0))
+        assert not scheduler.plan_round().is_full
+
+    def test_drift_boundary_is_exclusive(self):
+        """A mean sentinel shift exactly at the threshold stays calm;
+        one above it escalates. (0.0625 is exactly representable, so
+        the boundary comparison is float-safe.)"""
+        for shift, expect_full in ((0.0625, False), (0.07, True)):
+            scheduler = AdaptiveBudgetScheduler(
+                SEEDS, max_light_rounds=50, drift_threshold=0.0625
+            )
+            plan = scheduler.plan_round()
+            scheduler.record_round(plan, neutral(plan.seeds, 1.0))
+            plan = scheduler.plan_round()
+            scheduler.record_round(plan, neutral(plan.seeds, 1.0 + shift))
+            assert scheduler.plan_round().is_full == expect_full
+
+    def test_staleness_deadline_boundary(self):
+        """Exactly max_light_rounds light rounds are allowed; the next
+        plan is the escalation."""
+        scheduler = AdaptiveBudgetScheduler(SEEDS, max_light_rounds=2)
+        plan = scheduler.plan_round()
+        scheduler.record_round(plan, neutral(plan.seeds))
+        for _ in range(2):
+            plan = scheduler.plan_round()
+            assert not plan.is_full
+            scheduler.record_round(plan, neutral(plan.seeds))
+        plan = scheduler.plan_round()
+        assert plan.is_full and plan.reason == "staleness deadline"
 
     def test_accounting(self):
         scheduler = AdaptiveBudgetScheduler(SEEDS, max_light_rounds=10)
