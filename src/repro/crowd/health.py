@@ -155,8 +155,15 @@ class CircuitBreaker:
 
     def begin_round(self) -> None:
         """A new round starts: an open breaker becomes half-open and
-        grants exactly one probe task."""
-        if self._state is BreakerState.OPEN:
+        grants exactly one probe task.
+
+        A breaker still HALF_OPEN from the previous round gets a fresh
+        probe too: its probe can be consumed by a task that yields
+        neither success nor failure (dropped in transit), and without
+        re-arming the breaker would wedge half-open and skip every task
+        of every future round.
+        """
+        if self._state in (BreakerState.OPEN, BreakerState.HALF_OPEN):
             self._state = BreakerState.HALF_OPEN
             self._probe_spent = False
 
@@ -172,6 +179,13 @@ class CircuitBreaker:
     def record_success(self) -> None:
         self._consecutive_failures = 0
         self._state = BreakerState.CLOSED
+
+    def record_inconclusive(self) -> None:
+        """The task vanished before reaching any worker (dropped in
+        transit): evidence of neither recovery nor outage, so a
+        half-open probe it consumed is re-armed for the next task."""
+        if self._state is BreakerState.HALF_OPEN:
+            self._probe_spent = False
 
     def record_failure(self) -> None:
         self._consecutive_failures += 1

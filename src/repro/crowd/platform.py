@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Iterator
 
 import numpy as np
@@ -93,7 +94,8 @@ class CrowdsourcingPlatform:
         pool: WorkerPool,
         workers_per_task: int = 5,
         cost_per_answer: float = 1.0,
-        aggregator: Callable[[list[float]], float] = mad_filtered_mean,
+        aggregator: Callable[[list[float]], float] | None = None,
+        outlier_threshold: float = 3.0,
         max_postings: int = 10,
         health: WorkerHealthTracker | None = None,
         circuit_breaker: CircuitBreaker | None = None,
@@ -106,12 +108,22 @@ class CrowdsourcingPlatform:
             )
         if cost_per_answer < 0:
             raise CrowdsourcingError("cost per answer must be non-negative")
+        if outlier_threshold <= 0:
+            raise CrowdsourcingError("outlier_threshold must be positive")
         if max_postings < 1:
             raise CrowdsourcingError("max_postings must be >= 1")
         self._pool = pool
         self._workers_per_task = workers_per_task
         self._cost_per_answer = cost_per_answer
-        self._aggregator = aggregator
+        # The same threshold drives the default aggregator's spam filter
+        # and the worker-attribution mask fed to the health tracker, so
+        # a worker is blamed for an outlier iff its answer was dropped.
+        # Callers supplying a custom aggregator should pass the
+        # threshold (if any) it filters with.
+        self._outlier_threshold = outlier_threshold
+        self._aggregator = aggregator or partial(
+            mad_filtered_mean, threshold=outlier_threshold
+        )
         self._max_postings = max_postings
         self._health = health
         self._breaker = circuit_breaker
@@ -169,7 +181,7 @@ class CrowdsourcingPlatform:
                 None,
             )
         answers = [value for _, value in by_worker]
-        outliers = mad_outlier_mask(answers)
+        outliers = mad_outlier_mask(answers, self._outlier_threshold)
         if self._health is not None:
             for (worker_id, _), is_outlier in zip(by_worker, outliers):
                 if is_outlier:
@@ -228,12 +240,23 @@ class CrowdsourcingPlatform:
         sentinels.
         """
         if not tasks:
+            # Empty rounds still count: advance the pool's scenario
+            # clock and the breaker so fault windows expressed in round
+            # indices stay aligned with the platform's round sequence.
+            self._pool.begin_round(None)
+            if self._breaker is not None:
+                self._breaker.begin_round()
             report = RoundReport.empty()
             self.last_report = report
             return CrowdRound({}, report)
         roads = [t.road_id for t in tasks]
         if len(set(roads)) != len(roads):
             raise CrowdsourcingError("duplicate roads in one round")
+        intervals = {t.interval for t in tasks}
+        if len(intervals) > 1:
+            raise CrowdsourcingError(
+                f"tasks in one round must share one interval, got {sorted(intervals)}"
+            )
         interval = tasks[0].interval
         rng = np.random.default_rng(seed)
         self._pool.begin_round(interval)
@@ -269,6 +292,10 @@ class CrowdsourcingPlatform:
                 elif outcome.status is TaskStatus.NO_RESPONSE:
                     self._breaker.record_failure()
                     tripped = tripped or self._breaker.state is BreakerState.OPEN
+                elif outcome.status is TaskStatus.DROPPED:
+                    # Lost in transit before any worker saw it — no
+                    # verdict on platform health; re-arm a spent probe.
+                    self._breaker.record_inconclusive()
         report = RoundReport(
             interval=interval,
             outcomes=tuple(outcomes),

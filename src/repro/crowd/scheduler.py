@@ -130,6 +130,11 @@ class AdaptiveBudgetScheduler:
             if s in deviations and s in self._baseline
         ]
         if not shifts:
+            # Sentinels observed but absent from the baseline still
+            # leave the round blind — count it degraded like every
+            # other degraded path (unless already counted above).
+            if not degraded:
+                self.degraded_rounds += 1
             self._degraded_pending = True
             return
         if float(np.mean(shifts)) > self._drift_threshold:

@@ -103,10 +103,12 @@ class WorkerPool:
     def workers(self) -> list[Worker]:
         return list(self._workers)
 
-    def begin_round(self, interval: int) -> None:
+    def begin_round(self, interval: int | None) -> None:
         """Hook called by the platform at the start of each round.
 
-        A plain pool ignores it; fault-injecting pools
+        ``interval`` is ``None`` for an empty round (zero tasks), which
+        still counts as a round. A plain pool ignores the hook;
+        fault-injecting pools
         (:class:`~repro.faults.injector.FaultyWorkerPool`) use it to
         advance their scenario clock.
         """

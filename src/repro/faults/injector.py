@@ -115,7 +115,7 @@ class FaultyWorkerPool(WorkerPool):
     # ------------------------------------------------------------------
     # Platform hooks
     # ------------------------------------------------------------------
-    def begin_round(self, interval: int) -> None:
+    def begin_round(self, interval: int | None) -> None:
         self._round_index += 1
 
     def task_dropped(self, road_id: int) -> bool:

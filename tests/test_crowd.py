@@ -156,6 +156,45 @@ class TestPlatform:
         with pytest.raises(CrowdsourcingError):
             platform.collect(tasks, seed=1)
 
+    def test_mixed_interval_round_rejected(self, platform):
+        """One round is one interval: a task list spanning two intervals
+        would silently mislabel the RoundReport, so it is rejected."""
+        tasks = [SpeedQueryTask(1, 0, 40.0), SpeedQueryTask(2, 1, 40.0)]
+        with pytest.raises(CrowdsourcingError):
+            platform.collect(tasks, seed=1)
+
+    def test_outlier_threshold_shared_with_aggregator(self):
+        """The platform's outlier_threshold drives both the default
+        aggregator's spam filter and the attribution mask fed to the
+        health tracker: with an enormous threshold nothing is flagged
+        as an outlier and nothing is filtered from the aggregate."""
+        params = WorkerPoolParams(spammer_fraction=0.3)
+        tasks = [SpeedQueryTask(r, 0, 40.0) for r in range(8)]
+        strict = CrowdsourcingPlatform(
+            WorkerPool.sample(40, params, seed=3), workers_per_task=7
+        )
+        lax = CrowdsourcingPlatform(
+            WorkerPool.sample(40, params, seed=3),
+            workers_per_task=7,
+            outlier_threshold=1e6,
+        )
+        strict_round = strict.collect(tasks, seed=5)
+        lax_round = lax.collect(tasks, seed=5)
+        assert sum(o.num_outliers for o in strict_round.report.outcomes) > 0
+        assert all(o.num_outliers == 0 for o in lax_round.report.outcomes)
+        # The threshold reaches the aggregator too: unfiltered spam
+        # shifts at least one task's aggregate.
+        assert any(
+            strict_round[r].speed_kmh != lax_round[r].speed_kmh
+            for r in strict_round
+        )
+        with pytest.raises(CrowdsourcingError):
+            CrowdsourcingPlatform(
+                WorkerPool.sample(5, seed=1),
+                workers_per_task=2,
+                outlier_threshold=0,
+            )
+
     def test_empty_round_is_legal(self, platform):
         """Light rounds may shrink to zero sentinels: an empty task list
         yields an empty round with an empty report, not an exception."""

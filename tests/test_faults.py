@@ -234,6 +234,65 @@ class TestRoundLifecycle:
         assert len(bright) == 4
         assert breaker.state is BreakerState.CLOSED
 
+    def test_dropped_probe_does_not_wedge_breaker(self):
+        """Regression: a half-open probe consumed by a DROPPED task used
+        to leave the breaker wedged — neither success nor failure was
+        recorded, begin_round re-armed only from OPEN, and every task of
+        every later round was skipped even after all faults ended."""
+        scenario = FaultScenario(
+            "dark-then-lossy",
+            (
+                FaultWindow("outage", 0, 1),
+                FaultWindow("task_dropout", 1, 1, 1.0),
+            ),
+        )
+        pool = inject_faults(honest_pool(), scenario)
+        breaker = CircuitBreaker(failure_threshold=1)
+        platform = CrowdsourcingPlatform(
+            pool, workers_per_task=3, max_postings=1, circuit_breaker=breaker
+        )
+        tasks = [SpeedQueryTask(r, 0, 40.0) for r in range(3)]
+        platform.collect(tasks, seed=0)  # outage trips the breaker
+        assert breaker.state is BreakerState.OPEN
+        lossy = platform.collect(tasks, seed=1)
+        # Dropped tasks are inconclusive: each re-arms the probe instead
+        # of consuming it, so none are skipped as circuit-open.
+        assert {o.status for o in lossy.report.outcomes} == {
+            TaskStatus.DROPPED
+        }
+        # All faults over: a fresh probe succeeds and the round runs.
+        clear = platform.collect(tasks, seed=2)
+        assert len(clear) == 3
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_breaker_rearms_probe_each_round(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        breaker.begin_round()
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()
+        assert not breaker.allow()  # single probe per round
+        # Probe spent without a verdict: the next round must grant a
+        # fresh one even though the state is still HALF_OPEN.
+        breaker.begin_round()
+        assert breaker.allow()
+        breaker.record_inconclusive()  # re-arms within the same round
+        assert breaker.allow()
+
+    def test_empty_round_advances_scenario_clock(self):
+        """Fault windows count platform rounds; a legal empty round must
+        tick the scenario clock so the windows do not drift."""
+        scenario = FaultScenario("dark", (FaultWindow("outage", 1, 1),))
+        pool = inject_faults(honest_pool(), scenario)
+        platform = CrowdsourcingPlatform(
+            pool, workers_per_task=3, max_postings=1
+        )
+        platform.collect([], seed=0)  # round 0: zero sentinels
+        assert pool.round_index == 0
+        dark = platform.collect([SpeedQueryTask(0, 1, 40.0)], seed=1)
+        assert dark.report.outcomes[0].status is TaskStatus.NO_RESPONSE
+
 
 class TestQuarantine:
     def test_chronic_non_responders_quarantined(self):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.errors import CrowdsourcingError
-from repro.crowd.scheduler import AdaptiveBudgetScheduler
+from repro.crowd.scheduler import AdaptiveBudgetScheduler, RoundPlan
 
 
 SEEDS = list(range(100, 120))
@@ -120,6 +120,19 @@ class TestScheduling:
         # A clean full round clears the escalation.
         scheduler.record_round(escalation, neutral(escalation.seeds))
         assert not scheduler.plan_round().is_full
+
+    def test_light_round_without_comparable_sentinels_counts_degraded(self):
+        """Regression: sentinels observed but absent from the baseline
+        escalated without incrementing degraded_rounds, undercounting
+        relative to every other degraded path."""
+        scheduler = AdaptiveBudgetScheduler(SEEDS)
+        plan = scheduler.plan_round()
+        scheduler.record_round(plan, neutral(plan.seeds))
+        stray = RoundPlan((999,), False, "calm")  # unknown to baseline
+        scheduler.record_round(stray, neutral(stray.seeds))
+        assert scheduler.degraded_rounds == 1
+        escalation = scheduler.plan_round()
+        assert escalation.is_full and escalation.reason == "degraded round"
 
     def test_degraded_full_round_keeps_escalating(self):
         scheduler = AdaptiveBudgetScheduler(SEEDS)
