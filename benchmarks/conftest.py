@@ -6,20 +6,30 @@ experiment tables are collected through the ``report`` fixture and
 printed in the terminal summary, as well as written to
 ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can reference
 stable artefacts.
+
+Every run additionally seeds the BENCH trajectory: per-benchmark wall
+times (and pytest-benchmark kernel statistics when available) are
+funnelled through a :class:`repro.obs.MetricsRegistry` and written to
+``benchmarks/results/bench_timings.json``, so successive PRs have a
+machine-readable baseline to diff against.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 from repro.core.pipeline import SpeedEstimationSystem
 from repro.datasets.synthetic import synthetic_beijing, synthetic_tianjin
+from repro.obs import MetricsRegistry
 
 RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_TIMINGS = RESULTS_DIR / "bench_timings.json"
 
 _collected_reports: list[str] = []
+_bench_registry = MetricsRegistry()
 
 
 @pytest.fixture
@@ -34,7 +44,48 @@ def report():
     return _record
 
 
+def pytest_runtest_logreport(report):
+    """Record every benchmark test's call-phase wall time in the registry."""
+    if report.when != "call" or not report.passed:
+        return
+    _bench_registry.histogram("bench.call_seconds", test=report.nodeid).observe(
+        report.duration
+    )
+
+
+def _harvest_benchmark_stats(config) -> None:
+    """Fold pytest-benchmark kernel stats into the registry when present.
+
+    The benchmark session object is a private attribute, so probe
+    defensively: our own call-phase timings above are the guaranteed
+    baseline, these per-kernel stats are a bonus.
+    """
+    session = getattr(config, "_benchmarksession", None)
+    for bench in getattr(session, "benchmarks", None) or []:
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        for stat in ("min", "mean", "max"):
+            value = getattr(stats, stat, None)
+            if value is not None:
+                _bench_registry.gauge(
+                    "bench.kernel_seconds", test=bench.fullname, stat=stat
+                ).set(float(value))
+        rounds = getattr(stats, "rounds", None)
+        if rounds:
+            _bench_registry.counter(
+                "bench.kernel_rounds", test=bench.fullname
+            ).inc(rounds)
+
+
 def pytest_terminal_summary(terminalreporter):
+    _harvest_benchmark_stats(terminalreporter.config)
+    if _bench_registry.families():
+        RESULTS_DIR.mkdir(exist_ok=True)
+        BENCH_TIMINGS.write_text(
+            json.dumps(_bench_registry.snapshot(), indent=2, sort_keys=True)
+            + "\n"
+        )
     if not _collected_reports:
         return
     terminalreporter.write_sep("=", "experiment tables")

@@ -1,0 +1,88 @@
+"""OBS — Flight-recorder overhead on the F3 inference hot path.
+
+The telemetry contract: instrumentation is default-on, so it must be
+near-free. This benchmark times warm propagation inference (the exact
+kernel of experiment F3) under the default :class:`NullRecorder` and
+again with a live in-memory :class:`FlightRecorder`, and asserts the
+enabled recorder costs < 5% — the budget the observability PR promised.
+
+Timing protocol: best-of-``TRIALS`` over ``REPEATS``-call batches for
+both configurations, interleaved, which suppresses one-off scheduler
+noise far better than single-shot timing.
+"""
+
+import time
+
+from repro.datasets.synthetic import scaled_dataset
+from repro.evalkit.reporting import fmt, fmt_pct, format_table
+from repro.obs import FlightRecorder, NullRecorder, get_recorder, recording
+from repro.seeds.lazy import lazy_greedy_select
+from repro.seeds.objective import SeedSelectionObjective
+from repro.trend.model import TrendModel
+from repro.trend.propagation import TrendPropagationInference
+
+NETWORK_SIZE = 500
+REPEATS = 30
+TRIALS = 7
+MAX_OVERHEAD = 0.05
+
+
+def _batch_seconds(inference, instance) -> float:
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        inference.infer(instance)
+    return time.perf_counter() - start
+
+
+def test_obs_recording_overhead(report):
+    dataset = scaled_dataset(NETWORK_SIZE, history_days=7)
+    budget = max(1, round(dataset.network.num_segments * 0.05))
+    seeds = list(
+        lazy_greedy_select(SeedSelectionObjective(dataset.graph), budget).seeds
+    )
+    model = TrendModel(dataset.graph, dataset.store)
+    inference = TrendPropagationInference()
+    interval = dataset.test_day_intervals()[34]
+    truth = dataset.test.speeds_at(interval)
+    seed_trends = {
+        r: dataset.store.trend_of(r, interval, truth[r]) for r in seeds
+    }
+    instance = model.instance(interval, seed_trends)
+    inference.infer(instance)  # warm the fidelity cache
+
+    assert isinstance(get_recorder(), NullRecorder)
+    recorder = FlightRecorder()  # in-memory: ring + registry, no file I/O
+    best_null = float("inf")
+    best_enabled = float("inf")
+    for _ in range(TRIALS):
+        best_null = min(best_null, _batch_seconds(inference, instance))
+        with recording(recorder):
+            best_enabled = min(
+                best_enabled, _batch_seconds(inference, instance)
+            )
+
+    overhead = best_enabled / best_null - 1.0
+    spans = recorder.registry.histogram("span.seconds", span="trend.propagation")
+    table = format_table(
+        ["configuration", "per-infer ms", "overhead"],
+        [
+            ["NullRecorder (default)", fmt(best_null / REPEATS * 1000, 3), "-"],
+            [
+                "FlightRecorder",
+                fmt(best_enabled / REPEATS * 1000, 3),
+                fmt_pct(overhead * 100),
+            ],
+        ],
+        title=(
+            f"OBS: recording overhead on warm propagation inference "
+            f"({NETWORK_SIZE} roads, K={budget})"
+        ),
+    )
+    report("obs_overhead", table)
+
+    # Sanity: the enabled run actually recorded the inference spans.
+    assert spans.count >= REPEATS * TRIALS
+    assert overhead < MAX_OVERHEAD, (
+        f"flight recorder costs {overhead:.1%} on the F3 path "
+        f"(budget {MAX_OVERHEAD:.0%})"
+    )

@@ -7,6 +7,8 @@ reproduction without writing code::
     repro-traffic select --budget 26           # pick and show seeds
     repro-traffic estimate --hour 8.5          # one estimation round
     repro-traffic route --from 0 --to 143      # plan on estimated speeds
+    repro-traffic obs record --out run.jsonl   # flight-record some rounds
+    repro-traffic obs report run.jsonl         # round-by-round telemetry
 
 All commands operate on the built-in synthetic cities (``--city
 beijing`` by default) and print plain-text tables.
@@ -79,6 +81,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="destination intersection id")
     route.add_argument("--budget", type=int, default=None)
     route.add_argument("--hour", type=float, default=8.5)
+
+    obs = commands.add_parser(
+        "obs", help="pipeline telemetry: record and inspect flight logs"
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+
+    record = obs_commands.add_parser(
+        "record",
+        help="run crowdsourced estimation rounds with the flight recorder on",
+    )
+    record.add_argument("--out", required=True,
+                        help="JSONL event log to write")
+    record.add_argument("--rounds", type=int, default=6,
+                        help="number of consecutive crowdsourcing rounds")
+    record.add_argument("--budget", type=int, default=None)
+    record.add_argument("--hour", type=float, default=8.0,
+                        help="time of day of the first round")
+    record.add_argument("--scenario", default=None,
+                        help="optional fault scenario to inject "
+                        "(see repro.faults.bundled_scenarios)")
+    record.add_argument("--metrics-out", default=None,
+                        help="also dump the final metrics registry "
+                        "(.prom -> Prometheus text, otherwise JSON)")
+
+    report = obs_commands.add_parser(
+        "report", help="render a recording as a round-by-round summary"
+    )
+    report.add_argument("recording", help="JSONL event log to render")
+
+    verify = obs_commands.add_parser(
+        "verify",
+        help="validate a recording (non-zero exit if empty or malformed)",
+    )
+    verify.add_argument("recording", help="JSONL event log to check")
     return parser
 
 
@@ -225,8 +261,103 @@ def cmd_route(
     return "\n".join(lines)
 
 
+def cmd_obs_record(
+    dataset: TrafficDataset,
+    out: str,
+    rounds: int,
+    budget: int | None,
+    hour: float,
+    scenario: str | None,
+    metrics_out: str | None,
+) -> str:
+    """Flight-record ``rounds`` consecutive crowdsourced rounds."""
+    if rounds < 1:
+        raise SystemExit("error: --rounds must be >= 1")
+    if not 0.0 <= hour < 24.0:
+        raise SystemExit("error: --hour must be in [0, 24)")
+    from repro.crowd.health import CircuitBreaker, WorkerHealthTracker
+    from repro.crowd.platform import CrowdsourcingPlatform
+    from repro.crowd.workers import WorkerPool, WorkerPoolParams
+    from repro.obs import FlightRecorder, recording, to_json, to_prometheus_text
+
+    system = _fitted_system(dataset)
+    k = _default_budget(dataset, budget)
+    pool = WorkerPool.sample(
+        200,
+        WorkerPoolParams(noise_std_frac=0.10, spammer_fraction=0.05),
+        seed=7,
+    )
+    if scenario is not None:
+        from repro.faults import get_scenario, inject_faults
+
+        try:
+            pool = inject_faults(pool, get_scenario(scenario))
+        except Exception as exc:
+            raise SystemExit(f"error: unknown fault scenario: {exc}")
+    platform = CrowdsourcingPlatform(
+        pool,
+        workers_per_task=5,
+        cost_per_answer=0.05,
+        health=WorkerHealthTracker(),
+        circuit_breaker=CircuitBreaker(),
+    )
+
+    start = dataset.grid.interval_at(dataset.first_test_day, hour)
+    with recording(FlightRecorder(path=out)) as recorder:
+        system.select_seeds(k)
+        degraded = 0
+        for i in range(rounds):
+            outcome = system.run_round(
+                start + i, dataset.test, platform, crowd_seed=start + i
+            )
+            degraded += outcome.degraded
+        if metrics_out is not None:
+            text = (
+                to_prometheus_text(recorder.registry)
+                if metrics_out.endswith(".prom")
+                else to_json(recorder.registry)
+            )
+            with open(metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+    lines = [
+        f"Recorded {rounds} rounds ({degraded} degraded) with K={k} seeds "
+        f"on {dataset.name} -> {out}",
+    ]
+    if metrics_out is not None:
+        lines.append(f"Final metrics registry -> {metrics_out}")
+    lines.append(f"Render with: repro-traffic obs report {out}")
+    return "\n".join(lines)
+
+
+def cmd_obs_report(recording_path: str) -> str:
+    from repro.core.errors import DataError
+    from repro.obs import report_file
+
+    try:
+        return report_file(recording_path)
+    except DataError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def cmd_obs_verify(recording_path: str) -> str:
+    from repro.core.errors import DataError
+    from repro.obs import verify_recording
+
+    try:
+        return "ok: " + verify_recording(recording_path)
+    except DataError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "obs" and args.obs_command in ("report", "verify"):
+        # Pure log-file commands: no dataset build needed.
+        if args.obs_command == "report":
+            print(cmd_obs_report(args.recording))
+        else:
+            print(cmd_obs_verify(args.recording))
+        return 0
     dataset = CITIES[args.city]()
     if args.command == "info":
         output = cmd_info(dataset)
@@ -239,6 +370,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif args.command == "route":
         output = cmd_route(
             dataset, args.origin, args.destination, args.budget, args.hour
+        )
+    elif args.command == "obs":  # only "record" reaches here
+        output = cmd_obs_record(
+            dataset,
+            args.out,
+            args.rounds,
+            args.budget,
+            args.hour,
+            args.scenario,
+            args.metrics_out,
         )
     else:  # pragma: no cover - argparse enforces the choices
         raise SystemExit(f"unknown command {args.command!r}")

@@ -24,8 +24,14 @@ class InferenceError(ReproError):
     """A trend- or speed-inference model was misused or failed to converge."""
 
 
-class SelectionError(ReproError):
-    """Invalid seed-selection request (e.g. budget larger than network)."""
+class SelectionError(ReproError, ValueError):
+    """Invalid seed-selection request (e.g. budget larger than network).
+
+    Also a :class:`ValueError`: a rejected budget is an invalid argument,
+    and callers holding only stdlib types can catch it as one. Budget
+    rejections always state the requested K and the candidate-graph
+    size, and bump the ``seeds.budget_rejected`` counter.
+    """
 
 
 class CrowdsourcingError(ReproError):

@@ -36,6 +36,7 @@ from repro.crowd.report import RoundReport
 from repro.history.correlation import CorrelationGraph, mine_correlation_graph
 from repro.history.store import HistoricalSpeedStore
 from repro.history.timebuckets import TimeGrid
+from repro.obs import get_recorder
 from repro.roadnet.network import RoadNetwork
 from repro.seeds.baselines import k_center_select, random_select, top_degree_select
 from repro.seeds.greedy import SelectionResult, greedy_select
@@ -143,14 +144,17 @@ class SpeedEstimationSystem:
                 f"grid interval {grid.interval_minutes} does not match "
                 f"config interval {config.interval_minutes}"
             )
-        store = HistoricalSpeedStore.from_fields(grid, list(history))
-        graph = mine_correlation_graph(
-            network,
-            store,
-            max_hops=config.correlation_max_hops,
-            min_agreement=config.correlation_min_agreement,
-        )
-        return cls(network, store, graph, config)
+        with get_recorder().span(
+            "pipeline.fit", roads=network.num_segments, days=len(history)
+        ):
+            store = HistoricalSpeedStore.from_fields(grid, list(history))
+            graph = mine_correlation_graph(
+                network,
+                store,
+                max_hops=config.correlation_max_hops,
+                min_agreement=config.correlation_min_agreement,
+            )
+            return cls(network, store, graph, config)
 
     @classmethod
     def from_parts(
@@ -214,31 +218,46 @@ class SpeedEstimationSystem:
         self, budget: int, method: str | None = None, random_seed: int = 0
     ) -> list[int]:
         """Select and remember the budget-K crowdsourcing seed roads."""
+        recorder = get_recorder()
         num_roads = len(self._graph.road_ids)
         if budget < 1:
-            raise SelectionError(f"seed budget must be >= 1, got {budget}")
-        if budget > num_roads:
+            recorder.count("seeds.budget_rejected", reason="non_positive")
             raise SelectionError(
-                f"seed budget {budget} exceeds the {num_roads} roads "
-                "in the correlation graph"
+                f"seed budget must be >= 1, got K={budget} (correlation "
+                f"graph has {num_roads} roads)"
+            )
+        if budget > num_roads:
+            recorder.count("seeds.budget_rejected", reason="exceeds_graph")
+            raise SelectionError(
+                f"seed budget K={budget} exceeds the {num_roads} roads "
+                "in the correlation graph; lower the budget or mine a "
+                "larger correlation graph"
             )
         method = method or self._config.selection_method
-        if method == "greedy":
-            result = greedy_select(self._objective, budget)
-        elif method == "lazy":
-            result = lazy_greedy_select(self._objective, budget)
-        elif method == "partition":
-            result = partition_greedy_select(
-                self._objective, budget, num_partitions=self._config.num_partitions
+        with recorder.span("seeds.select", method=method, budget=budget) as span:
+            if method == "greedy":
+                result = greedy_select(self._objective, budget)
+            elif method == "lazy":
+                result = lazy_greedy_select(self._objective, budget)
+            elif method == "partition":
+                result = partition_greedy_select(
+                    self._objective,
+                    budget,
+                    num_partitions=self._config.num_partitions,
+                )
+            elif method == "random":
+                result = random_select(self._objective, budget, seed=random_seed)
+            elif method == "top-degree":
+                result = top_degree_select(self._objective, budget)
+            elif method == "k-center":
+                result = k_center_select(self._objective, budget, self._network)
+            else:
+                recorder.count("seeds.budget_rejected", reason="unknown_method")
+                raise SelectionError(f"unknown selection method {method!r}")
+            span.set(
+                evaluations=result.evaluations,
+                objective=round(result.final_value, 3),
             )
-        elif method == "random":
-            result = random_select(self._objective, budget, seed=random_seed)
-        elif method == "top-degree":
-            result = top_degree_select(self._objective, budget)
-        elif method == "k-center":
-            result = k_center_select(self._objective, budget, self._network)
-        else:
-            raise SelectionError(f"unknown selection method {method!r}")
         self._selection = result
         self._seeds = list(result.seeds)
         return self.seeds
@@ -273,6 +292,8 @@ class SpeedEstimationSystem:
         """
         if not self._seeds:
             raise SelectionError("call select_seeds before run_round")
+        recorder = get_recorder()
+        recorder.round_begin(interval)
         tasks = [
             SpeedQueryTask(road, interval, truth.speed(road, interval))
             for road in self._seeds
@@ -282,13 +303,27 @@ class SpeedEstimationSystem:
         filled, substituted = self._degradation.fill_missing(
             interval, observed, self._seeds
         )
+        for reason in substituted.values():
+            recorder.count("pipeline.substitutions", reason=reason)
         estimates = self.estimate(interval, filled)
         for road in substituted:
             estimates[road] = replace(estimates[road], degraded=True)
+        if substituted:
+            recorder.count("speed.degraded_estimates", len(substituted))
         self._degradation.observe(interval, observed)
-        return RoundOutcome(
+        outcome = RoundOutcome(
             estimates=estimates,
             report=crowd_round.report,
             observed=observed,
             substituted=substituted,
         )
+        recorder.round_end(
+            interval,
+            seeds=len(self._seeds),
+            answered=len(observed),
+            failed=len(crowd_round.report.failed_roads),
+            substituted=len(substituted),
+            degraded=outcome.degraded,
+            cost=crowd_round.report.total_cost,
+        )
+        return outcome

@@ -39,6 +39,7 @@ from repro.crowd.health import (
 )
 from repro.crowd.report import RoundReport, TaskOutcome, TaskStatus
 from repro.crowd.workers import WorkerPool
+from repro.obs import get_recorder
 
 
 @dataclass(frozen=True, slots=True)
@@ -239,6 +240,7 @@ class CrowdsourcingPlatform:
         round — the scheduler's light rounds may shrink to zero
         sentinels.
         """
+        recorder = get_recorder()
         if not tasks:
             # Empty rounds still count: advance the pool's scenario
             # clock and the breaker so fault windows expressed in round
@@ -248,6 +250,7 @@ class CrowdsourcingPlatform:
                 self._breaker.begin_round()
             report = RoundReport.empty()
             self.last_report = report
+            recorder.count("crowd.rounds", kind="empty")
             return CrowdRound({}, report)
         roads = [t.road_id for t in tasks]
         if len(set(roads)) != len(roads):
@@ -259,51 +262,102 @@ class CrowdsourcingPlatform:
             )
         interval = tasks[0].interval
         rng = np.random.default_rng(seed)
-        self._pool.begin_round(interval)
-        if self._breaker is not None:
-            self._breaker.begin_round()
-        quarantined = (
-            self._health.quarantined() if self._health is not None else frozenset()
-        )
-
-        answers: dict[int, CrowdAnswer] = {}
-        outcomes: list[TaskOutcome] = []
-        tripped = False
-        for task in tasks:
-            if self._breaker is not None and not self._breaker.allow():
-                outcomes.append(
-                    TaskOutcome(
-                        task.road_id,
-                        TaskStatus.SKIPPED_CIRCUIT_OPEN,
-                        0,
-                        0,
-                        0,
-                        0.0,
-                    )
-                )
-                continue
-            outcome, answer = self._run_task(task, rng, quarantined)
-            outcomes.append(outcome)
-            if answer is not None:
-                answers[task.road_id] = answer
+        with recorder.span(
+            "crowd.round", interval=interval, tasks=len(tasks)
+        ) as span:
+            self._pool.begin_round(interval)
+            breaker_state_before = (
+                self._breaker.state if self._breaker is not None else None
+            )
             if self._breaker is not None:
-                if outcome.status is TaskStatus.ANSWERED:
-                    self._breaker.record_success()
-                elif outcome.status is TaskStatus.NO_RESPONSE:
-                    self._breaker.record_failure()
-                    tripped = tripped or self._breaker.state is BreakerState.OPEN
-                elif outcome.status is TaskStatus.DROPPED:
-                    # Lost in transit before any worker saw it — no
-                    # verdict on platform health; re-arm a spent probe.
-                    self._breaker.record_inconclusive()
-        report = RoundReport(
-            interval=interval,
-            outcomes=tuple(outcomes),
-            circuit_tripped=tripped,
-            quarantined_workers=tuple(sorted(quarantined)),
-        )
+                self._breaker.begin_round()
+            quarantined = (
+                self._health.quarantined()
+                if self._health is not None
+                else frozenset()
+            )
+
+            answers: dict[int, CrowdAnswer] = {}
+            outcomes: list[TaskOutcome] = []
+            tripped = False
+            for task in tasks:
+                if self._breaker is not None and not self._breaker.allow():
+                    outcomes.append(
+                        TaskOutcome(
+                            task.road_id,
+                            TaskStatus.SKIPPED_CIRCUIT_OPEN,
+                            0,
+                            0,
+                            0,
+                            0.0,
+                        )
+                    )
+                    continue
+                outcome, answer = self._run_task(task, rng, quarantined)
+                outcomes.append(outcome)
+                if answer is not None:
+                    answers[task.road_id] = answer
+                if self._breaker is not None:
+                    if outcome.status is TaskStatus.ANSWERED:
+                        self._breaker.record_success()
+                    elif outcome.status is TaskStatus.NO_RESPONSE:
+                        self._breaker.record_failure()
+                        tripped = (
+                            tripped
+                            or self._breaker.state is BreakerState.OPEN
+                        )
+                    elif outcome.status is TaskStatus.DROPPED:
+                        # Lost in transit before any worker saw it — no
+                        # verdict on platform health; re-arm a spent probe.
+                        self._breaker.record_inconclusive()
+            report = RoundReport(
+                interval=interval,
+                outcomes=tuple(outcomes),
+                circuit_tripped=tripped,
+                quarantined_workers=tuple(sorted(quarantined)),
+            )
+            span.set(
+                answered=len(report.answered_roads),
+                failed=len(report.failed_roads),
+                tripped=tripped,
+            )
         self.last_report = report
+        self._record_report(recorder, report, breaker_state_before, tripped)
         return CrowdRound(answers, report)
+
+    def _record_report(
+        self,
+        recorder,
+        report: RoundReport,
+        breaker_state_before: BreakerState | None,
+        tripped: bool,
+    ) -> None:
+        """Wire one round's :class:`RoundReport` into the metrics registry."""
+        recorder.count("crowd.rounds", kind="full")
+        for outcome in report.outcomes:
+            recorder.count("crowd.tasks", status=outcome.status.value)
+        recorder.count("crowd.answers", report.total_answers)
+        recorder.count("crowd.postings", report.total_postings)
+        recorder.count("crowd.cost", report.total_cost)
+        recorder.count(
+            "crowd.outliers", sum(o.num_outliers for o in report.outcomes)
+        )
+        recorder.gauge(
+            "crowd.quarantined_workers", len(report.quarantined_workers)
+        )
+        if tripped:
+            recorder.count("crowd.breaker.trips")
+        if self._breaker is not None:
+            state_after = self._breaker.state
+            recorder.gauge(
+                "crowd.breaker.open", 1.0 if state_after is BreakerState.OPEN else 0.0
+            )
+            if breaker_state_before is not None and state_after is not breaker_state_before:
+                recorder.count(
+                    "crowd.breaker.transitions",
+                    from_state=breaker_state_before.value,
+                    to_state=state_after.value,
+                )
 
     def collect_speeds(
         self,

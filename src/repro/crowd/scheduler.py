@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.errors import CrowdsourcingError
+from repro.obs import get_recorder
 
 
 @dataclass(frozen=True)
@@ -74,14 +75,19 @@ class AdaptiveBudgetScheduler:
     def plan_round(self) -> RoundPlan:
         """Decide this interval's query set."""
         if self._baseline is None:
-            return RoundPlan(self._full_seeds, True, "bootstrap")
-        if self._degraded_pending:
-            return RoundPlan(self._full_seeds, True, "degraded round")
-        if self._drift_pending:
-            return RoundPlan(self._full_seeds, True, "drift detected")
-        if self._light_rounds_since_full >= self._max_light_rounds:
-            return RoundPlan(self._full_seeds, True, "staleness deadline")
-        return RoundPlan(self._light_seeds, False, "calm")
+            plan = RoundPlan(self._full_seeds, True, "bootstrap")
+        elif self._degraded_pending:
+            plan = RoundPlan(self._full_seeds, True, "degraded round")
+        elif self._drift_pending:
+            plan = RoundPlan(self._full_seeds, True, "drift detected")
+        elif self._light_rounds_since_full >= self._max_light_rounds:
+            plan = RoundPlan(self._full_seeds, True, "staleness deadline")
+        else:
+            plan = RoundPlan(self._light_seeds, False, "calm")
+        get_recorder().count(
+            "scheduler.plans", reason=plan.reason.replace(" ", "_")
+        )
+        return plan
 
     def record_round(
         self,
@@ -102,11 +108,17 @@ class AdaptiveBudgetScheduler:
         e.g. because seed substitution kicked in) escalates the next
         round to full.
         """
+        recorder = get_recorder()
         missing = [s for s in plan.seeds if s not in deviations]
         degraded = degraded or bool(missing)
         self.queries_issued += len(plan.seeds)
+        recorder.count("scheduler.queries", len(plan.seeds))
+        recorder.count(
+            "scheduler.rounds", kind="full" if plan.is_full else "light"
+        )
         if degraded:
             self.degraded_rounds += 1
+            recorder.count("scheduler.degraded_rounds")
         self._degraded_pending = degraded
         if plan.is_full:
             # Refresh what was observed; keep prior baseline values for
@@ -119,10 +131,14 @@ class AdaptiveBudgetScheduler:
             self._light_rounds_since_full = 0
             self._drift_pending = False
             self.full_rounds += 1
+            recorder.gauge("scheduler.light_rounds_since_full", 0)
             return
 
         self.light_rounds += 1
         self._light_rounds_since_full += 1
+        recorder.gauge(
+            "scheduler.light_rounds_since_full", self._light_rounds_since_full
+        )
         assert self._baseline is not None  # light rounds follow a full one
         shifts = [
             abs(deviations[s] - self._baseline[s])
@@ -135,10 +151,12 @@ class AdaptiveBudgetScheduler:
             # other degraded path (unless already counted above).
             if not degraded:
                 self.degraded_rounds += 1
+                recorder.count("scheduler.degraded_rounds")
             self._degraded_pending = True
             return
         if float(np.mean(shifts)) > self._drift_threshold:
             self._drift_pending = True
+            recorder.count("scheduler.drift_detected")
 
     def savings_fraction(self) -> float:
         """Fraction of queries saved vs always-full scheduling."""

@@ -17,6 +17,7 @@ from repro.core.errors import DataError
 from repro.core.field import SpeedField
 from repro.core.types import Trend
 from repro.evalkit.metrics import SpeedErrors, TrendMetrics, speed_errors, trend_metrics
+from repro.obs import get_recorder
 from repro.history.store import HistoricalSpeedStore
 from repro.speed.estimator import TwoStepEstimator
 
@@ -110,27 +111,36 @@ class Evaluation:
         collects_trends = isinstance(method, TwoStepMethod)
 
         start = time.perf_counter()
-        for interval in self.intervals:
-            seed_speeds = self.seed_speeds_at(interval)
-            estimates = method.estimate_interval(interval, seed_speeds)
-            for road in self.scored_roads:
-                estimate = estimates.get(road)
-                if estimate is None:
-                    raise DataError(
-                        f"{method.name} produced no estimate for road {road}"
-                    )
-                true_speed = self.truth.speed(road, interval)
-                all_estimates.append(estimate)
-                all_truths.append(true_speed)
-                actual = self.store.trend_of(road, interval, true_speed)
-                actual_trends.append(actual)
-                if collects_trends:
-                    predicted_trends.append(method.last_trends[road])
-                else:
-                    predicted_trends.append(
-                        self.store.trend_of(road, interval, estimate)
-                    )
+        with get_recorder().span(
+            "evalkit.run",
+            method=method.name,
+            intervals=len(self.intervals),
+            seeds=len(self.seeds),
+        ):
+            for interval in self.intervals:
+                seed_speeds = self.seed_speeds_at(interval)
+                estimates = method.estimate_interval(interval, seed_speeds)
+                for road in self.scored_roads:
+                    estimate = estimates.get(road)
+                    if estimate is None:
+                        raise DataError(
+                            f"{method.name} produced no estimate for road {road}"
+                        )
+                    true_speed = self.truth.speed(road, interval)
+                    all_estimates.append(estimate)
+                    all_truths.append(true_speed)
+                    actual = self.store.trend_of(road, interval, true_speed)
+                    actual_trends.append(actual)
+                    if collects_trends:
+                        predicted_trends.append(method.last_trends[road])
+                    else:
+                        predicted_trends.append(
+                            self.store.trend_of(road, interval, estimate)
+                        )
         elapsed = time.perf_counter() - start
+        get_recorder().observe(
+            "evalkit.run_seconds", elapsed, method=method.name
+        )
 
         return EvaluationResult(
             method=method.name,

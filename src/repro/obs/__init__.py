@@ -1,0 +1,84 @@
+"""``repro.obs`` — pipeline telemetry: metrics, spans, flight recorder.
+
+The measurement substrate for the whole reproduction. Three layers:
+
+* :mod:`repro.obs.registry` — a zero-dependency metrics registry
+  (counters, gauges, fixed-bucket histograms, labeled series);
+* :mod:`repro.obs.spans` — nested wall-clock spans with structured
+  attributes, drained per round;
+* :mod:`repro.obs.recorder` — the :class:`FlightRecorder` that ties
+  both to an append-only JSONL event log plus an in-memory ring of
+  per-round snapshots, and the no-op :class:`NullRecorder` that is the
+  process default.
+
+Instrumentation is **default-on but near-free**: every hot path calls
+``get_recorder()`` and the default recorder does nothing. Enable
+capture either in code::
+
+    from repro.obs import FlightRecorder, recording
+
+    with recording(FlightRecorder(path="run.jsonl")) as rec:
+        system.run_round(interval, truth, platform)
+    print(rec.rounds[-1]["stages"])
+
+or for any entry point by exporting ``REPRO_OBS_JSONL=run.jsonl``, then
+render the recording with ``repro-traffic obs report run.jsonl``.
+
+The metric-name catalogue and span hierarchy live in
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.exporters import to_json, to_prometheus_text
+from repro.obs.recorder import (
+    OBS_ENV_VAR,
+    FlightRecorder,
+    NullRecorder,
+    configure_from_env,
+    get_recorder,
+    recording,
+    set_recorder,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import (
+    load_events,
+    render_report,
+    report_file,
+    summarize_rounds,
+    verify_recording,
+)
+from repro.obs.spans import Span, SpanTracer, aggregate_spans
+
+__all__ = [
+    "OBS_ENV_VAR",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "FlightRecorder",
+    "NullRecorder",
+    "Span",
+    "SpanTracer",
+    "aggregate_spans",
+    "configure_from_env",
+    "get_recorder",
+    "recording",
+    "set_recorder",
+    "to_json",
+    "to_prometheus_text",
+    "load_events",
+    "render_report",
+    "report_file",
+    "summarize_rounds",
+    "verify_recording",
+]
+
+# Default-on operational switch: REPRO_OBS_JSONL=<path> turns any run of
+# any entry point into a flight-recorded run.
+configure_from_env()

@@ -1,0 +1,71 @@
+"""Registry exporters: Prometheus text format and JSON.
+
+Both render a :class:`~repro.obs.registry.MetricsRegistry` snapshot for
+consumption outside the process — Prometheus text for a scrape endpoint
+or node-exporter textfile collector, JSON for dashboards and the BENCH
+trajectory artefacts. Neither mutates the registry.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+
+def _prom_name(name: str) -> str:
+    """Dots are series separators here but illegal in Prometheus names."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [
+        f'{key}="{value}"'.replace("\\", "\\\\")
+        for key, value in labels
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus exposition (text) format.
+
+    Histograms follow the standard ``_bucket{le=...}`` / ``_sum`` /
+    ``_count`` convention with cumulative bucket counts and a ``+Inf``
+    bucket, so real Prometheus tooling parses the output unchanged.
+    """
+    lines: list[str] = []
+    for family in registry.families():
+        name = _prom_name(family.name)
+        lines.append(f"# TYPE {name} {family.kind}")
+        for labels, series in registry.series(family.name):
+            if isinstance(series, Histogram):
+                cumulative = series.cumulative_counts()
+                for i, bound in enumerate(series.bounds):
+                    le = _prom_labels(labels, f'le="{_fmt(bound)}"')
+                    lines.append(f"{name}_bucket{le} {cumulative[i]}")
+                inf = _prom_labels(labels, 'le="+Inf"')
+                lines.append(f"{name}_bucket{inf} {cumulative[-1]}")
+                lines.append(
+                    f"{name}_sum{_prom_labels(labels)} {_fmt(series.sum)}"
+                )
+                lines.append(
+                    f"{name}_count{_prom_labels(labels)} {series.count}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_prom_labels(labels)} {_fmt(series.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def to_json(registry: MetricsRegistry, indent: int | None = 2) -> str:
+    """The registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)

@@ -1,0 +1,310 @@
+"""Recorders: the single seam all instrumentation goes through.
+
+Every instrumented module calls :func:`repro.obs.get_recorder` and
+talks to whatever comes back. The module default is a
+:class:`NullRecorder` whose methods do nothing and allocate nothing, so
+default-on instrumentation costs a function call and an attribute
+lookup per hook — install a :class:`FlightRecorder` (globally with
+:func:`set_recorder`, or scoped with :func:`recording`) to start
+capturing.
+
+The :class:`FlightRecorder` is the real thing: a
+:class:`~repro.obs.registry.MetricsRegistry` for counters/gauges/
+histograms, a :class:`~repro.obs.spans.SpanTracer` for nested timings,
+a bounded in-memory ring of per-round snapshots, and an optional
+append-only JSONL event log on disk (one ``span`` event per finished
+span, one ``round`` event per estimation round) that ``repro-traffic
+obs report`` renders back into a round-by-round summary.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import time
+from collections import deque
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import Span, SpanTracer, aggregate_spans
+
+#: Environment variable that switches the process-default recorder from
+#: the no-op to a JSONL-writing flight recorder at import time.
+OBS_ENV_VAR = "REPRO_OBS_JSONL"
+
+#: JSONL schema version stamped into every recording's ``meta`` line.
+SCHEMA_VERSION = 1
+
+
+class _NullSpan:
+    """A reusable no-op stand-in for an active span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The default recorder: every hook is a no-op.
+
+    Shares the :class:`FlightRecorder` surface so instrumented code
+    never branches on whether recording is enabled.
+    """
+
+    enabled = False
+
+    def count(self, name: str, value: float = 1.0, **labels: object) -> None:
+        pass
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: tuple[float, ...] | None = None,
+        **labels: object,
+    ) -> None:
+        pass
+
+    def event(self, kind: str, **fields: object) -> None:
+        pass
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def round_begin(self, interval: int | None) -> None:
+        pass
+
+    def round_end(self, interval: int | None, **fields: object) -> None:
+        pass
+
+
+class FlightRecorder:
+    """Metrics + spans + per-round snapshots, optionally logged to JSONL.
+
+    ``path=None`` records purely in memory (the overhead benchmark's
+    configuration); with a path every span and round event is appended
+    as one JSON line, giving a crash-durable black-box log of the run.
+    The last ``ring_size`` round snapshots stay addressable in memory
+    via :attr:`rounds` regardless of whether a file is attached.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        ring_size: int = 256,
+        registry: MetricsRegistry | None = None,
+        tracer: SpanTracer | None = None,
+    ) -> None:
+        if ring_size < 1:
+            raise ValueError("ring_size must be >= 1")
+        self.registry = registry or MetricsRegistry()
+        self.tracer = tracer or SpanTracer()
+        self._path = Path(path) if path is not None else None
+        self._file: IO[str] | None = None
+        self._ring: deque[dict] = deque(maxlen=ring_size)
+        self._round_index = 0
+        self._round_start: float | None = None
+        self._round_interval: int | None = None
+        if self._path is not None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self._path.open("a", encoding="utf-8")
+            self._write(
+                {
+                    "type": "meta",
+                    "version": SCHEMA_VERSION,
+                    "ts": time.time(),
+                    "pid": os.getpid(),
+                }
+            )
+
+    # ------------------------------------------------------------------
+    # Metric hooks
+    # ------------------------------------------------------------------
+    def count(self, name: str, value: float = 1.0, **labels: object) -> None:
+        self.registry.counter(name, **labels).inc(value)
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        self.registry.gauge(name, **labels).set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: tuple[float, ...] | None = None,
+        **labels: object,
+    ) -> None:
+        self.registry.histogram(name, buckets=buckets, **labels).observe(value)
+
+    # ------------------------------------------------------------------
+    # Spans and events
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: object):
+        return _RecordedSpan(self, self.tracer.span(name, **attrs))
+
+    def event(self, kind: str, **fields: object) -> None:
+        """Append one free-form event to the log (and the ring)."""
+        payload = {"type": "event", "kind": kind, "ts": time.time(), **fields}
+        self._ring.append(payload)
+        self._write(payload)
+
+    def _span_finished(self, span: Span) -> None:
+        self.registry.histogram("span.seconds", span=span.name).observe(
+            span.duration_s or 0.0
+        )
+        if self._file is not None:
+            self._write(span.to_event())
+
+    # ------------------------------------------------------------------
+    # Per-round flight recording
+    # ------------------------------------------------------------------
+    def round_begin(self, interval: int | None) -> None:
+        self._round_start = time.perf_counter()
+        self._round_interval = interval
+
+    def round_end(self, interval: int | None, **fields: object) -> None:
+        """Snapshot the round: stage timings + cumulative health counters.
+
+        Legal without a prior :meth:`round_begin` (wall time is then
+        omitted); drains every span finished since the previous round so
+        one-off work (seed selection, model fitting) lands in the round
+        that triggered it.
+        """
+        wall = (
+            time.perf_counter() - self._round_start
+            if self._round_start is not None
+            else None
+        )
+        snapshot = {
+            "type": "round",
+            "round": self._round_index,
+            "interval": interval if interval is not None else self._round_interval,
+            "wall_s": wall,
+            "stages": aggregate_spans(self.tracer.drain()),
+            "counters": self.registry.scalar_totals(),
+            "fields": dict(fields),
+        }
+        self._round_index += 1
+        self._round_start = None
+        self._round_interval = None
+        self._ring.append(snapshot)
+        self._write(snapshot)
+
+    @property
+    def rounds(self) -> list[dict]:
+        """The in-memory ring of round snapshots (oldest first)."""
+        return [e for e in self._ring if e.get("type") == "round"]
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _write(self, payload: dict) -> None:
+        if self._file is None:
+            return
+        self._file.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "FlightRecorder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class _RecordedSpan:
+    """Active-span wrapper that notifies the recorder on exit."""
+
+    __slots__ = ("_recorder", "_active", "_span")
+
+    def __init__(self, recorder: FlightRecorder, active) -> None:
+        self._recorder = recorder
+        self._active = active
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._span = self._active.__enter__()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._active.__exit__(exc_type, exc, tb)
+        assert self._span is not None
+        self._recorder._span_finished(self._span)
+        return False
+
+    def set(self, **attrs: object):
+        if self._span is not None:
+            self._span.set(**attrs)
+        return self
+
+
+# ----------------------------------------------------------------------
+# The process-wide default recorder
+# ----------------------------------------------------------------------
+_recorder: NullRecorder | FlightRecorder = NullRecorder()
+
+
+def get_recorder() -> NullRecorder | FlightRecorder:
+    """The recorder all instrumentation hooks talk to."""
+    return _recorder
+
+
+def set_recorder(
+    recorder: NullRecorder | FlightRecorder,
+) -> NullRecorder | FlightRecorder:
+    """Install ``recorder`` as the process default; returns the previous."""
+    global _recorder
+    previous = _recorder
+    _recorder = recorder
+    return previous
+
+
+@contextlib.contextmanager
+def recording(
+    recorder: FlightRecorder | None = None,
+) -> Iterator[FlightRecorder]:
+    """Scoped recording: install a flight recorder, restore on exit."""
+    rec = recorder or FlightRecorder()
+    previous = set_recorder(rec)
+    try:
+        yield rec
+    finally:
+        set_recorder(previous)
+
+
+def configure_from_env(environ: dict | None = None) -> FlightRecorder | None:
+    """Honour ``REPRO_OBS_JSONL=<path>``: install a JSONL flight recorder.
+
+    Called once at package import, so any entry point — the CLI, the
+    examples, a pytest run — becomes a black-box-recorded run just by
+    exporting the variable. Returns the installed recorder, or ``None``
+    when the variable is unset/empty.
+    """
+    env = environ if environ is not None else os.environ
+    path = env.get(OBS_ENV_VAR, "").strip()
+    if not path:
+        return None
+    recorder = FlightRecorder(path=path)
+    set_recorder(recorder)
+    return recorder

@@ -1,0 +1,261 @@
+"""The zero-dependency metrics registry.
+
+Three metric kinds, modelled on the Prometheus data model but with no
+client library behind them:
+
+* :class:`Counter` — a monotonically increasing total (tasks answered,
+  gain evaluations, breaker trips);
+* :class:`Gauge` — a value that goes up and down (quarantine-set size,
+  light-rounds-since-full);
+* :class:`Histogram` — observations bucketed against **fixed** upper
+  bounds chosen at registration (solve times, iteration counts), with a
+  running sum and count so means are recoverable.
+
+Every metric name is a *family* that fans out into **labeled series**:
+``registry.counter("crowd.tasks", status="answered")`` and
+``status="no_response"`` are independent series under one family. A
+family's kind (and, for histograms, its bucket boundaries) is fixed by
+the first registration; conflicting re-registration raises
+:class:`~repro.core.errors.ConfigError` rather than silently splitting
+the data.
+
+The registry is deliberately tiny and allocation-light: the hot-path
+cost of ``counter(...).inc()`` is one dict lookup and one float add,
+which is what lets instrumentation stay on by default.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.errors import ConfigError
+
+#: Default latency buckets (seconds): 100 µs .. 30 s, roughly log-spaced.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_.]*$")
+
+#: A label set frozen into a hashable, canonically ordered key.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing float total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move in both directions."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Observations against fixed upper-bound buckets.
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]``
+    (non-cumulative, per-bucket); the final slot counts the overflow
+    (``> bounds[-1]``, the Prometheus ``+Inf`` bucket).
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "sum", "count")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        if not bounds:
+            raise ConfigError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(set(bounds)):
+            raise ConfigError(f"histogram bounds must strictly increase: {bounds}")
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative_counts(self) -> list[int]:
+        """Prometheus-style cumulative counts, one per bound plus +Inf."""
+        total = 0
+        out = []
+        for c in self.bucket_counts:
+            total += c
+            out.append(total)
+        return out
+
+
+@dataclass(frozen=True)
+class _Family:
+    """One metric name: its kind and (for histograms) bucket bounds."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    bounds: tuple[float, ...] | None = None
+
+
+class MetricsRegistry:
+    """All metric families and their labeled series, in one place."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+        self._series: dict[tuple[str, LabelKey], Counter | Gauge | Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Registration / access
+    # ------------------------------------------------------------------
+    def _family(
+        self, name: str, kind: str, bounds: tuple[float, ...] | None = None
+    ) -> _Family:
+        if bounds is not None and not bounds:
+            raise ConfigError(
+                f"histogram {name!r} needs at least one bucket bound"
+            )
+        family = self._families.get(name)
+        if family is None:
+            if not _NAME_RE.match(name):
+                raise ConfigError(f"invalid metric name {name!r}")
+            family = _Family(name, kind, bounds)
+            self._families[name] = family
+            return family
+        if family.kind != kind:
+            raise ConfigError(
+                f"metric {name!r} is a {family.kind}, not a {kind}"
+            )
+        if kind == "histogram" and bounds is not None and family.bounds != bounds:
+            raise ConfigError(
+                f"histogram {name!r} already registered with buckets "
+                f"{family.bounds}, not {bounds}"
+            )
+        return family
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        self._family(name, "counter")
+        key = (name, _label_key(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = Counter()
+        return series  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        self._family(name, "gauge")
+        key = (name, _label_key(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = Gauge()
+        return series  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] | None = None,
+        **labels: object,
+    ) -> Histogram:
+        family = self._family(
+            name, "histogram", tuple(buckets) if buckets is not None else None
+        )
+        key = (name, _label_key(labels))
+        series = self._series.get(key)
+        if series is None:
+            bounds = family.bounds or DEFAULT_BUCKETS
+            series = self._series[key] = Histogram(bounds)
+        return series  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def families(self) -> list[_Family]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    def series(
+        self, name: str
+    ) -> Iterator[tuple[LabelKey, Counter | Gauge | Histogram]]:
+        """All labeled series of one family, in canonical label order."""
+        wanted = [
+            (key[1], series)
+            for key, series in self._series.items()
+            if key[0] == name
+        ]
+        return iter(sorted(wanted, key=lambda item: item[0]))
+
+    def snapshot(self) -> dict:
+        """Everything as plain JSON-serialisable dicts.
+
+        Shape: ``{name: {"kind": ..., "series": [{"labels": {...},
+        ...values...}]}}``. Counters/gauges carry ``value``; histograms
+        carry ``sum``, ``count``, ``buckets`` (bound -> cumulative
+        count) and the overflow under ``"+Inf"``.
+        """
+        out: dict[str, dict] = {}
+        for family in self.families():
+            rendered = []
+            for labels, series in self.series(family.name):
+                entry: dict = {"labels": dict(labels)}
+                if isinstance(series, Histogram):
+                    cumulative = series.cumulative_counts()
+                    buckets = {
+                        str(bound): cumulative[i]
+                        for i, bound in enumerate(series.bounds)
+                    }
+                    buckets["+Inf"] = cumulative[-1]
+                    entry.update(
+                        sum=series.sum, count=series.count, buckets=buckets
+                    )
+                else:
+                    entry["value"] = series.value
+                rendered.append(entry)
+            out[family.name] = {"kind": family.kind, "series": rendered}
+        return out
+
+    def scalar_totals(self) -> dict[str, float]:
+        """One scalar per series — the flight recorder's per-round
+        health snapshot. Unlabeled series are keyed by their bare family
+        name; labeled series by ``name{k=v,...}`` in canonical label
+        order. Histograms report their observation count."""
+        totals: dict[str, float] = {}
+        for (name, labels), series in self._series.items():
+            if labels:
+                rendered = ",".join(f"{k}={v}" for k, v in labels)
+                key = f"{name}{{{rendered}}}"
+            else:
+                key = name
+            if isinstance(series, Histogram):
+                totals[key] = series.count
+            else:
+                totals[key] = series.value
+        return dict(sorted(totals.items()))

@@ -10,9 +10,11 @@ O(K · n · reach) — which the lazy and partition variants accelerate.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.core.errors import SelectionError
+from repro.obs import get_recorder
 from repro.seeds.objective import SeedSelectionObjective
 
 
@@ -42,12 +44,24 @@ class SelectionResult:
 
 
 def validate_budget(objective: SeedSelectionObjective, budget: int) -> None:
-    """Shared budget validation for all selection algorithms."""
+    """Shared budget validation for all selection algorithms.
+
+    Rejections say *why*: the requested K and the candidate-graph size
+    are always in the message, and each rejection bumps the
+    ``seeds.budget_rejected`` counter so operators can see bad budget
+    requests in the metrics, not just in logs.
+    """
     if budget < 1:
-        raise SelectionError(f"budget must be >= 1, got {budget}")
-    if budget > objective.num_roads:
+        get_recorder().count("seeds.budget_rejected", reason="non_positive")
         raise SelectionError(
-            f"budget {budget} exceeds the {objective.num_roads} candidate roads"
+            f"budget must be >= 1, got K={budget} "
+            f"({objective.num_roads} candidate roads available)"
+        )
+    if budget > objective.num_roads:
+        get_recorder().count("seeds.budget_rejected", reason="exceeds_graph")
+        raise SelectionError(
+            f"budget K={budget} exceeds the {objective.num_roads} candidate "
+            "roads in the correlation graph"
         )
 
 
@@ -64,6 +78,7 @@ def greedy_select(
             f"candidate pool of {len(pool)} cannot fill budget {budget}"
         )
 
+    recorder = get_recorder()
     state = objective.new_state()
     remaining = set(pool)
     seeds: list[int] = []
@@ -71,6 +86,7 @@ def greedy_select(
     values: list[float] = []
     evaluations = 0
     for _ in range(budget):
+        pick_start = time.perf_counter()
         best_road = None
         best_gain = -1.0
         for candidate in sorted(remaining):
@@ -85,6 +101,10 @@ def greedy_select(
         seeds.append(best_road)
         gains.append(best_gain)
         values.append(state.value)
+        recorder.observe(
+            "seeds.pick_seconds", time.perf_counter() - pick_start, method="greedy"
+        )
+    recorder.count("seeds.evaluations", evaluations, method="greedy")
     return SelectionResult(
         method="greedy",
         seeds=tuple(seeds),

@@ -13,7 +13,9 @@ both facts are asserted in the test suite and measured in F4.
 from __future__ import annotations
 
 import heapq
+import time
 
+from repro.obs import get_recorder
 from repro.seeds.greedy import SelectionResult, validate_budget
 from repro.seeds.objective import SeedSelectionObjective
 
@@ -33,6 +35,7 @@ def lazy_greedy_select(
             f"candidate pool of {len(pool)} cannot fill budget {budget}"
         )
 
+    recorder = get_recorder()
     state = objective.new_state()
     evaluations = 0
 
@@ -48,6 +51,11 @@ def lazy_greedy_select(
     gains: list[float] = []
     values: list[float] = []
     current_round = 0
+    # Heap accounting for the CELF win: a "hit" is a pop whose stale
+    # bound was already the true argmax; a "miss" forces a re-evaluation.
+    heap_hits = 0
+    heap_misses = 0
+    pick_start = time.perf_counter()
     while len(seeds) < budget:
         neg_gain, candidate, evaluated_round = heapq.heappop(heap)
         if evaluated_round == current_round:
@@ -57,10 +65,22 @@ def lazy_greedy_select(
             gains.append(realised)
             values.append(state.value)
             current_round += 1
+            heap_hits += 1
+            now = time.perf_counter()
+            recorder.observe("seeds.pick_seconds", now - pick_start, method="lazy")
+            pick_start = now
         else:
             gain = state.gain(candidate)
             evaluations += 1
+            heap_misses += 1
             heapq.heappush(heap, (-gain, candidate, current_round))
+    recorder.count("seeds.evaluations", evaluations, method="lazy")
+    recorder.count("seeds.lazy.heap_pops", heap_hits, fresh="true")
+    recorder.count("seeds.lazy.heap_pops", heap_misses, fresh="false")
+    if heap_hits + heap_misses:
+        recorder.gauge(
+            "seeds.lazy.heap_hit_rate", heap_hits / (heap_hits + heap_misses)
+        )
     return SelectionResult(
         method="lazy-greedy",
         seeds=tuple(seeds),

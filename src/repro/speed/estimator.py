@@ -13,6 +13,7 @@ from repro.core.errors import InferenceError
 from repro.core.types import SpeedEstimate, Trend
 from repro.history.correlation import CorrelationGraph
 from repro.history.store import HistoricalSpeedStore
+from repro.obs import get_recorder
 from repro.roadnet.network import RoadNetwork
 from repro.speed.hlm import HierarchicalLinearModel, HlmParams
 from repro.trend.model import TrendModel
@@ -105,6 +106,7 @@ class TwoStepEstimator:
             if not self._graph.has_road(road):
                 raise InferenceError(f"seed road {road} not in correlation graph")
 
+        recorder = get_recorder()
         seed_trends = {
             road: self._store.trend_of(road, interval, speed)
             for road, speed in seed_speeds.items()
@@ -114,40 +116,50 @@ class TwoStepEstimator:
             for road, speed in seed_speeds.items()
         }
 
-        instance = self._trend_model.instance(interval, seed_trends)
-        posterior = self._inference.infer(instance)
+        with recorder.span(
+            "trend.infer",
+            method=type(self._inference).__name__,
+            seeds=len(seed_speeds),
+        ):
+            instance = self._trend_model.instance(interval, seed_trends)
+            posterior = self._inference.infer(instance)
         influence_by_road = self._influence_index(frozenset(seed_speeds))
 
         estimates: dict[int, SpeedEstimate] = {}
-        for road in roads:
-            if road in seed_speeds:
-                trend = seed_trends[road]
+        seed_count = 0
+        with recorder.span("speed.solve", roads=len(roads)):
+            for road in roads:
+                if road in seed_speeds:
+                    trend = seed_trends[road]
+                    estimates[road] = SpeedEstimate(
+                        road_id=road,
+                        interval=interval,
+                        speed_kmh=seed_speeds[road],
+                        trend=trend,
+                        trend_probability=1.0 if trend is Trend.RISE else 0.0,
+                        is_seed=True,
+                    )
+                    seed_count += 1
+                    continue
+                influence = influence_by_road.get(road, {})
+                speed = self._hlm.estimate_road(
+                    road,
+                    interval,
+                    posterior,
+                    seed_deviations,
+                    seed_trends,
+                    influence,
+                )
+                p_rise = posterior.p_rise(road)
                 estimates[road] = SpeedEstimate(
                     road_id=road,
                     interval=interval,
-                    speed_kmh=seed_speeds[road],
-                    trend=trend,
-                    trend_probability=1.0 if trend is Trend.RISE else 0.0,
-                    is_seed=True,
+                    speed_kmh=speed,
+                    trend=Trend.RISE if p_rise >= 0.5 else Trend.FALL,
+                    trend_probability=p_rise,
                 )
-                continue
-            influence = influence_by_road.get(road, {})
-            speed = self._hlm.estimate_road(
-                road,
-                interval,
-                posterior,
-                seed_deviations,
-                seed_trends,
-                influence,
-            )
-            p_rise = posterior.p_rise(road)
-            estimates[road] = SpeedEstimate(
-                road_id=road,
-                interval=interval,
-                speed_kmh=speed,
-                trend=Trend.RISE if p_rise >= 0.5 else Trend.FALL,
-                trend_probability=p_rise,
-            )
+        recorder.count("speed.estimates", len(estimates))
+        recorder.count("speed.seed_estimates", seed_count)
         return estimates
 
     def influence_index(

@@ -39,6 +39,7 @@ from repro.core.errors import DataError, InferenceError
 from repro.core.types import Trend
 from repro.history.correlation import CorrelationGraph
 from repro.history.store import HistoricalSpeedStore
+from repro.obs import get_recorder
 from repro.roadnet.network import RoadNetwork
 from repro.speed.hierarchy import DeviationHierarchy
 from repro.trend.model import TrendPosterior
@@ -239,6 +240,9 @@ class JointSeedRegression:
             residual_std=residual_std,
         )
         self._cache[key] = fitted
+        # Cache misses only: once a (road, seed set) is fitted the hot
+        # path never reaches this line again.
+        get_recorder().count("speed.hlm.regression_fits")
         return fitted
 
 
@@ -275,9 +279,12 @@ class HierarchicalLinearModel:
         """
         del graph
         params = params or HlmParams()
-        hierarchy = DeviationHierarchy(store, network, kappa=params.shrinkage_kappa)
-        regression = JointSeedRegression(store, params)
-        return cls(store, network, hierarchy, regression, params)
+        with get_recorder().span("speed.hlm.fit", roads=len(store.road_ids)):
+            hierarchy = DeviationHierarchy(
+                store, network, kappa=params.shrinkage_kappa
+            )
+            regression = JointSeedRegression(store, params)
+            return cls(store, network, hierarchy, regression, params)
 
     @property
     def params(self) -> HlmParams:

@@ -14,9 +14,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.errors import InferenceError
+from repro.obs import get_recorder
 from repro.trend.model import TrendInstance, TrendPosterior
 
 _LOG_FLOOR = 1e-12
+
+#: Iteration-count buckets shared by the iterative trend solvers.
+ITERATION_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
 
 
 class LoopyBeliefPropagation:
@@ -42,6 +46,16 @@ class LoopyBeliefPropagation:
 
     def infer(self, instance: TrendInstance) -> TrendPosterior:
         """Approximate posterior P(RISE) for every road."""
+        with get_recorder().span(
+            "trend.bp", roads=instance.num_roads, edges=len(instance.edges)
+        ) as span:
+            posterior = self._infer(instance)
+            span.set(
+                iterations=self.last_iterations, converged=self.last_converged
+            )
+            return posterior
+
+    def _infer(self, instance: TrendInstance) -> TrendPosterior:
         n = instance.num_roads
         evidence = instance.evidence_indices()
 
@@ -106,6 +120,21 @@ class LoopyBeliefPropagation:
                 break
         else:
             self.last_iterations = self._max_iterations
+
+        recorder = get_recorder()
+        recorder.observe(
+            "trend.bp.iterations", self.last_iterations, buckets=ITERATION_BUCKETS
+        )
+        recorder.count(
+            "trend.bp.messages", 2 * m_edges * self.last_iterations
+        )
+        recorder.observe(
+            "trend.bp.residual",
+            max_delta,
+            buckets=(1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1),
+        )
+        if not self.last_converged:
+            recorder.count("trend.bp.nonconverged")
 
         log_m_rise = np.log(np.maximum(messages, _LOG_FLOOR))
         log_m_fall = np.log(np.maximum(1.0 - messages, _LOG_FLOOR))

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.errors import InferenceError
 from repro.core.types import Trend
+from repro.obs import get_recorder
 from repro.trend.model import TrendInstance, TrendPosterior
 
 #: Enumeration above this many free variables is refused.
@@ -44,14 +45,19 @@ class ExactEnumerationInference:
         for i, trend in evidence.items():
             assignment[i] = int(trend)
 
-        rise_mass = np.zeros(n)
-        total_mass = 0.0
-        for bits in itertools.product((1, -1), repeat=len(free)):
-            for i, bit in zip(free, bits):
-                assignment[i] = bit
-            weight = self._joint_weight(instance, assignment)
-            total_mass += weight
-            rise_mass[assignment == 1] += weight
+        with get_recorder().span(
+            "trend.exact", roads=n, free=len(free)
+        ) as span:
+            rise_mass = np.zeros(n)
+            total_mass = 0.0
+            for bits in itertools.product((1, -1), repeat=len(free)):
+                for i, bit in zip(free, bits):
+                    assignment[i] = bit
+                weight = self._joint_weight(instance, assignment)
+                total_mass += weight
+                rise_mass[assignment == 1] += weight
+            span.set(assignments=2 ** len(free))
+            get_recorder().count("trend.exact.assignments", 2 ** len(free))
 
         if total_mass <= 0.0:
             raise InferenceError("joint distribution has zero total mass")

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.errors import InferenceError
+from repro.obs import get_recorder
 from repro.trend.model import TrendInstance, TrendPosterior
 
 
@@ -32,6 +33,13 @@ class GibbsSamplingInference:
         self._seed = seed
 
     def infer(self, instance: TrendInstance) -> TrendPosterior:
+        with get_recorder().span(
+            "trend.gibbs", roads=instance.num_roads
+        ) as span:
+            posterior = self._infer(instance, span)
+            return posterior
+
+    def _infer(self, instance: TrendInstance, span) -> TrendPosterior:
         rng = np.random.default_rng(self._seed)
         n = instance.num_roads
         evidence = instance.evidence_indices()
@@ -72,4 +80,9 @@ class GibbsSamplingInference:
         p_rise = rise_counts / self._num_samples
         for i, trend in evidence.items():
             p_rise[i] = 1.0 if int(trend) == 1 else 0.0
+        site_updates = total_sweeps * len(free)
+        span.set(sweeps=total_sweeps, free=len(free))
+        recorder = get_recorder()
+        recorder.count("trend.gibbs.sweeps", total_sweeps)
+        recorder.count("trend.gibbs.site_updates", site_updates)
         return TrendPosterior(instance.road_ids, p_rise)

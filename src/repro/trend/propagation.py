@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.core.errors import InferenceError
 from repro.history.correlation import CorrelationEdge, CorrelationGraph
+from repro.obs import get_recorder
 from repro.trend.model import TrendInstance, TrendPosterior
 
 
@@ -125,42 +126,65 @@ class TrendPropagationInference:
 
     def infer(self, instance: TrendInstance) -> TrendPosterior:
         """Posterior P(RISE) per road from prior + seed votes."""
-        index = instance.index
-        prior = np.clip(instance.prior_rise, 1e-6, 1.0 - 1e-6)
-        log_odds = self._prior_weight * np.log(prior / (1.0 - prior))
+        with get_recorder().span(
+            "trend.propagation",
+            roads=instance.num_roads,
+            seeds=len(instance.evidence),
+        ) as span:
+            index = instance.index
+            prior = np.clip(instance.prior_rise, 1e-6, 1.0 - 1e-6)
+            log_odds = self._prior_weight * np.log(prior / (1.0 - prior))
 
-        graph = instance_graph(instance)
-        # Canonical seed order: float summation must not depend on the
-        # incidental dict order of the evidence mapping.
-        for seed_road in sorted(instance.evidence):
-            trend = instance.evidence[seed_road]
-            fidelities = self._fidelities(graph, seed_road)
-            sign = float(int(trend))
-            for road, q in fidelities.items():
-                if road == seed_road:
-                    continue
-                i = index.get(road)
-                if i is None:
-                    continue
-                q = min(q, 1.0 - 1e-9)
-                log_odds[i] += sign * math.log((1.0 + q) / (1.0 - q))
+            graph = instance_graph(instance)
+            votes = 0
+            cache_misses = 0
+            # Canonical seed order: float summation must not depend on the
+            # incidental dict order of the evidence mapping.
+            for seed_road in sorted(instance.evidence):
+                trend = instance.evidence[seed_road]
+                fidelities, was_cached = self._fidelities(graph, seed_road)
+                cache_misses += not was_cached
+                # Telemetry only; counted outside the vote loop so the
+                # hot path carries no per-road bookkeeping.
+                votes += len(fidelities) - 1
+                sign = float(int(trend))
+                for road, q in fidelities.items():
+                    if road == seed_road:
+                        continue
+                    i = index.get(road)
+                    if i is None:
+                        continue
+                    q = min(q, 1.0 - 1e-9)
+                    log_odds[i] += sign * math.log((1.0 + q) / (1.0 - q))
 
-        p_rise = 1.0 / (1.0 + np.exp(-np.clip(log_odds, -500, 500)))
-        for road, trend in instance.evidence.items():
-            p_rise[index[road]] = 1.0 if trend.value == 1 else 0.0
-        return TrendPosterior(instance.road_ids, p_rise)
+            p_rise = 1.0 / (1.0 + np.exp(-np.clip(log_odds, -500, 500)))
+            for road, trend in instance.evidence.items():
+                p_rise[index[road]] = 1.0 if trend.value == 1 else 0.0
+            span.set(votes=votes, cache_misses=cache_misses)
+            recorder = get_recorder()
+            recorder.count("trend.propagation.votes", votes)
+            hits = len(instance.evidence) - cache_misses
+            if hits:
+                recorder.count("trend.propagation.cache", hits, hit="true")
+            if cache_misses:
+                recorder.count(
+                    "trend.propagation.cache", cache_misses, hit="false"
+                )
+            return TrendPosterior(instance.road_ids, p_rise)
 
     def _fidelities(
         self, graph: CorrelationGraph, seed_road: int
-    ) -> dict[int, float]:
+    ) -> tuple[dict[int, float], bool]:
+        """The seed's fidelity map plus whether it came from the cache."""
         per_graph = self._cache.get(graph)
         if per_graph is None:
             per_graph = {}
             self._cache[graph] = per_graph
         cached = per_graph.get(seed_road)
-        if cached is None:
-            cached = propagate_fidelity(
-                graph, seed_road, self._min_fidelity, self._max_hops
-            )
-            per_graph[seed_road] = cached
-        return cached
+        if cached is not None:
+            return cached, True
+        computed = propagate_fidelity(
+            graph, seed_road, self._min_fidelity, self._max_hops
+        )
+        per_graph[seed_road] = computed
+        return computed, False

@@ -32,6 +32,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_obs_record_options(self):
+        args = build_parser().parse_args(
+            ["obs", "record", "--out", "run.jsonl", "--rounds", "3"]
+        )
+        assert args.obs_command == "record"
+        assert args.out == "run.jsonl"
+        assert args.rounds == 3
+
+    def test_obs_record_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "record"])
+
+    def test_obs_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
 
 class TestCommands:
     """End-to-end command runs on the (cached) tianjin dataset."""
@@ -85,6 +101,55 @@ class TestCommands:
                     "--from", "0", "--to", "999999", "--budget", "5",
                 ]
             )
+
+
+class TestObsCommands:
+    """Record → report → verify round trip through the CLI."""
+
+    def test_record_report_verify(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        metrics = tmp_path / "metrics.prom"
+        assert main(
+            [
+                "--city", "tianjin", "obs", "record",
+                "--out", str(out), "--rounds", "2", "--budget", "5",
+                "--metrics-out", str(metrics),
+            ]
+        ) == 0
+        recorded = capsys.readouterr().out
+        assert "Recorded 2 rounds" in recorded
+        assert out.exists()
+        assert "# TYPE" in metrics.read_text()
+
+        assert main(["obs", "report", str(out)]) == 0
+        report = capsys.readouterr().out
+        assert "crowd ms" in report and "trend ms" in report
+        assert "2 rounds" in report
+
+        assert main(["obs", "verify", str(out)]) == 0
+        assert "round" in capsys.readouterr().out
+
+    def test_record_with_fault_scenario(self, tmp_path, capsys):
+        out = tmp_path / "faulty.jsonl"
+        assert main(
+            [
+                "--city", "tianjin", "obs", "record",
+                "--out", str(out), "--rounds", "2", "--budget", "5",
+                "--scenario", "spam-burst",
+            ]
+        ) == 0
+        assert "Recorded 2 rounds" in capsys.readouterr().out
+        assert main(["obs", "verify", str(out)]) == 0
+
+    def test_report_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["obs", "report", str(tmp_path / "missing.jsonl")])
+
+    def test_verify_malformed_file(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        with pytest.raises(SystemExit, match="malformed"):
+            main(["obs", "verify", str(bad)])
 
 
 class TestEstimateMap:

@@ -1,0 +1,435 @@
+"""Tests for repro.obs: registry, spans, recorder, exporters, report."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ConfigError, DataError
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    FlightRecorder,
+    MetricsRegistry,
+    NullRecorder,
+    SpanTracer,
+    aggregate_spans,
+    configure_from_env,
+    get_recorder,
+    load_events,
+    recording,
+    render_report,
+    set_recorder,
+    to_json,
+    to_prometheus_text,
+    verify_recording,
+)
+from repro.obs.recorder import OBS_ENV_VAR
+from repro.obs.report import summarize_rounds
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc()
+        reg.counter("a.b").inc(2.5)
+        assert reg.counter("a.b").value == 3.5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            reg.counter("a").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("g")
+        gauge.set(5)
+        gauge.dec(2)
+        gauge.inc(0.5)
+        assert gauge.value == 3.5
+
+    def test_labeled_series_are_isolated(self):
+        reg = MetricsRegistry()
+        reg.counter("crowd.tasks", status="answered").inc(7)
+        reg.counter("crowd.tasks", status="dropped").inc(2)
+        assert reg.counter("crowd.tasks", status="answered").value == 7
+        assert reg.counter("crowd.tasks", status="dropped").value == 2
+        # Label order must not matter for series identity.
+        reg.counter("x", a="1", b="2").inc()
+        assert reg.counter("x", b="2", a="1").value == 1
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ConfigError, match="counter"):
+            reg.gauge("m")
+
+    def test_histogram_bucket_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ConfigError, match="buckets"):
+            reg.histogram("h", buckets=(1.0, 3.0))
+        # Re-registering without explicit buckets reuses the family's.
+        assert reg.histogram("h").bounds == (1.0, 2.0)
+
+    def test_invalid_metric_name_raises(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            reg.counter("9starts.with.digit")
+
+    def test_histogram_bucket_edges(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", buckets=(1.0, 2.0, 5.0))
+        # An observation exactly on a bound lands in that bound's bucket
+        # (Prometheus "le" semantics: bucket counts values <= bound).
+        for value in (0.5, 1.0, 1.5, 2.0, 4.9, 5.0, 5.1):
+            hist.observe(value)
+        assert hist.bucket_counts == [2, 2, 2, 1]
+        assert hist.cumulative_counts() == [2, 4, 6, 7]
+        assert hist.count == 7
+        assert hist.sum == pytest.approx(20.0)
+        assert hist.mean == pytest.approx(20.0 / 7)
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ConfigError):
+            MetricsRegistry().histogram("h", buckets=())
+        with pytest.raises(ConfigError):
+            MetricsRegistry().histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ConfigError):
+            MetricsRegistry().histogram("h", buckets=(1.0, 1.0))
+
+    def test_default_buckets_used_when_unspecified(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("h").bounds == DEFAULT_BUCKETS
+
+    def test_scalar_totals_key_format(self):
+        reg = MetricsRegistry()
+        reg.counter("plain").inc(3)
+        reg.counter("tagged", b="2", a="1").inc(4)
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        totals = reg.scalar_totals()
+        assert totals["plain"] == 3
+        assert totals["tagged{a=1,b=2}"] == 4  # canonical label order
+        assert totals["lat"] == 1  # histograms report their count
+
+    def test_snapshot_is_json_serialisable(self):
+        reg = MetricsRegistry()
+        reg.counter("c", k="v").inc()
+        reg.gauge("g").set(2)
+        reg.histogram("h", buckets=(1.0,)).observe(3.0)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["c"]["kind"] == "counter"
+        assert snap["c"]["series"][0]["labels"] == {"k": "v"}
+        assert snap["h"]["series"][0]["buckets"]["+Inf"] == 1
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_nested_span_parentage(self):
+        tracer = SpanTracer()
+        with tracer.span("outer") as outer:
+            assert tracer.depth == 1
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                with tracer.span("leaf") as leaf:
+                    assert leaf.parent_id == inner.span_id
+        assert outer.parent_id is None
+        finished = tracer.drain()
+        assert [s.name for s in finished] == ["leaf", "inner", "outer"]
+        assert all(s.duration_s is not None for s in finished)
+        assert tracer.depth == 0
+
+    def test_span_attrs_and_set(self):
+        tracer = SpanTracer()
+        with tracer.span("work", roads=10) as span:
+            span.set(iterations=3)
+        event = tracer.drain()[0].to_event()
+        assert event["type"] == "span"
+        assert event["attrs"] == {"roads": 10, "iterations": 3}
+        assert event["dur_s"] >= 0
+
+    def test_exception_unwinding_marks_error(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        span = tracer.drain()[0]
+        assert span.attrs["error"] is True
+        assert tracer.depth == 0
+
+    def test_finished_buffer_is_bounded(self):
+        tracer = SpanTracer(max_finished=4)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer.drain()) == 4
+        assert tracer.total_finished == 10
+
+    def test_aggregate_spans(self):
+        tracer = SpanTracer()
+        for _ in range(3):
+            with tracer.span("stage.a"):
+                pass
+        with tracer.span("stage.b"):
+            pass
+        stages = aggregate_spans(tracer.drain())
+        assert stages["stage.a"]["count"] == 3
+        assert stages["stage.b"]["count"] == 1
+        assert stages["stage.a"]["max_s"] <= stages["stage.a"]["total_s"]
+
+
+# ----------------------------------------------------------------------
+# Recorders
+# ----------------------------------------------------------------------
+class TestNullRecorder:
+    def test_every_hook_is_a_noop(self):
+        rec = NullRecorder()
+        rec.count("a", 2, label="x")
+        rec.gauge("b", 1.5)
+        rec.observe("c", 0.1, buckets=(1.0,), label="y")
+        rec.event("anything", detail=1)
+        rec.round_begin(5)
+        rec.round_end(5, answered=3)
+        with rec.span("s", k="v") as span:
+            span.set(more="attrs")
+        assert rec.enabled is False
+        # The same span sentinel is reused — no per-call allocation.
+        assert rec.span("a") is rec.span("b")
+
+    def test_default_recorder_is_null(self):
+        assert isinstance(get_recorder(), NullRecorder)
+
+
+class TestFlightRecorder:
+    def test_metric_hooks_feed_registry(self):
+        rec = FlightRecorder()
+        rec.count("c", 2, kind="x")
+        rec.gauge("g", 7)
+        rec.observe("h", 0.5)
+        assert rec.registry.counter("c", kind="x").value == 2
+        assert rec.registry.gauge("g").value == 7
+        assert rec.registry.histogram("h").count == 1
+
+    def test_span_records_histogram(self):
+        rec = FlightRecorder()
+        with rec.span("trend.infer"):
+            pass
+        hist = rec.registry.histogram("span.seconds", span="trend.infer")
+        assert hist.count == 1
+
+    def test_round_snapshot_drains_spans(self):
+        rec = FlightRecorder()
+        rec.round_begin(10)
+        with rec.span("crowd.round"):
+            pass
+        rec.count("crowd.answers", 5)
+        rec.round_end(10, answered=5, degraded=False)
+        (snapshot,) = rec.rounds
+        assert snapshot["round"] == 0
+        assert snapshot["interval"] == 10
+        assert snapshot["wall_s"] > 0
+        assert snapshot["stages"]["crowd.round"]["count"] == 1
+        assert snapshot["counters"]["crowd.answers"] == 5
+        assert snapshot["fields"]["answered"] == 5
+        # The next round's drain must not see this round's spans again.
+        rec.round_end(11)
+        assert rec.rounds[1]["stages"] == {}
+
+    def test_ring_is_bounded(self):
+        rec = FlightRecorder(ring_size=2)
+        for i in range(5):
+            rec.round_end(i)
+        assert [r["round"] for r in rec.rounds] == [3, 4]
+
+    def test_rejects_bad_ring_size(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(ring_size=0)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with FlightRecorder(path=path) as rec:
+            rec.round_begin(42)
+            with rec.span("speed.solve", roads=9):
+                pass
+            rec.event("note", detail="hello")
+            rec.round_end(42, answered=1)
+        events = load_events(path)
+        types = [e["type"] for e in events]
+        assert types == ["meta", "span", "event", "round"]
+        assert events[0]["version"] == 1
+        assert events[1]["name"] == "speed.solve"
+        assert events[1]["attrs"] == {"roads": 9}
+        assert events[3]["interval"] == 42
+        # Re-opening appends rather than truncating the black box.
+        with FlightRecorder(path=path) as rec:
+            rec.round_end(43)
+        assert len(load_events(path)) == len(events) + 2
+
+    def test_recording_scope_restores_previous(self):
+        before = get_recorder()
+        with recording() as rec:
+            assert get_recorder() is rec
+            assert isinstance(rec, FlightRecorder)
+        assert get_recorder() is before
+
+    def test_set_recorder_returns_previous(self):
+        previous = set_recorder(NullRecorder())
+        try:
+            assert isinstance(previous, NullRecorder)
+        finally:
+            set_recorder(previous)
+
+    def test_configure_from_env(self, tmp_path):
+        path = tmp_path / "env.jsonl"
+        previous = get_recorder()
+        try:
+            rec = configure_from_env({OBS_ENV_VAR: str(path)})
+            assert isinstance(rec, FlightRecorder)
+            assert get_recorder() is rec
+            rec.close()
+            assert load_events(path)[0]["type"] == "meta"
+        finally:
+            set_recorder(previous)
+        assert configure_from_env({}) is None
+        assert configure_from_env({OBS_ENV_VAR: "  "}) is None
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+class TestExporters:
+    def test_prometheus_text(self):
+        reg = MetricsRegistry()
+        reg.counter("crowd.tasks", status="answered").inc(3)
+        reg.gauge("crowd.quarantined_workers").set(2)
+        reg.histogram("solve.seconds", buckets=(0.1, 1.0)).observe(0.5)
+        text = to_prometheus_text(reg)
+        assert "# TYPE crowd_tasks counter" in text
+        assert 'crowd_tasks{status="answered"} 3' in text
+        assert "crowd_quarantined_workers 2" in text
+        assert 'solve_seconds_bucket{le="0.1"} 0' in text
+        assert 'solve_seconds_bucket{le="1"} 1' in text
+        assert 'solve_seconds_bucket{le="+Inf"} 1' in text
+        assert "solve_seconds_sum 0.5" in text
+        assert "solve_seconds_count 1" in text
+
+    def test_json_export_parses(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        doc = json.loads(to_json(reg))
+        assert doc["a"]["series"][0]["value"] == 1
+
+
+# ----------------------------------------------------------------------
+# Report / verify
+# ----------------------------------------------------------------------
+def _write_lines(path, lines):
+    path.write_text("".join(json.dumps(l) + "\n" for l in lines))
+
+
+class TestReport:
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(DataError, match="does not exist"):
+            load_events(tmp_path / "nope.jsonl")
+
+    def test_load_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(DataError, match="empty"):
+            load_events(path)
+
+    def test_load_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "meta"}\nnot json\n')
+        with pytest.raises(DataError, match="bad.jsonl:2"):
+            load_events(path)
+
+    def test_load_rejects_untyped_event(self, tmp_path):
+        path = tmp_path / "untyped.jsonl"
+        path.write_text('{"no_type": 1}\n')
+        with pytest.raises(DataError, match="'type'"):
+            load_events(path)
+
+    def test_verify_requires_spans_or_rounds(self, tmp_path):
+        path = tmp_path / "meta_only.jsonl"
+        _write_lines(path, [{"type": "meta", "version": 1}])
+        with pytest.raises(DataError, match="no span or round"):
+            verify_recording(path)
+
+    def test_verify_summarises(self, tmp_path):
+        path = tmp_path / "ok.jsonl"
+        with FlightRecorder(path=path) as rec:
+            with rec.span("x"):
+                pass
+            rec.round_end(0)
+        summary = verify_recording(path)
+        assert "1 round" in summary and "1 span" in summary
+
+    def test_summarize_rounds_computes_deltas(self):
+        events = [
+            {
+                "type": "round",
+                "round": 0,
+                "interval": 10,
+                "wall_s": 0.1,
+                "stages": {},
+                "counters": {
+                    "crowd.tasks{status=answered}": 5,
+                    "crowd.tasks{status=no_response}": 1,
+                    "crowd.breaker.trips": 0,
+                },
+                "fields": {},
+            },
+            {
+                "type": "round",
+                "round": 1,
+                "interval": 11,
+                "wall_s": 0.1,
+                "stages": {},
+                "counters": {
+                    "crowd.tasks{status=answered}": 8,
+                    "crowd.tasks{status=no_response}": 4,
+                    "crowd.breaker.trips": 1,
+                    "pipeline.substitutions{reason=stale}": 2,
+                },
+                "fields": {"degraded": True},
+            },
+        ]
+        rows = summarize_rounds(events)
+        assert rows[0]["tasks_answered"] == 5
+        assert rows[1]["tasks_answered"] == 3  # delta, not cumulative
+        assert rows[1]["tasks_failed"] == 3
+        assert rows[1]["breaker_trips"] == 1
+        assert rows[1]["substitutions"] == 2
+        assert rows[1]["degraded"] is True
+
+    def test_render_report_round_table(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with FlightRecorder(path=path) as rec:
+            for i in range(2):
+                rec.round_begin(20 + i)
+                with rec.span("crowd.round"):
+                    pass
+                with rec.span("trend.infer"):
+                    pass
+                rec.count("crowd.tasks", 4, status="answered")
+                rec.round_end(20 + i, degraded=bool(i))
+        text = render_report(load_events(path))
+        assert "crowd ms" in text and "trend ms" in text
+        assert "2 rounds, 1 degraded" in text
+        assert "8 answered" in text
+
+    def test_render_report_span_only_fallback(self):
+        events = [
+            {"type": "span", "name": "trend.bp", "dur_s": 0.01},
+            {"type": "span", "name": "trend.bp", "dur_s": 0.02},
+        ]
+        text = render_report(events)
+        assert "trend.bp" in text and "no rounds" in text
+
+    def test_render_report_rejects_useless_recording(self):
+        with pytest.raises(DataError):
+            render_report([{"type": "meta"}])
