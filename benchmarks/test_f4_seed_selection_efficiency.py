@@ -11,8 +11,9 @@ import time
 
 import pytest
 
-from benchmarks.conftest import budget_for
+from benchmarks.conftest import _bench_registry, budget_for
 from repro.evalkit.reporting import fmt, fmt_speedup, format_table
+from repro.history.fidelity import FidelityCacheService
 from repro.seeds.greedy import greedy_select
 from repro.seeds.lazy import lazy_greedy_select
 from repro.seeds.objective import SeedSelectionObjective
@@ -84,3 +85,75 @@ def test_f4_selection_efficiency(f4_results, beijing, report, benchmark):
         objective.influence_map(road)
     budget = budget_for(beijing, 5.0)
     benchmark(lambda: lazy_greedy_select(objective, budget))
+
+
+def test_f4_kernel_vs_scalar_seed_sequences(beijing, report):
+    """Greedy and CELF pick *byte-identical* seed sequences either way.
+
+    The differential guarantee for selection: the vectorized masked-dot
+    gain path and the scalar dict-walk reference produce exactly the
+    same seed orderings (not merely the same objective value) at every
+    budget, so flipping ``use_fidelity_kernel`` can never change which
+    roads get crowdsourced.
+    """
+    kernel = SeedSelectionObjective(
+        beijing.graph, fidelity_service=FidelityCacheService(), use_kernel=True
+    )
+    scalar = SeedSelectionObjective(
+        beijing.graph,
+        fidelity_service=FidelityCacheService(use_kernel=False),
+        use_kernel=False,
+    )
+    for objective in (kernel, scalar):  # warm both caches fully
+        for road in objective.road_ids:
+            objective.influence_row(road)
+
+    rows = []
+    for percent in K_PERCENTS:
+        budget = budget_for(beijing, percent)
+        for name, select in (
+            ("greedy", greedy_select),
+            ("lazy", lazy_greedy_select),
+            ("partition", lambda o, b: partition_greedy_select(o, b, 8)),
+        ):
+            start = time.perf_counter()
+            kernel_result = select(kernel, budget)
+            kernel_s = time.perf_counter() - start
+            start = time.perf_counter()
+            scalar_result = select(scalar, budget)
+            scalar_s = time.perf_counter() - start
+            assert list(kernel_result.seeds) == list(scalar_result.seeds), (
+                f"{name} @ K={budget}: kernel and scalar disagree"
+            )
+            rows.append(
+                [
+                    f"{percent:.0f}% (K={budget})",
+                    name,
+                    fmt(kernel_s * 1000, 1),
+                    fmt(scalar_s * 1000, 1),
+                    fmt_speedup(scalar_s / kernel_s),
+                    "identical",
+                ]
+            )
+            if name == "lazy" and percent == 5.0:
+                for path, seconds in (
+                    ("kernel", kernel_s),
+                    ("scalar", scalar_s),
+                ):
+                    _bench_registry.gauge(
+                        "bench.kernel_vs_scalar_seconds",
+                        test="f4_lazy_selection",
+                        path=path,
+                    ).set(seconds)
+                _bench_registry.gauge(
+                    "bench.kernel_vs_scalar_speedup", test="f4_lazy_selection"
+                ).set(scalar_s / kernel_s)
+
+    report(
+        "f4_kernel_vs_scalar",
+        format_table(
+            ["budget", "algorithm", "kernel ms", "scalar ms", "speedup", "seeds"],
+            rows,
+            title="F4b: selection with CSR kernel vs scalar reference",
+        ),
+    )

@@ -30,6 +30,10 @@ class PipelineConfig:
     selection_method: str = "lazy"
     inference_method: str = "propagation"
     num_partitions: int = 8
+    #: Use the vectorized CSR fidelity kernel (repro.history.fidelity)
+    #: for propagation inference and seed selection; False selects the
+    #: scalar reference paths for differential testing.
+    use_fidelity_kernel: bool = True
     hlm: HlmParams = field(default_factory=HlmParams)
     degradation: DegradationParams = field(default_factory=DegradationParams)
 

@@ -34,6 +34,7 @@ from repro.core.types import SpeedEstimate
 from repro.crowd.platform import CrowdsourcingPlatform, SpeedQueryTask
 from repro.crowd.report import RoundReport
 from repro.history.correlation import CorrelationGraph, mine_correlation_graph
+from repro.history.fidelity import FidelityCacheService
 from repro.history.store import HistoricalSpeedStore
 from repro.history.timebuckets import TimeGrid
 from repro.obs import get_recorder
@@ -112,15 +113,24 @@ class SpeedEstimationSystem:
         self._store = store
         self._graph = graph
         self._config = config
+        # One influence cache for the whole system: Step-1 inference,
+        # seed selection and Step-2 regression all share fidelity rows.
+        self._fidelity = FidelityCacheService(
+            use_kernel=config.use_fidelity_kernel
+        )
         self._estimator = TwoStepEstimator(
             network,
             store,
             graph,
-            trend_inference=self._build_inference(config),
+            trend_inference=self._build_inference(config, self._fidelity),
             hlm_params=config.hlm,
+            fidelity_service=self._fidelity,
         )
         self._objective = SeedSelectionObjective(
-            graph, min_fidelity=config.hlm.min_fidelity
+            graph,
+            min_fidelity=config.hlm.min_fidelity,
+            fidelity_service=self._fidelity,
+            use_kernel=config.use_fidelity_kernel,
         )
         self._seeds: list[int] = []
         self._selection: SelectionResult | None = None
@@ -168,9 +178,13 @@ class SpeedEstimationSystem:
         return cls(network, store, graph, config or PipelineConfig())
 
     @staticmethod
-    def _build_inference(config: PipelineConfig):
+    def _build_inference(config: PipelineConfig, fidelity: FidelityCacheService):
         if config.inference_method == "propagation":
-            return TrendPropagationInference(min_fidelity=config.hlm.min_fidelity)
+            return TrendPropagationInference(
+                min_fidelity=config.hlm.min_fidelity,
+                fidelity_service=fidelity,
+                use_kernel=config.use_fidelity_kernel,
+            )
         if config.inference_method == "bp":
             return LoopyBeliefPropagation()
         return GibbsSamplingInference()
@@ -197,6 +211,11 @@ class SpeedEstimationSystem:
     @property
     def estimator(self) -> TwoStepEstimator:
         return self._estimator
+
+    @property
+    def fidelity_service(self) -> FidelityCacheService:
+        """The influence cache shared by every stage of this system."""
+        return self._fidelity
 
     @property
     def objective(self) -> SeedSelectionObjective:

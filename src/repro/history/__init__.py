@@ -5,6 +5,16 @@ from repro.history.correlation import (
     CorrelationGraph,
     mine_correlation_graph,
 )
+from repro.history.fidelity import (
+    CSRFidelityGraph,
+    FidelityCacheService,
+    best_fidelity_row,
+    best_fidelity_rows,
+    edge_fidelity,
+    get_fidelity_service,
+    propagate_fidelity_scalar,
+    set_fidelity_service,
+)
 from repro.history.online import RollingHistory
 from repro.history.persistence import (
     load_field,
@@ -18,12 +28,20 @@ from repro.history.store import HistoricalSpeedStore
 from repro.history.timebuckets import MINUTES_PER_DAY, TimeGrid
 
 __all__ = [
+    "CSRFidelityGraph",
     "CorrelationEdge",
     "CorrelationGraph",
+    "FidelityCacheService",
     "HistoricalSpeedStore",
     "MINUTES_PER_DAY",
     "RollingHistory",
     "TimeGrid",
+    "best_fidelity_row",
+    "best_fidelity_rows",
+    "edge_fidelity",
+    "get_fidelity_service",
+    "propagate_fidelity_scalar",
+    "set_fidelity_service",
     "load_field",
     "load_graph",
     "load_store",

@@ -22,6 +22,15 @@ downstream Step-2 regression error (verified in experiment F5). The
 ``"fidelity"`` transform keeps raw ``q`` for analyses of the trend step
 itself.
 
+**Implementation.** Influence rows come from the shared
+:class:`~repro.history.fidelity.FidelityCacheService` as dense numpy
+arrays (one cache across selection, Step-1 inference and Step-2
+regression; clones and partitioned selection share it for free), so a
+marginal-gain query is one masked dot product and a seed addition is an
+index-array residual update. The original dict-walk implementation is
+the scalar reference behind ``use_kernel=False``; experiment F4 asserts
+both produce byte-identical greedy/CELF seed sequences.
+
 **Properties** (exploited by the greedy algorithms and property-tested
 in the suite):
 
@@ -37,14 +46,13 @@ reduction from Set Cover.
 
 from __future__ import annotations
 
-import math
-from typing import Iterable
+from typing import Iterable, Mapping
 
 import numpy as np
 
 from repro.core.errors import SelectionError
 from repro.history.correlation import CorrelationGraph
-from repro.trend.propagation import propagate_fidelity
+from repro.history.fidelity import FidelityCacheService, get_fidelity_service
 
 #: Supported influence transforms (see module docstring).
 INFLUENCE_TRANSFORMS = ("variance", "fidelity")
@@ -55,36 +63,57 @@ class CoverageState:
 
     ``residual[r] = Π_{u∈S} (1 − q(u→r))`` — the probability road ``r``
     is still *uncovered*. The state makes marginal-gain queries O(reach)
-    and additions O(reach).
+    and additions O(reach). Seed membership is tracked in a set
+    alongside the ordered list, so the CELF inner loop's gain queries
+    cost O(1) membership checks instead of O(K) list scans; adding an
+    already-selected seed is a no-op (gain 0, state untouched).
     """
 
     def __init__(self, objective: "SeedSelectionObjective") -> None:
         self._objective = objective
         self.residual = np.ones(objective.num_roads)
         self.seeds: list[int] = []
+        self._selected: set[int] = set()
         self.value = 0.0
 
     def gain(self, candidate: int) -> float:
         """Marginal gain of adding ``candidate`` to the current set."""
-        if candidate in self._objective.index and candidate not in self.seeds:
-            gain = 0.0
-            weights = self._objective.weights
-            index = self._objective.index
-            for road, q in self._objective.influence_map(candidate).items():
-                i = index[road]
-                gain += weights[i] * self.residual[i] * q
-            return gain
-        if candidate in self.seeds:
+        if candidate in self._selected:
             return 0.0
-        raise SelectionError(f"candidate {candidate} not in correlation graph")
+        objective = self._objective
+        if candidate not in objective.index:
+            raise SelectionError(f"candidate {candidate} not in correlation graph")
+        if objective.use_kernel:
+            row = objective.influence_row(candidate)
+            return float((objective.weights * self.residual) @ row)
+        gain = 0.0
+        weights = objective.weights
+        index = objective.index
+        for road, q in objective.influence_map(candidate).items():
+            i = index[road]
+            gain += weights[i] * self.residual[i] * q
+        return gain
 
     def add(self, seed: int) -> float:
-        """Add a seed; returns its realised marginal gain."""
+        """Add a seed; returns its realised marginal gain.
+
+        Re-adding a seed already in the set returns 0 and leaves
+        ``residual``, ``seeds`` and ``value`` unchanged.
+        """
         gain = self.gain(seed)
-        index = self._objective.index
-        for road, q in self._objective.influence_map(seed).items():
-            self.residual[index[road]] *= 1.0 - q
+        if seed in self._selected:
+            return gain
+        objective = self._objective
+        if objective.use_kernel:
+            row = objective.influence_row(seed)
+            support = np.flatnonzero(row)
+            self.residual[support] *= 1.0 - row[support]
+        else:
+            index = objective.index
+            for road, q in objective.influence_map(seed).items():
+                self.residual[index[road]] *= 1.0 - q
         self.seeds.append(seed)
+        self._selected.add(seed)
         self.value += gain
         return gain
 
@@ -95,6 +124,10 @@ class SeedSelectionObjective:
     ``min_fidelity`` truncates influence propagation (matching the fast
     inference); ``road_weights`` defaults to uniform. A road always
     covers itself with fidelity 1, so Q(S) ≥ Σ_{u∈S} w_u.
+    ``fidelity_service`` is the shared cross-stage influence cache
+    (defaults to the process-wide service); ``use_kernel=False``
+    switches the coverage state to the scalar dict-walk reference for
+    differential testing.
     """
 
     def __init__(
@@ -103,6 +136,8 @@ class SeedSelectionObjective:
         min_fidelity: float = 0.05,
         road_weights: dict[int, float] | None = None,
         transform: str = "variance",
+        fidelity_service: FidelityCacheService | None = None,
+        use_kernel: bool = True,
     ) -> None:
         if transform not in INFLUENCE_TRANSFORMS:
             raise SelectionError(
@@ -112,7 +147,11 @@ class SeedSelectionObjective:
         self._graph = graph
         self._min_fidelity = min_fidelity
         self._transform = transform
-        self._road_ids = graph.road_ids
+        self._service = fidelity_service or get_fidelity_service()
+        self.use_kernel = use_kernel
+        # Influence rows are CSR-ordered; the objective adopts the same
+        # (sorted road id) order so rows need no re-indexing.
+        self._road_ids = list(self._service.csr(graph).road_ids)
         self.index: dict[int, int] = {road: i for i, road in enumerate(self._road_ids)}
         if road_weights is None:
             self.weights = np.ones(len(self._road_ids))
@@ -127,11 +166,18 @@ class SeedSelectionObjective:
             )
             if np.any(self.weights < 0):
                 raise SelectionError("road weights must be non-negative")
-        self._influence_cache: dict[int, dict[int, float]] = {}
+        # Reference memos over the service cache (same arrays/views, no
+        # second copy) so the CELF inner loop skips service bookkeeping.
+        self._row_memo: dict[int, np.ndarray] = {}
+        self._map_memo: dict[int, Mapping[int, float]] = {}
 
     @property
     def graph(self) -> CorrelationGraph:
         return self._graph
+
+    @property
+    def fidelity_service(self) -> FidelityCacheService:
+        return self._service
 
     @property
     def num_roads(self) -> int:
@@ -154,39 +200,57 @@ class SeedSelectionObjective:
     def min_fidelity(self) -> float:
         return self._min_fidelity
 
-    def influence_map(self, road: int) -> dict[int, float]:
-        """road -> transformed influence from ``road`` (cached, incl. itself)."""
-        cached = self._influence_cache.get(road)
-        if cached is None:
-            raw = propagate_fidelity(
-                self._graph, road, min_fidelity=self._min_fidelity
+    def influence_row(self, road: int) -> np.ndarray:
+        """Dense transformed influence row for ``road`` (read-only).
+
+        Indexed by :attr:`index` positions; entry ``index[road]`` is the
+        self-influence 1 and unreachable roads are 0.
+        """
+        row = self._row_memo.get(road)
+        if row is None:
+            row = self._service.row(
+                self._graph,
+                road,
+                min_fidelity=self._min_fidelity,
+                transform=self._transform,
             )
-            if self._transform == "variance":
-                cached = {
-                    r: math.sin(math.pi * q / 2.0) ** 2 for r, q in raw.items()
-                }
-            else:
-                cached = raw
-            self._influence_cache[road] = cached
-        return cached
+            self._row_memo[road] = row
+        return row
+
+    def influence_map(self, road: int) -> Mapping[int, float]:
+        """road -> transformed influence from ``road`` (cached, incl. itself).
+
+        A read-only mapping view over the shared cache — mutating it is
+        a ``TypeError``, which is what keeps the cache unpoisonable.
+        """
+        mapping = self._map_memo.get(road)
+        if mapping is None:
+            mapping = self._service.fidelity_map(
+                self._graph,
+                road,
+                min_fidelity=self._min_fidelity,
+                transform=self._transform,
+            )
+            self._map_memo[road] = mapping
+        return mapping
 
     def clone_with_weights(
         self, road_weights: dict[int, float]
     ) -> "SeedSelectionObjective":
         """A same-settings objective with different road weights.
 
-        The influence cache is shared (influence depends only on the
-        graph, floor and transform), which is what makes partitioned
-        selection cheap.
+        The influence cache is shared through the fidelity service
+        (influence depends only on the graph, floor and transform),
+        which is what makes partitioned selection cheap.
         """
-        clone = SeedSelectionObjective(
+        return SeedSelectionObjective(
             self._graph,
             min_fidelity=self._min_fidelity,
             road_weights=road_weights,
             transform=self._transform,
+            fidelity_service=self._service,
+            use_kernel=self.use_kernel,
         )
-        clone._influence_cache = self._influence_cache
-        return clone
 
     def new_state(self) -> CoverageState:
         """A fresh empty-set coverage state."""

@@ -14,10 +14,11 @@ from repro.core.types import SpeedEstimate, Trend
 from repro.history.correlation import CorrelationGraph
 from repro.history.store import HistoricalSpeedStore
 from repro.obs import get_recorder
+from repro.history.fidelity import FidelityCacheService, get_fidelity_service
 from repro.roadnet.network import RoadNetwork
 from repro.speed.hlm import HierarchicalLinearModel, HlmParams
 from repro.trend.model import TrendModel
-from repro.trend.propagation import TrendPropagationInference, propagate_fidelity
+from repro.trend.propagation import TrendPropagationInference
 
 
 class TwoStepEstimator:
@@ -39,19 +40,21 @@ class TwoStepEstimator:
         hlm: HierarchicalLinearModel | None = None,
         trend_inference: object | None = None,
         hlm_params: HlmParams | None = None,
+        fidelity_service: FidelityCacheService | None = None,
     ) -> None:
         self._network = network
         self._store = store
         self._graph = graph
         self._params = hlm_params or HlmParams()
         self._trend_model = TrendModel(graph, store)
+        self._fidelity = fidelity_service or get_fidelity_service()
         self._inference = trend_inference or TrendPropagationInference(
-            min_fidelity=self._params.min_fidelity
+            min_fidelity=self._params.min_fidelity,
+            fidelity_service=self._fidelity,
         )
         self._hlm = hlm or HierarchicalLinearModel.fit(
             store, network, graph, self._params
         )
-        self._fidelity_maps: dict[int, dict[int, float]] = {}
         self._influence_cache: dict[frozenset[int], dict[int, dict[int, float]]] = {}
 
     @property
@@ -174,14 +177,11 @@ class TwoStepEstimator:
     # ------------------------------------------------------------------
     # Influence caching
     # ------------------------------------------------------------------
-    def _fidelity_map(self, seed: int) -> dict[int, float]:
-        cached = self._fidelity_maps.get(seed)
-        if cached is None:
-            cached = propagate_fidelity(
-                self._graph, seed, min_fidelity=self._params.min_fidelity
-            )
-            self._fidelity_maps[seed] = cached
-        return cached
+    def _fidelity_map(self, seed: int):
+        """Per-seed fidelity map from the shared cross-stage cache."""
+        return self._fidelity.fidelity_map(
+            self._graph, seed, min_fidelity=self._params.min_fidelity
+        )
 
     def _influence_index(
         self, seeds: frozenset[int]

@@ -11,42 +11,51 @@ outward from each seed along **best-fidelity paths**:
   endpoint trends).
 * Fidelity composes multiplicatively along a path (channel chaining),
   so the influence of seed ``s`` on road ``r`` is the maximum over paths
-  of the product of edge fidelities — computed with a truncated Dijkstra
-  from each seed, pruned once fidelity drops below ``min_fidelity``.
+  of the product of edge fidelities — computed by the shared
+  :mod:`repro.history.fidelity` kernel, pruned once fidelity drops
+  below ``min_fidelity``.
 * Each seed's evidence then contributes an independent log-likelihood-
   ratio vote of magnitude ``log((1+q)/(1-q))``, signed by the seed's
   observed trend, added to the road's prior log-odds.
 
-Because the Dijkstra is pruned at a fidelity floor, per-seed work is a
+Because propagation is pruned at a fidelity floor, per-seed work is a
 small constant neighbourhood, making inference near-linear in the number
 of seeds and independent of total network size — which is exactly the
 scaling experiment F3 demonstrates.
 
-The best-path fidelity computation is shared with the seed-selection
-objective (:mod:`repro.seeds.objective`), which uses the same influence
-notion.
+The hot path is fully vectorized: per-seed vote rows are served as
+dense ``log((1+q)/(1-q))`` arrays by the shared
+:class:`~repro.history.fidelity.FidelityCacheService` (one cache across
+inference, seed selection and Step-2 regression), and one interval's
+inference collapses to ``log_odds += signs @ vote_rows``. The original
+dict/heap implementation stays available as the scalar reference
+(``use_kernel=False``) for differential testing — experiment F3 asserts
+the kernel path matches it to 1e-9 while being several times faster.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
-import weakref
 
 import numpy as np
 
 from repro.core.errors import InferenceError
 from repro.history.correlation import CorrelationEdge, CorrelationGraph
+from repro.history.fidelity import (
+    FidelityCacheService,
+    edge_fidelity,
+    get_fidelity_service,
+    propagate_fidelity_scalar,
+)
 from repro.obs import get_recorder
 from repro.trend.model import TrendInstance, TrendPosterior
 
-
-def edge_fidelity(agreement: float) -> float:
-    """Channel fidelity of a correlation edge: ``2p - 1``.
-
-    Agreement at or below 0.5 carries no information and maps to 0.
-    """
-    return max(0.0, 2.0 * agreement - 1.0)
+__all__ = [
+    "TrendPropagationInference",
+    "edge_fidelity",
+    "instance_graph",
+    "propagate_fidelity",
+]
 
 
 def propagate_fidelity(
@@ -57,37 +66,15 @@ def propagate_fidelity(
 ) -> dict[int, float]:
     """Best-path fidelity from ``source`` to every reachable road.
 
-    A pruned max-product Dijkstra: expansion stops once the path fidelity
-    falls below ``min_fidelity`` (and optionally beyond ``max_hops``).
-    The source itself has fidelity 1. Returns only roads whose fidelity
-    is at least the floor.
+    The scalar reference implementation (dict/heap) of the shared
+    :mod:`repro.history.fidelity` kernel: expansion stops once the path
+    fidelity falls below ``min_fidelity``, and ``max_hops`` bounds the
+    *candidate path's own* hop count — a road reachable only through a
+    short weak path is kept even when a longer, stronger path found it
+    first. The source itself has fidelity 1. Returns only roads whose
+    fidelity is at least the floor.
     """
-    if not graph.has_road(source):
-        raise InferenceError(f"source road {source} not in correlation graph")
-    if not 0.0 < min_fidelity < 1.0:
-        raise InferenceError(f"min_fidelity {min_fidelity} must be in (0, 1)")
-
-    best: dict[int, float] = {source: 1.0}
-    hops: dict[int, int] = {source: 0}
-    # Max-heap via negated fidelity.
-    heap: list[tuple[float, int]] = [(-1.0, source)]
-    while heap:
-        neg_fid, road = heapq.heappop(heap)
-        fidelity = -neg_fid
-        if fidelity < best.get(road, 0.0):
-            continue
-        if max_hops is not None and hops[road] >= max_hops:
-            continue
-        for edge in graph.neighbours(road):
-            other = edge.other(road)
-            candidate = fidelity * edge_fidelity(edge.agreement)
-            if candidate < min_fidelity:
-                continue
-            if candidate > best.get(other, 0.0):
-                best[other] = candidate
-                hops[other] = hops[road] + 1
-                heapq.heappush(heap, (-candidate, other))
-    return best
+    return propagate_fidelity_scalar(graph, source, min_fidelity, max_hops)
 
 
 def instance_graph(instance: TrendInstance) -> CorrelationGraph:
@@ -105,66 +92,70 @@ def instance_graph(instance: TrendInstance) -> CorrelationGraph:
 
 
 class TrendPropagationInference:
-    """The fast Step-1 inference: independent seed votes in log-odds space."""
+    """The fast Step-1 inference: independent seed votes in log-odds space.
+
+    ``fidelity_service`` is the shared cross-stage influence cache
+    (defaults to the process-wide service); ``use_kernel=False`` selects
+    the scalar per-seed vote loop over the vectorized accumulation, for
+    differential testing. Evidence on roads absent from the instance's
+    index or the correlation graph is skipped consistently in both the
+    vote and the clamp stage.
+    """
 
     def __init__(
         self,
         min_fidelity: float = 0.05,
         max_hops: int | None = None,
         prior_weight: float = 1.0,
+        fidelity_service: FidelityCacheService | None = None,
+        use_kernel: bool = True,
     ) -> None:
         if prior_weight < 0.0:
             raise InferenceError("prior_weight must be non-negative")
         self._min_fidelity = min_fidelity
         self._max_hops = max_hops
         self._prior_weight = prior_weight
-        # Per-graph fidelity maps, reusable across intervals because they
-        # are evidence-independent. Weak keys let graphs be collected.
-        self._cache: "weakref.WeakKeyDictionary[CorrelationGraph, dict[int, dict[int, float]]]" = (
-            weakref.WeakKeyDictionary()
-        )
+        self._service = fidelity_service or get_fidelity_service()
+        self._use_kernel = use_kernel
+
+    @property
+    def fidelity_service(self) -> FidelityCacheService:
+        return self._service
 
     def infer(self, instance: TrendInstance) -> TrendPosterior:
         """Posterior P(RISE) per road from prior + seed votes."""
-        with get_recorder().span(
+        recorder = get_recorder()
+        with recorder.span(
             "trend.propagation",
             roads=instance.num_roads,
             seeds=len(instance.evidence),
         ) as span:
-            index = instance.index
             prior = np.clip(instance.prior_rise, 1e-6, 1.0 - 1e-6)
             log_odds = self._prior_weight * np.log(prior / (1.0 - prior))
 
             graph = instance_graph(instance)
-            votes = 0
-            cache_misses = 0
-            # Canonical seed order: float summation must not depend on the
-            # incidental dict order of the evidence mapping.
-            for seed_road in sorted(instance.evidence):
-                trend = instance.evidence[seed_road]
-                fidelities, was_cached = self._fidelities(graph, seed_road)
-                cache_misses += not was_cached
-                # Telemetry only; counted outside the vote loop so the
-                # hot path carries no per-road bookkeeping.
-                votes += len(fidelities) - 1
-                sign = float(int(trend))
-                for road, q in fidelities.items():
-                    if road == seed_road:
-                        continue
-                    i = index.get(road)
-                    if i is None:
-                        continue
-                    q = min(q, 1.0 - 1e-9)
-                    log_odds[i] += sign * math.log((1.0 + q) / (1.0 - q))
+            csr = self._service.csr(graph)
+            if csr.road_ids == instance.road_ids:
+                index = csr.index
+            else:
+                index = instance.index
+            misses_before = self._service.stats().misses
+            if self._use_kernel:
+                votes = self._accumulate_kernel(graph, instance, index, log_odds)
+            else:
+                votes = self._accumulate_scalar(graph, instance, index, log_odds)
+            cache_misses = self._service.stats().misses - misses_before
 
             p_rise = 1.0 / (1.0 + np.exp(-np.clip(log_odds, -500, 500)))
             for road, trend in instance.evidence.items():
-                p_rise[index[road]] = 1.0 if trend.value == 1 else 0.0
+                i = index.get(road)
+                if i is None:
+                    continue
+                p_rise[i] = 1.0 if trend.value == 1 else 0.0
             span.set(votes=votes, cache_misses=cache_misses)
-            recorder = get_recorder()
             recorder.count("trend.propagation.votes", votes)
             hits = len(instance.evidence) - cache_misses
-            if hits:
+            if hits > 0:
                 recorder.count("trend.propagation.cache", hits, hit="true")
             if cache_misses:
                 recorder.count(
@@ -172,19 +163,88 @@ class TrendPropagationInference:
                 )
             return TrendPosterior(instance.road_ids, p_rise)
 
-    def _fidelities(
-        self, graph: CorrelationGraph, seed_road: int
-    ) -> tuple[dict[int, float], bool]:
-        """The seed's fidelity map plus whether it came from the cache."""
-        per_graph = self._cache.get(graph)
-        if per_graph is None:
-            per_graph = {}
-            self._cache[graph] = per_graph
-        cached = per_graph.get(seed_road)
-        if cached is not None:
-            return cached, True
-        computed = propagate_fidelity(
-            graph, seed_road, self._min_fidelity, self._max_hops
+    def _vote_seeds(
+        self,
+        graph: CorrelationGraph,
+        instance: TrendInstance,
+        index: dict[int, int],
+    ) -> list[int]:
+        """Evidence roads that can vote, in canonical (sorted) order.
+
+        Roads missing from the instance index or from the correlation
+        graph are skipped — the same unknown-evidence policy the clamp
+        stage applies.
+        """
+        return [
+            road
+            for road in sorted(instance.evidence)
+            if road in index and graph.has_road(road)
+        ]
+
+    def _accumulate_kernel(
+        self,
+        graph: CorrelationGraph,
+        instance: TrendInstance,
+        index: dict[int, int],
+        log_odds: np.ndarray,
+    ) -> int:
+        """One matmul: ``log_odds += signs @ log((1+Q)/(1-Q))`` rows."""
+        seeds = self._vote_seeds(graph, instance, index)
+        if not seeds:
+            return 0
+        matrix = self._service.rows(
+            graph,
+            seeds,
+            min_fidelity=self._min_fidelity,
+            max_hops=self._max_hops,
+            transform="logodds",
         )
-        per_graph[seed_road] = computed
-        return computed, False
+        signs = np.fromiter(
+            (float(int(instance.evidence[s])) for s in seeds),
+            dtype=np.float64,
+            count=len(seeds),
+        )
+        votes_csr = signs @ matrix
+        csr = self._service.csr(graph)
+        if csr.index is index:
+            log_odds += votes_csr
+        else:
+            gather = np.fromiter(
+                (index.get(road, -1) for road in csr.road_ids),
+                dtype=np.int64,
+                count=csr.num_roads,
+            )
+            valid = gather >= 0
+            log_odds[gather[valid]] += votes_csr[valid]
+        return int(np.count_nonzero(matrix))
+
+    def _accumulate_scalar(
+        self,
+        graph: CorrelationGraph,
+        instance: TrendInstance,
+        index: dict[int, int],
+        log_odds: np.ndarray,
+    ) -> int:
+        """The scalar reference: one dict walk per seed vote."""
+        votes = 0
+        for seed_road in self._vote_seeds(graph, instance, index):
+            trend = instance.evidence[seed_road]
+            fidelities = self._service.fidelity_map(
+                graph,
+                seed_road,
+                min_fidelity=self._min_fidelity,
+                max_hops=self._max_hops,
+            )
+            # Telemetry only; counted outside the vote loop so the
+            # hot path carries no per-road bookkeeping.
+            votes += len(fidelities) - 1
+            sign = float(int(trend))
+            for road, q in fidelities.items():
+                if road == seed_road:
+                    continue
+                i = index.get(road)
+                if i is None:
+                    continue
+                q = min(q, 1.0 - 1e-9)
+                log_odds[i] += sign * math.log((1.0 + q) / (1.0 - q))
+        return votes

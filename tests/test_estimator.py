@@ -97,14 +97,26 @@ class TestEstimateInterval:
         self, small_dataset, round_data
     ):
         _, _, seed_speeds = round_data
+        from repro.history.fidelity import FidelityCacheService
+
+        service = FidelityCacheService()
         estimator = TwoStepEstimator(
-            small_dataset.network, small_dataset.store, small_dataset.graph
+            small_dataset.network,
+            small_dataset.store,
+            small_dataset.graph,
+            fidelity_service=service,
         )
         intervals = small_dataset.test_day_intervals()[30:34]
         for interval in intervals:
             estimator.estimate_interval(interval, seed_speeds)
         assert len(estimator._influence_cache) == 1
-        assert len(estimator._fidelity_maps) == len(seed_speeds)
+        # Per-seed influence lives in the shared cross-stage service:
+        # at most one miss per (seed, transform) across all intervals
+        # (raw fidelity for Step-2 weighting, log-odds for Step-1 votes),
+        # everything after the first interval is a hit.
+        stats = service.stats()
+        assert stats.misses <= 2 * len(seed_speeds)
+        assert stats.hits > 0
 
     def test_ablation_params_accepted(self, small_dataset, round_data):
         interval, _, seed_speeds = round_data

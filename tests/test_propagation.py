@@ -1,12 +1,20 @@
 """Unit tests for best-path fidelity propagation (shared by Step 1 + seeds)."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.errors import InferenceError
+from repro.core.types import Trend
 from repro.history.correlation import CorrelationEdge, CorrelationGraph
-from repro.trend.propagation import edge_fidelity, propagate_fidelity
+from repro.history.fidelity import FidelityCacheService
+from repro.trend.model import TrendInstance
+from repro.trend.propagation import (
+    TrendPropagationInference,
+    edge_fidelity,
+    propagate_fidelity,
+)
 
 
 def line_graph(agreements):
@@ -59,6 +67,33 @@ class TestPropagation:
         graph = line_graph([0.9, 0.9, 0.9, 0.9])
         fid = propagate_fidelity(graph, 0, min_fidelity=0.001, max_hops=2)
         assert set(fid) == {0, 1, 2}
+
+    def test_max_hops_counts_candidate_path_hops(self):
+        """Regression: a strong long path must not shadow a weak short one.
+
+        Roads 0-1-2 form a strong two-hop route (0.9 * 0.9 = 0.81) while
+        the direct 0-2 edge carries only 0.2; road 3 hangs off road 2.
+        With ``max_hops=2`` road 3 is reachable within budget as 0->2->3
+        through the weak edge (0.2 * 0.8 = 0.16). The old implementation
+        settled road 2 via the two-hop route first, recorded its hop
+        count as 2, and then refused to extend to road 3 — dropping a
+        road that a legal two-hop path reaches.
+        """
+        graph = CorrelationGraph(
+            [0, 1, 2, 3],
+            [
+                CorrelationEdge(0, 1, 0.95),
+                CorrelationEdge(1, 2, 0.95),
+                CorrelationEdge(0, 2, 0.6),
+                CorrelationEdge(2, 3, 0.9),
+            ],
+        )
+        fid = propagate_fidelity(graph, 0, min_fidelity=0.01, max_hops=2)
+        assert set(fid) == {0, 1, 2, 3}
+        # Road 2 still gets the *best* fidelity over <=2-hop paths ...
+        assert fid[2] == pytest.approx(0.81)
+        # ... while road 3 gets the best among paths that fit the budget.
+        assert fid[3] == pytest.approx(0.2 * 0.8)
 
     def test_unknown_source(self):
         with pytest.raises(InferenceError):
@@ -115,3 +150,56 @@ def test_symmetry_on_undirected_graphs(data):
     fid_a = propagate_fidelity(graph, a, min_fidelity=1e-9)
     fid_b = propagate_fidelity(graph, b, min_fidelity=1e-9)
     assert fid_a.get(b, 0.0) == pytest.approx(fid_b.get(a, 0.0), abs=1e-12)
+
+
+class TestUnknownEvidenceRoads:
+    """Regression: evidence on a road the instance no longer indexes.
+
+    Streaming deployments can deliver a late observation for a road
+    that was dropped from the current interval's instance. The vote
+    loop always skipped such roads; the evidence-clamp loop indexed
+    ``index[road]`` unconditionally and raised ``KeyError``. Both loops
+    must apply the same skip policy.
+    """
+
+    def _instance(self, graph):
+        return TrendInstance(
+            road_ids=tuple(graph.road_ids),
+            prior_rise=np.full(len(graph.road_ids), 0.5),
+            edges=tuple(),
+            evidence={0: Trend.RISE},
+            graph=graph,
+        )
+
+    @pytest.mark.parametrize("use_kernel", [True, False])
+    def test_unknown_evidence_road_is_skipped(self, use_kernel):
+        graph = line_graph([0.9, 0.9])
+        inference = TrendPropagationInference(
+            fidelity_service=FidelityCacheService(use_kernel=use_kernel),
+            use_kernel=use_kernel,
+        )
+        baseline = inference.infer(self._instance(graph)).as_array()
+
+        late = self._instance(graph)
+        late.evidence[999] = Trend.FALL  # road unknown to index AND graph
+        posterior = inference.infer(late)  # must not raise
+        np.testing.assert_array_equal(posterior.as_array(), baseline)
+
+    def test_evidence_road_missing_from_graph_still_clamps(self):
+        """In the index but not in the graph: clamped, never voted."""
+        graph = CorrelationGraph([0, 1], [CorrelationEdge(0, 1, 0.9)])
+        instance = TrendInstance(
+            road_ids=(0, 1, 2),
+            prior_rise=np.full(3, 0.5),
+            edges=tuple(),
+            evidence={0: Trend.RISE, 2: Trend.FALL},
+            graph=graph,
+        )
+        for use_kernel in (True, False):
+            posterior = TrendPropagationInference(
+                fidelity_service=FidelityCacheService(use_kernel=use_kernel),
+                use_kernel=use_kernel,
+            ).infer(instance)
+            assert posterior.p_rise(0) == 1.0
+            assert posterior.p_rise(2) == 0.0  # clamped despite no vote
+            assert posterior.p_rise(1) > 0.5  # road 0's vote arrived

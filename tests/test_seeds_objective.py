@@ -134,6 +134,82 @@ class TestCoverageState:
             state.add(seed)
         assert state.value == pytest.approx(objective.value([1, 3]))
 
+    def test_duplicate_add_is_a_noop(self):
+        """Regression: re-adding a seed used to double-discount residuals.
+
+        ``add(s)`` multiplied the residual by ``1 - q`` again on every
+        call, silently corrupting later gain computations. A repeat add
+        must leave residual, seed list and value untouched and realise
+        zero gain.
+        """
+        objective = SeedSelectionObjective(triangle_graph())
+        state = objective.new_state()
+        state.add(0)
+        residual_before = state.residual.copy()
+        seeds_before = list(state.seeds)
+        value_before = state.value
+
+        realised = state.add(0)
+
+        assert realised == 0.0
+        assert list(state.seeds) == seeds_before
+        assert state.value == value_before
+        assert (state.residual == residual_before).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=random_graphs(), data=st.data())
+    def test_duplicate_add_noop_property(self, graph, data):
+        """add(s); add(s) == add(s), for any graph, seed and prefix."""
+        objective = SeedSelectionObjective(graph, min_fidelity=0.01)
+        state = objective.new_state()
+        prefix = data.draw(
+            st.sets(st.sampled_from(graph.road_ids), max_size=len(graph.road_ids))
+        )
+        for seed in sorted(prefix):
+            state.add(seed)
+        seed = data.draw(st.sampled_from(graph.road_ids))
+        state.add(seed)
+        seeds_snapshot = list(state.seeds)
+        value_snapshot = state.value
+        residual_snapshot = state.residual.copy()
+        assert state.add(seed) == 0.0
+        assert list(state.seeds) == seeds_snapshot
+        assert state.value == value_snapshot
+        assert (state.residual == residual_snapshot).all()
+
+    def test_gain_uses_set_membership(self):
+        """Every selected seed gains zero, regardless of insertion order."""
+        graph = CorrelationGraph(
+            list(range(8)),
+            [CorrelationEdge(i, i + 1, 0.9) for i in range(7)],
+        )
+        objective = SeedSelectionObjective(graph, min_fidelity=0.01)
+        state = objective.new_state()
+        for seed in (5, 1, 7, 3):
+            state.add(seed)
+        for seed in (1, 3, 5, 7):
+            assert state.gain(seed) == 0.0
+        for seed in (0, 2, 4, 6):
+            assert state.gain(seed) > 0.0
+
+    def test_kernel_and_scalar_states_agree(self):
+        from repro.history.fidelity import FidelityCacheService
+
+        graph = triangle_graph()
+        kernel = SeedSelectionObjective(
+            graph, fidelity_service=FidelityCacheService(), use_kernel=True
+        )
+        scalar = SeedSelectionObjective(
+            graph,
+            fidelity_service=FidelityCacheService(use_kernel=False),
+            use_kernel=False,
+        )
+        ks, ss = kernel.new_state(), scalar.new_state()
+        for seed in (0, 3):
+            assert ks.gain(seed) == pytest.approx(ss.gain(seed), abs=1e-12)
+            assert ks.add(seed) == pytest.approx(ss.add(seed), abs=1e-12)
+        assert ks.value == pytest.approx(ss.value, abs=1e-12)
+
 
 @settings(max_examples=40, deadline=None)
 @given(graph=random_graphs(), data=st.data())
