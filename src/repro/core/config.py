@@ -34,6 +34,15 @@ class PipelineConfig:
     #: for propagation inference and seed selection; False selects the
     #: scalar reference paths for differential testing.
     use_fidelity_kernel: bool = True
+    #: Serve Step-2 through compiled interval plans (repro.speed.plan):
+    #: one matrix-vector product + vectorized blend per interval. False
+    #: selects the per-road scalar reference path for differential
+    #: testing, mirroring use_fidelity_kernel.
+    use_interval_plan: bool = True
+    #: Capacity of the interval-plan LRU (one entry per seed set x time
+    #: bucket; 128 covers a full day of 15-minute buckets with room for
+    #: a second seed set).
+    plan_cache_size: int = 128
     hlm: HlmParams = field(default_factory=HlmParams)
     degradation: DegradationParams = field(default_factory=DegradationParams)
 
@@ -54,3 +63,5 @@ class PipelineConfig:
             raise ConfigError("correlation_min_agreement must be in [0.5, 1]")
         if self.num_partitions < 1:
             raise ConfigError("num_partitions must be >= 1")
+        if self.plan_cache_size < 1:
+            raise ConfigError("plan_cache_size must be >= 1")

@@ -24,7 +24,6 @@ Typical use::
 from __future__ import annotations
 
 from collections.abc import Mapping
-from dataclasses import dataclass, replace
 from typing import Iterator, Sequence
 
 from repro.core.config import PipelineConfig
@@ -46,6 +45,7 @@ from repro.seeds.objective import SeedSelectionObjective
 from repro.seeds.partition import partition_greedy_select
 from repro.speed.degradation import DegradationParams, DegradationPolicy
 from repro.speed.estimator import TwoStepEstimator
+from repro.speed.plan import IntervalPlanCache
 from repro.trend.bp import LoopyBeliefPropagation
 from repro.trend.gibbs import GibbsSamplingInference
 from repro.trend.propagation import TrendPropagationInference
@@ -118,6 +118,11 @@ class SpeedEstimationSystem:
         self._fidelity = FidelityCacheService(
             use_kernel=config.use_fidelity_kernel
         )
+        # Compiled Step-2 serving plans live next to the fidelity cache
+        # and are invalidated with it.
+        self._plan_cache = IntervalPlanCache(
+            maxsize=config.plan_cache_size
+        ).attach(self._fidelity)
         self._estimator = TwoStepEstimator(
             network,
             store,
@@ -125,6 +130,8 @@ class SpeedEstimationSystem:
             trend_inference=self._build_inference(config, self._fidelity),
             hlm_params=config.hlm,
             fidelity_service=self._fidelity,
+            plan_cache=self._plan_cache,
+            use_plan=config.use_interval_plan,
         )
         self._objective = SeedSelectionObjective(
             graph,
@@ -216,6 +223,11 @@ class SpeedEstimationSystem:
     def fidelity_service(self) -> FidelityCacheService:
         """The influence cache shared by every stage of this system."""
         return self._fidelity
+
+    @property
+    def plan_cache(self) -> IntervalPlanCache:
+        """The compiled interval plans serving Step-2 estimation."""
+        return self._plan_cache
 
     @property
     def objective(self) -> SeedSelectionObjective:
@@ -326,7 +338,7 @@ class SpeedEstimationSystem:
             recorder.count("pipeline.substitutions", reason=reason)
         estimates = self.estimate(interval, filled)
         for road in substituted:
-            estimates[road] = replace(estimates[road], degraded=True)
+            estimates[road] = estimates[road].replace(degraded=True)
         if substituted:
             recorder.count("speed.degraded_estimates", len(substituted))
         self._degradation.observe(interval, observed)

@@ -1,14 +1,18 @@
 """Shared value types used across the package.
 
-These are deliberately tiny frozen dataclasses: they cross every module
-boundary (simulator → history → trend → speed → evaluation), so keeping
-them dependency-free avoids import cycles.
+These are deliberately tiny immutable value types: they cross every
+module boundary (simulator → history → trend → speed → evaluation), so
+keeping them dependency-free avoids import cycles. Most are frozen
+dataclasses; :class:`SpeedEstimate` is tuple-backed because the serving
+path materialises one instance per road per interval and frozen
+dataclasses construct several times slower than tuples.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import NamedTuple
 
 
 class Trend(enum.IntEnum):
@@ -49,8 +53,7 @@ class SpeedObservation:
             raise ValueError(f"negative speed {self.speed_kmh} on road {self.road_id}")
 
 
-@dataclass(frozen=True, slots=True)
-class SpeedEstimate:
+class SpeedEstimate(NamedTuple):
     """An inferred speed for one road at one interval.
 
     ``trend_probability`` is the Step-1 posterior probability that the
@@ -59,6 +62,12 @@ class SpeedEstimate:
     produced under graceful degradation — the seed observation behind
     them was substituted (stale or prior), so their confidence is lower
     than the numbers alone suggest.
+
+    Tuple-backed rather than a frozen dataclass: the estimator builds
+    one instance per road per interval on the serving path, and frozen
+    dataclasses pay one ``object.__setattr__`` per field (~3× slower to
+    construct). Immutability is preserved; use :meth:`replace` instead
+    of ``dataclasses.replace`` to derive modified copies.
     """
 
     road_id: int
@@ -69,11 +78,42 @@ class SpeedEstimate:
     is_seed: bool = False
     degraded: bool = False
 
-    def __post_init__(self) -> None:
-        if not 0.0 <= self.trend_probability <= 1.0:
-            raise ValueError(
-                f"trend probability {self.trend_probability} outside [0, 1]"
-            )
+    def replace(self, **changes: object) -> "SpeedEstimate":
+        """A copy with ``changes`` applied (dataclasses.replace analogue).
+
+        Routes through the class constructor rather than ``_replace``,
+        whose ``_make`` path calls ``tuple.__new__`` directly and would
+        skip the range check on ``trend_probability``.
+        """
+        fields = dict(zip(self._fields, self))
+        fields.update(changes)
+        return SpeedEstimate(**fields)
+
+
+# typing.NamedTuple forbids overriding __new__ in the class body, so the
+# validating constructor is grafted on afterwards. It mirrors the
+# generated one (a single C-level tuple construction) plus the range
+# check a frozen dataclass would have done in __post_init__.
+def _speed_estimate_new(
+    cls,
+    road_id: int,
+    interval: int,
+    speed_kmh: float,
+    trend: Trend,
+    trend_probability: float,
+    is_seed: bool = False,
+    degraded: bool = False,
+    _new=tuple.__new__,
+) -> "SpeedEstimate":
+    if not 0.0 <= trend_probability <= 1.0:
+        raise ValueError(f"trend probability {trend_probability} outside [0, 1]")
+    return _new(
+        cls,
+        (road_id, interval, speed_kmh, trend, trend_probability, is_seed, degraded),
+    )
+
+
+SpeedEstimate.__new__ = _speed_estimate_new
 
 
 @dataclass(frozen=True, slots=True)

@@ -30,9 +30,27 @@ class RoundPlan:
     is_full: bool
     reason: str
 
+    @property
+    def seed_key(self) -> frozenset[int]:
+        """The order-insensitive seed-set identity of this round.
+
+        Consecutive rounds with the same key hit the same compiled
+        :class:`~repro.speed.plan.IntervalPlan` cache entries downstream,
+        so the estimator serves them without recompiling.
+        """
+        return frozenset(self.seeds)
+
 
 class AdaptiveBudgetScheduler:
-    """Drift-triggered alternation between full and sentinel rounds."""
+    """Drift-triggered alternation between full and sentinel rounds.
+
+    Beyond saving queries, a stable schedule keeps the Step-2
+    :class:`~repro.speed.plan.IntervalPlan` cache warm: every round
+    served with an unchanged seed set reuses a compiled plan instead of
+    recompiling one, so the scheduler tracks how long the current seed
+    set has been stable (:attr:`plan_stable_rounds`) and exports it as
+    the ``scheduler.plan_key_reuse`` metric.
+    """
 
     def __init__(
         self,
@@ -63,6 +81,11 @@ class AdaptiveBudgetScheduler:
         self.light_rounds = 0
         self.degraded_rounds = 0
         self.queries_issued = 0
+        #: Consecutive recorded rounds (including the current one) whose
+        #: seed set matched the previous round's — 1 when the set just
+        #: changed, 0 before any round.
+        self.plan_stable_rounds = 0
+        self._last_seed_key: frozenset[int] | None = None
 
     @property
     def full_seeds(self) -> tuple[int, ...]:
@@ -109,6 +132,15 @@ class AdaptiveBudgetScheduler:
         round to full.
         """
         recorder = get_recorder()
+        key = plan.seed_key
+        if key == self._last_seed_key:
+            self.plan_stable_rounds += 1
+            recorder.count("scheduler.plan_key_reuse", reused="true")
+        else:
+            self.plan_stable_rounds = 1
+            recorder.count("scheduler.plan_key_reuse", reused="false")
+        self._last_seed_key = key
+        recorder.gauge("scheduler.plan_stable_rounds", self.plan_stable_rounds)
         missing = [s for s in plan.seeds if s not in deviations]
         degraded = degraded or bool(missing)
         self.queries_issued += len(plan.seeds)

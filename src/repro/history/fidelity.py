@@ -368,6 +368,7 @@ class FidelityCacheService:
         )
         self._hits = 0
         self._misses = 0
+        self._listeners: list = []
 
     # -- bookkeeping ----------------------------------------------------
     def _entry(self, graph: CorrelationGraph) -> _GraphEntry:
@@ -391,12 +392,24 @@ class FidelityCacheService:
     def stats(self) -> CacheStats:
         return CacheStats(hits=self._hits, misses=self._misses)
 
+    def add_invalidation_listener(self, listener) -> None:
+        """Call ``listener(graph)`` whenever this service invalidates.
+
+        Dependent caches (e.g. compiled interval plans, which bake
+        fidelity-derived regressions into their coefficient blocks)
+        register here so they can never outlive the rows they derive
+        from.
+        """
+        self._listeners.append(listener)
+
     def invalidate(self, graph: CorrelationGraph | None = None) -> None:
         """Drop cached rows for ``graph`` (or everything)."""
         if graph is None:
             self._graphs = weakref.WeakKeyDictionary()
         else:
             self._graphs.pop(graph, None)
+        for listener in list(self._listeners):
+            listener(graph)
 
     def csr(self, graph: CorrelationGraph) -> CSRFidelityGraph:
         """The (cached) CSR export of ``graph``."""

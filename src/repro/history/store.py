@@ -173,6 +173,14 @@ class HistoricalSpeedStore:
         """Bucket-mean speeds of every road at ``interval`` (store order)."""
         return self._means[self._grid.bucket_of(interval)].copy()
 
+    def bucket_mean_row(self, bucket: int) -> np.ndarray:
+        """Historical mean speeds of every road in ``bucket`` (store order)."""
+        if not 0 <= bucket < self._grid.num_buckets:
+            raise DataError(
+                f"bucket {bucket} outside 0..{self._grid.num_buckets - 1}"
+            )
+        return self._means[bucket].copy()
+
     def rise_prior(self, road_id: int, bucket: int) -> float:
         """Historical P(trend == RISE) for the road in this bucket.
 

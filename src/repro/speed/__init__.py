@@ -16,6 +16,12 @@ from repro.speed.uncertainty import (
     z_for_confidence,
 )
 from repro.speed.hierarchy import DeviationHierarchy
+from repro.speed.plan import (
+    IntervalPlan,
+    IntervalPlanCache,
+    IntervalPlanner,
+    PlanCacheStats,
+)
 from repro.speed.hlm import (
     HierarchicalLinearModel,
     HlmParams,
@@ -32,6 +38,10 @@ __all__ = [
     "STALE",
     "HierarchicalLinearModel",
     "HlmParams",
+    "IntervalPlan",
+    "IntervalPlanCache",
+    "IntervalPlanner",
+    "PlanCacheStats",
     "JointSeedRegression",
     "RoadRegression",
     "SeedRegression",

@@ -9,7 +9,9 @@ for every road in the correlation graph.
 
 from __future__ import annotations
 
-from repro.core.errors import InferenceError
+import numpy as np
+
+from repro.core.errors import DataError, InferenceError
 from repro.core.types import SpeedEstimate, Trend
 from repro.history.correlation import CorrelationGraph
 from repro.history.store import HistoricalSpeedStore
@@ -17,6 +19,7 @@ from repro.obs import get_recorder
 from repro.history.fidelity import FidelityCacheService, get_fidelity_service
 from repro.roadnet.network import RoadNetwork
 from repro.speed.hlm import HierarchicalLinearModel, HlmParams
+from repro.speed.plan import IntervalPlanCache, IntervalPlanner
 from repro.trend.model import TrendModel
 from repro.trend.propagation import TrendPropagationInference
 
@@ -30,6 +33,13 @@ class TwoStepEstimator:
     repeated estimation with a fixed seed set (the production pattern —
     one seed set serves a whole day) costs one pruned Dijkstra per seed
     total, not per interval.
+
+    Step-2 serving runs through compiled
+    :class:`~repro.speed.plan.IntervalPlan` objects by default — one
+    padded matrix-vector product plus a vectorized blend per interval.
+    ``use_plan=False`` selects the per-road scalar reference path
+    (:meth:`~repro.speed.hlm.HierarchicalLinearModel.estimate_road`),
+    kept for differential testing like ``use_fidelity_kernel=False``.
     """
 
     def __init__(
@@ -41,6 +51,8 @@ class TwoStepEstimator:
         trend_inference: object | None = None,
         hlm_params: HlmParams | None = None,
         fidelity_service: FidelityCacheService | None = None,
+        plan_cache: IntervalPlanCache | None = None,
+        use_plan: bool = True,
     ) -> None:
         self._network = network
         self._store = store
@@ -56,6 +68,10 @@ class TwoStepEstimator:
             store, network, graph, self._params
         )
         self._influence_cache: dict[frozenset[int], dict[int, dict[int, float]]] = {}
+        self._use_plan = use_plan
+        # `is not None`, not truthiness: an empty cache has len() == 0.
+        self._plans = plan_cache if plan_cache is not None else IntervalPlanCache()
+        self._planner: IntervalPlanner | None = None
 
     @property
     def trend_model(self) -> TrendModel:
@@ -64,6 +80,11 @@ class TwoStepEstimator:
     @property
     def hlm(self) -> HierarchicalLinearModel:
         return self._hlm
+
+    @property
+    def plan_cache(self) -> IntervalPlanCache:
+        """The LRU of compiled interval plans this estimator serves from."""
+        return self._plans
 
     def estimate_interval(
         self, interval: int, seed_speeds: dict[int, float]
@@ -90,12 +111,17 @@ class TwoStepEstimator:
         """
         if not roads:
             raise InferenceError("estimate_roads needs at least one road")
-        unknown = [r for r in roads if not self._graph.has_road(r)]
+        # Deduplicate before validating and estimating: repeated ids must
+        # not double Step-2 work or inflate the unknown-road count.
+        unique = sorted(set(roads))
+        unknown = [r for r in unique if not self._graph.has_road(r)]
         if unknown:
             raise InferenceError(
-                f"roads not in correlation graph: {unknown[:5]}"
+                f"{len(unknown)} of {len(unique)} requested roads not in "
+                f"correlation graph (first {min(len(unknown), 5)} shown): "
+                f"{unknown[:5]}"
             )
-        return self._estimate(interval, seed_speeds, sorted(set(roads)))
+        return self._estimate(interval, seed_speeds, unique)
 
     def _estimate(
         self,
@@ -110,14 +136,18 @@ class TwoStepEstimator:
                 raise InferenceError(f"seed road {road} not in correlation graph")
 
         recorder = get_recorder()
-        seed_trends = {
-            road: self._store.trend_of(road, interval, speed)
-            for road, speed in seed_speeds.items()
-        }
-        seed_deviations = {
-            road: self._store.deviation_ratio(road, interval, speed)
-            for road, speed in seed_speeds.items()
-        }
+        # One bucket lookup + one historical mean per seed; trend and
+        # deviation derive from the same mean (equivalent to trend_of /
+        # deviation_ratio, without re-resolving the bucket four times).
+        bucket = self._store.grid.bucket_of(interval)
+        seed_trends: dict[int, Trend] = {}
+        seed_deviations: dict[int, float] = {}
+        for road, speed in seed_speeds.items():
+            historical = self._store.mean(road, bucket)
+            if historical <= 0:
+                raise DataError(f"road {road} has non-positive historical mean")
+            seed_trends[road] = Trend.RISE if speed >= historical else Trend.FALL
+            seed_deviations[road] = speed / historical
 
         with recorder.span(
             "trend.infer",
@@ -126,11 +156,35 @@ class TwoStepEstimator:
         ):
             instance = self._trend_model.instance(interval, seed_trends)
             posterior = self._inference.infer(instance)
-        influence_by_road = self._influence_index(frozenset(seed_speeds))
 
+        if self._use_plan:
+            estimates, seed_count = self._solve_vectorized(
+                interval, posterior, seed_speeds, seed_trends, seed_deviations,
+                roads,
+            )
+        else:
+            estimates, seed_count = self._solve_scalar(
+                interval, posterior, seed_speeds, seed_trends, seed_deviations,
+                roads,
+            )
+        recorder.count("speed.estimates", len(estimates))
+        recorder.count("speed.seed_estimates", seed_count)
+        return estimates
+
+    def _solve_scalar(
+        self,
+        interval: int,
+        posterior,
+        seed_speeds: dict[int, float],
+        seed_trends: dict[int, Trend],
+        seed_deviations: dict[int, float],
+        roads: list[int],
+    ) -> tuple[dict[int, SpeedEstimate], int]:
+        """The per-road reference path (``use_plan=False``)."""
+        influence_by_road = self._influence_index(frozenset(seed_speeds))
         estimates: dict[int, SpeedEstimate] = {}
         seed_count = 0
-        with recorder.span("speed.solve", roads=len(roads)):
+        with get_recorder().span("speed.solve", roads=len(roads)):
             for road in roads:
                 if road in seed_speeds:
                     trend = seed_trends[road]
@@ -161,9 +215,81 @@ class TwoStepEstimator:
                     trend=Trend.RISE if p_rise >= 0.5 else Trend.FALL,
                     trend_probability=p_rise,
                 )
-        recorder.count("speed.estimates", len(estimates))
-        recorder.count("speed.seed_estimates", seed_count)
-        return estimates
+        return estimates, seed_count
+
+    def _solve_vectorized(
+        self,
+        interval: int,
+        posterior,
+        seed_speeds: dict[int, float],
+        seed_trends: dict[int, Trend],
+        seed_deviations: dict[int, float],
+        roads: list[int],
+    ) -> tuple[dict[int, SpeedEstimate], int]:
+        """The compiled-plan serving path: a few array ops per interval."""
+        recorder = get_recorder()
+        seeds = tuple(sorted(seed_speeds))
+        bucket = self._store.grid.bucket_of(interval)
+        with recorder.span(
+            "speed.solve_vectorized", roads=len(roads), seeds=len(seeds)
+        ) as span:
+            key = (seeds, bucket, self._params)
+            plan = self._plans.get_or_build(
+                key, lambda: self._compile_plan(seeds, bucket)
+            )
+            deviations = np.fromiter(
+                (seed_deviations[s] for s in seeds),
+                dtype=np.float64,
+                count=len(seeds),
+            )
+            if posterior.road_ids == plan.road_ids:
+                p_rise = posterior.as_array()
+            else:
+                p_rise = np.fromiter(
+                    (posterior.p_rise(road) for road in plan.road_ids),
+                    dtype=np.float64,
+                    count=plan.num_roads,
+                )
+            speeds = plan.evaluate(deviations, p_rise)
+            span.set(plan_roads=plan.num_roads)
+
+            index = plan.index
+            speed_list = speeds.tolist()
+            p_list = p_rise.tolist()
+            rise, fall = Trend.RISE, Trend.FALL
+            estimates: dict[int, SpeedEstimate] = {}
+            seed_count = 0
+            for road in roads:
+                if road in seed_speeds:
+                    trend = seed_trends[road]
+                    estimates[road] = SpeedEstimate(
+                        road,
+                        interval,
+                        seed_speeds[road],
+                        trend,
+                        1.0 if trend is rise else 0.0,
+                        True,
+                    )
+                    seed_count += 1
+                    continue
+                i = index[road]
+                p = p_list[i]
+                estimates[road] = SpeedEstimate(
+                    road,
+                    interval,
+                    speed_list[i],
+                    rise if p >= 0.5 else fall,
+                    p,
+                )
+        return estimates, seed_count
+
+    def _compile_plan(self, seeds: tuple[int, ...], bucket: int):
+        if self._planner is None:
+            self._planner = IntervalPlanner(
+                self._store, self._network, self._hlm, self._graph.road_ids
+            )
+        influence_by_road = self._influence_index(frozenset(seeds))
+        return self._planner.compile(seeds, bucket, influence_by_road)
 
     def influence_index(
         self, seeds: frozenset[int] | set[int]

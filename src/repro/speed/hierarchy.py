@@ -122,6 +122,15 @@ class DeviationHierarchy:
         col = self._lookup(road_id)
         return float(self._mean_cell[self._trend_index(trend), bucket, col])
 
+    def conditional_mean_row(self, bucket: int, trend: Trend) -> np.ndarray:
+        """Shrunk conditional means of every road (store column order).
+
+        The vector form of :meth:`conditional_mean`, used by compiled
+        interval plans; ``row[store.road_column(r)]`` equals
+        ``conditional_mean(r, bucket, trend)`` exactly.
+        """
+        return self._mean_cell[self._trend_index(trend), bucket].copy()
+
     def road_mean(self, road_id: int, trend: Trend) -> float:
         """Level-1 estimate: E[deviation | road, trend]."""
         col = self._lookup(road_id)

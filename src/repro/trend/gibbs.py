@@ -8,11 +8,28 @@ method (used in tests and experiment F2), and a representative of the
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.core.errors import InferenceError
 from repro.obs import get_recorder
 from repro.trend.model import TrendInstance, TrendPosterior
+
+
+def _sigmoid(log_odds: float) -> float:
+    """Numerically stable logistic function.
+
+    The naive ``1 / (1 + exp(-x))`` overflows ``exp`` for strongly
+    negative ``x`` (near-zero edge potentials on long chains push the
+    conditional log-odds past ±709). Branching on the sign keeps the
+    exponent non-positive, so the result underflows gracefully to 0.0
+    or 1.0 instead of raising overflow warnings.
+    """
+    if log_odds >= 0.0:
+        return 1.0 / (1.0 + math.exp(-log_odds))
+    e = math.exp(log_odds)
+    return e / (1.0 + e)
 
 
 class GibbsSamplingInference:
@@ -72,7 +89,7 @@ class GibbsSamplingInference:
                 log_odds = prior_log_odds[i] + float(
                     (state[neighbour_idx[i]] * log_odds_edge[i]).sum()
                 )
-                p_rise = 1.0 / (1.0 + np.exp(-log_odds))
+                p_rise = _sigmoid(log_odds)
                 state[i] = 1 if uniforms[sweep, k] < p_rise else -1
             if sweep >= self._burn_in:
                 rise_counts[state == 1] += 1

@@ -46,8 +46,17 @@ class TrendInstance:
     #: The correlation graph the edges came from, when available; lets
     #: propagation inference reuse cached per-seed fidelity maps.
     graph: "CorrelationGraph | None" = None
+    #: Trusted-construction flag: :class:`TrendModel` builds its static
+    #: parts (road order, clipped potentials, bucket priors) valid by
+    #: construction and validates evidence itself, so its per-interval
+    #: instances skip the O(roads + edges) re-validation — the serving
+    #: path builds one instance per interval. Hand-built instances keep
+    #: the default and are fully checked.
+    validate: bool = True
 
     def __post_init__(self) -> None:
+        if not self.validate:
+            return
         if self.prior_rise.shape != (len(self.road_ids),):
             raise InferenceError(
                 f"prior array shape {self.prior_rise.shape} does not match "
@@ -98,7 +107,16 @@ class TrendPosterior:
             raise InferenceError("posterior probabilities must be in [0, 1]")
         self._road_ids = road_ids
         self._p_rise = p_rise
-        self._index = {road: i for i, road in enumerate(road_ids)}
+        # Built lazily: the vectorized serving path consumes the whole
+        # posterior as an array and never needs per-road lookups, so the
+        # O(n) dict build would be pure per-interval overhead there.
+        self._lazy_index: dict[int, int] | None = None
+
+    @property
+    def _index(self) -> dict[int, int]:
+        if self._lazy_index is None:
+            self._lazy_index = {road: i for i, road in enumerate(self._road_ids)}
+        return self._lazy_index
 
     @property
     def road_ids(self) -> tuple[int, ...]:
@@ -191,6 +209,7 @@ class TrendModel:
             edges=self._edges,
             evidence=dict(seed_trends),
             graph=self._graph,
+            validate=False,
         )
 
     def uniform_instance(
@@ -209,4 +228,5 @@ class TrendModel:
             prior_rise=prior,
             edges=edges,
             evidence=dict(seed_trends),
+            validate=False,
         )

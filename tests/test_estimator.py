@@ -219,3 +219,95 @@ class TestEstimateRoads:
             estimator.estimate_roads(interval, seed_speeds, [])
         with pytest.raises(InferenceError, match="not in correlation graph"):
             estimator.estimate_roads(interval, seed_speeds, [999999])
+
+    def test_unknown_road_error_reports_full_count(self, small_dataset, round_data):
+        """The error counts every unknown road, not just the listed few."""
+        estimator = TwoStepEstimator(
+            small_dataset.network, small_dataset.store, small_dataset.graph
+        )
+        interval, _, seed_speeds = round_data
+        known = small_dataset.network.road_ids()[:2]
+        unknown = list(range(900000, 900008))
+        with pytest.raises(
+            InferenceError, match=r"8 of 10 requested roads"
+        ) as excinfo:
+            estimator.estimate_roads(interval, seed_speeds, known + unknown)
+        # Only the first five are spelled out.
+        assert "900004" in str(excinfo.value)
+        assert "900005" not in str(excinfo.value)
+
+    def test_unknown_duplicates_counted_once(self, small_dataset, round_data):
+        estimator = TwoStepEstimator(
+            small_dataset.network, small_dataset.store, small_dataset.graph
+        )
+        interval, _, seed_speeds = round_data
+        with pytest.raises(InferenceError, match=r"1 of 1 requested roads"):
+            estimator.estimate_roads(
+                interval, seed_speeds, [999999, 999999, 999999]
+            )
+
+
+class TestServingPathFlag:
+    def test_scalar_reference_selectable(self, small_dataset, round_data):
+        """use_plan=False serves through the per-road reference path."""
+        interval, _, seed_speeds = round_data
+        vec = TwoStepEstimator(
+            small_dataset.network, small_dataset.store, small_dataset.graph
+        )
+        sca = TwoStepEstimator(
+            small_dataset.network,
+            small_dataset.store,
+            small_dataset.graph,
+            use_plan=False,
+        )
+        ev = vec.estimate_interval(interval, seed_speeds)
+        es = sca.estimate_interval(interval, seed_speeds)
+        assert set(ev) == set(es)
+        for road in ev:
+            assert ev[road].speed_kmh == pytest.approx(
+                es[road].speed_kmh, abs=1e-9
+            )
+        # Only the vectorized estimator compiled plans.
+        assert vec.plan_cache.stats().misses == 1
+        assert sca.plan_cache.stats().total == 0
+
+
+class TestSpeedEstimateType:
+    """The tuple-backed SpeedEstimate keeps dataclass-era guarantees."""
+
+    def make(self, **overrides):
+        from repro.core.types import SpeedEstimate
+
+        fields = dict(
+            road_id=1,
+            interval=0,
+            speed_kmh=42.0,
+            trend=Trend.RISE,
+            trend_probability=0.75,
+        )
+        fields.update(overrides)
+        return SpeedEstimate(**fields)
+
+    def test_constructor_validates_probability(self):
+        with pytest.raises(ValueError):
+            self.make(trend_probability=1.5)
+        with pytest.raises(ValueError):
+            self.make(trend_probability=-0.1)
+
+    def test_replace_validates_probability(self):
+        """Regression: _replace's _make path calls tuple.__new__
+        directly and skipped the range check."""
+        est = self.make()
+        with pytest.raises(ValueError):
+            est.replace(trend_probability=1.5)
+
+    def test_replace_derives_modified_copy(self):
+        est = self.make()
+        flagged = est.replace(degraded=True)
+        assert flagged.degraded and not est.degraded
+        assert flagged.speed_kmh == est.speed_kmh
+        assert flagged != est and est == self.make()
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            self.make().speed_kmh = 3.0

@@ -1,0 +1,327 @@
+"""Compiled interval plans: differential equivalence and cache behaviour.
+
+The vectorized Step-2 serving path (``repro.speed.plan``) must agree
+with the per-road scalar reference (`use_plan=False`) to within 1e-9 on
+every query shape — full intervals, partial ``estimate_roads`` queries,
+rounds with substituted seed observations, and the ``use_trend=False``
+ablation — and its incremental cross-interval updates must be
+bit-for-bit identical to evaluating a freshly compiled plan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InferenceError
+from repro.history.fidelity import FidelityCacheService
+from repro.speed.estimator import TwoStepEstimator
+from repro.speed.hlm import HierarchicalLinearModel, HlmParams
+from repro.speed.plan import IntervalPlanCache
+
+SPEED_TOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def pair(small_dataset):
+    """A vectorized and a scalar estimator sharing one fitted HLM."""
+    params = HlmParams()
+    hlm = HierarchicalLinearModel.fit(
+        small_dataset.store, small_dataset.network, small_dataset.graph, params
+    )
+    vec = TwoStepEstimator(
+        small_dataset.network,
+        small_dataset.store,
+        small_dataset.graph,
+        hlm=hlm,
+        hlm_params=params,
+    )
+    sca = TwoStepEstimator(
+        small_dataset.network,
+        small_dataset.store,
+        small_dataset.graph,
+        hlm=hlm,
+        hlm_params=params,
+        use_plan=False,
+    )
+    return small_dataset, vec, sca
+
+
+@pytest.fixture(scope="module")
+def pair_no_trend(small_dataset):
+    """The same pairing with the trend-conditional prior disabled."""
+    params = HlmParams(use_trend=False)
+    hlm = HierarchicalLinearModel.fit(
+        small_dataset.store, small_dataset.network, small_dataset.graph, params
+    )
+    vec = TwoStepEstimator(
+        small_dataset.network,
+        small_dataset.store,
+        small_dataset.graph,
+        hlm=hlm,
+        hlm_params=params,
+    )
+    sca = TwoStepEstimator(
+        small_dataset.network,
+        small_dataset.store,
+        small_dataset.graph,
+        hlm=hlm,
+        hlm_params=params,
+        use_plan=False,
+    )
+    return small_dataset, vec, sca
+
+
+def seed_speeds_for(dataset, seeds, interval, factor=1.0):
+    return {r: dataset.test.speed(r, interval) * factor for r in seeds}
+
+
+def assert_equivalent(got, want):
+    assert set(got) == set(want)
+    for road, e in want.items():
+        v = got[road]
+        assert v.speed_kmh == pytest.approx(e.speed_kmh, abs=SPEED_TOL)
+        assert v.trend is e.trend
+        assert v.trend_probability == pytest.approx(
+            e.trend_probability, abs=SPEED_TOL
+        )
+        assert v.is_seed == e.is_seed
+        assert v.road_id == road and v.interval == e.interval
+
+
+def seed_sets(dataset):
+    roads = list(dataset.graph.road_ids)
+    return st.sets(st.sampled_from(roads), min_size=1, max_size=12).map(sorted)
+
+
+class TestDifferentialEquivalence:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_full_interval_matches_scalar(self, pair, data):
+        dataset, vec, sca = pair
+        seeds = data.draw(seed_sets(dataset))
+        interval = data.draw(
+            st.sampled_from(dataset.test_day_intervals()), label="interval"
+        )
+        speeds = seed_speeds_for(dataset, seeds, interval)
+        assert_equivalent(
+            vec.estimate_interval(interval, speeds),
+            sca.estimate_interval(interval, speeds),
+        )
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_partial_queries_match_scalar(self, pair, data):
+        dataset, vec, sca = pair
+        seeds = data.draw(seed_sets(dataset))
+        interval = data.draw(
+            st.sampled_from(dataset.test_day_intervals()), label="interval"
+        )
+        roads = data.draw(
+            st.lists(
+                st.sampled_from(list(dataset.graph.road_ids)),
+                min_size=1,
+                max_size=30,
+            ),
+            label="roads",
+        )
+        speeds = seed_speeds_for(dataset, seeds, interval)
+        assert_equivalent(
+            vec.estimate_roads(interval, speeds, roads),
+            sca.estimate_roads(interval, speeds, roads),
+        )
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_substituted_seed_sequences_match_scalar(self, pair, data):
+        """Rounds whose seed observations get substituted mid-sequence.
+
+        The seed set stays fixed while some observations change between
+        consecutive intervals (what degradation-driven substitution
+        produces), which drives the plan's incremental update path.
+        """
+        dataset, vec, sca = pair
+        seeds = data.draw(seed_sets(dataset))
+        intervals = dataset.test_day_intervals()
+        start = data.draw(
+            st.integers(min_value=0, max_value=len(intervals) - 3), label="start"
+        )
+        substituted = data.draw(
+            st.sets(st.sampled_from(seeds)), label="substituted"
+        )
+        factor = data.draw(
+            st.floats(min_value=0.5, max_value=1.5), label="factor"
+        )
+        for step, interval in enumerate(intervals[start : start + 3]):
+            speeds = seed_speeds_for(dataset, seeds, interval)
+            if step > 0:
+                for road in substituted:
+                    speeds[road] *= factor
+            assert_equivalent(
+                vec.estimate_interval(interval, speeds),
+                sca.estimate_interval(interval, speeds),
+            )
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_use_trend_false_matches_scalar(self, pair_no_trend, data):
+        dataset, vec, sca = pair_no_trend
+        seeds = data.draw(seed_sets(dataset))
+        interval = data.draw(
+            st.sampled_from(dataset.test_day_intervals()), label="interval"
+        )
+        speeds = seed_speeds_for(dataset, seeds, interval)
+        assert_equivalent(
+            vec.estimate_interval(interval, speeds),
+            sca.estimate_interval(interval, speeds),
+        )
+
+
+class TestIncrementalUpdates:
+    def _fresh(self, dataset):
+        return TwoStepEstimator(
+            dataset.network, dataset.store, dataset.graph, hlm_params=HlmParams()
+        )
+
+    def test_incremental_identical_to_cold_plan(self, small_dataset):
+        """Warm incremental evaluation is bit-for-bit the cold result."""
+        seeds = list(small_dataset.graph.road_ids)[::7][:8]
+        intervals = small_dataset.test_day_intervals()[:4]
+        warm = self._fresh(small_dataset)
+        warm_results = {}
+        for interval in intervals:
+            speeds = seed_speeds_for(small_dataset, seeds, interval)
+            warm_results[interval] = warm.estimate_interval(interval, speeds)
+        # Each interval cold, in a fresh estimator with no prior state.
+        for interval in intervals:
+            cold = self._fresh(small_dataset)
+            speeds = seed_speeds_for(small_dataset, seeds, interval)
+            cold_result = cold.estimate_interval(interval, speeds)
+            assert warm_results[interval] == cold_result
+
+    def test_repeated_observations_reuse_cached_solution(self, small_dataset):
+        est = self._fresh(small_dataset)
+        seeds = list(small_dataset.graph.road_ids)[::9][:6]
+        interval = small_dataset.test_day_intervals()[10]
+        speeds = seed_speeds_for(small_dataset, seeds, interval)
+        first = est.estimate_interval(interval, speeds)
+        second = est.estimate_interval(interval, dict(speeds))
+        assert first == second
+        stats = est.plan_cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+
+    def test_changing_one_seed_changes_only_its_influence(self, small_dataset):
+        """A single substituted observation leaves unrelated roads exact."""
+        est = self._fresh(small_dataset)
+        seeds = list(small_dataset.graph.road_ids)[::9][:6]
+        interval = small_dataset.test_day_intervals()[10]
+        speeds = seed_speeds_for(small_dataset, seeds, interval)
+        base = est.estimate_interval(interval, speeds)
+        bumped = dict(speeds)
+        bumped[seeds[0]] *= 1.2
+        shifted = est.estimate_interval(interval, bumped)
+        influence = est.influence_index(frozenset(seeds))
+        for road, estimate in shifted.items():
+            if road == seeds[0]:
+                continue
+            touched = seeds[0] in influence.get(road, {})
+            if not touched:
+                assert estimate.speed_kmh == base[road].speed_kmh
+
+
+class TestPlanCache:
+    def test_lru_evicts_oldest_and_counts(self, small_dataset):
+        cache = IntervalPlanCache(maxsize=2)
+        est = TwoStepEstimator(
+            small_dataset.network,
+            small_dataset.store,
+            small_dataset.graph,
+            hlm_params=HlmParams(),
+            plan_cache=cache,
+        )
+        seeds = list(small_dataset.graph.road_ids)[:5]
+        intervals = small_dataset.test_day_intervals()[:3]
+        for interval in intervals:  # three distinct buckets -> eviction
+            est.estimate_interval(
+                interval, seed_speeds_for(small_dataset, seeds, interval)
+            )
+        stats = cache.stats()
+        assert stats.misses == 3 and stats.evictions == 1 and stats.size == 2
+        # Oldest bucket was evicted: estimating it again recompiles.
+        est.estimate_interval(
+            intervals[0], seed_speeds_for(small_dataset, seeds, intervals[0])
+        )
+        assert cache.stats().misses == 4
+
+    def test_maxsize_validated(self):
+        with pytest.raises(InferenceError):
+            IntervalPlanCache(maxsize=0)
+
+    def test_invalidated_with_fidelity_service(self, small_dataset):
+        fidelity = FidelityCacheService()
+        cache = IntervalPlanCache(maxsize=8).attach(fidelity)
+        est = TwoStepEstimator(
+            small_dataset.network,
+            small_dataset.store,
+            small_dataset.graph,
+            hlm_params=HlmParams(),
+            fidelity_service=fidelity,
+            plan_cache=cache,
+        )
+        seeds = list(small_dataset.graph.road_ids)[:4]
+        interval = small_dataset.test_day_intervals()[0]
+        speeds = seed_speeds_for(small_dataset, seeds, interval)
+        est.estimate_interval(interval, speeds)
+        assert cache.stats().size == 1
+        fidelity.invalidate()
+        assert cache.stats().size == 0
+        # Serving again after invalidation recompiles and still works.
+        result = est.estimate_interval(interval, speeds)
+        assert len(result) == len(small_dataset.graph.road_ids)
+
+    def test_distinct_seed_sets_get_distinct_plans(self, small_dataset):
+        est = TwoStepEstimator(
+            small_dataset.network,
+            small_dataset.store,
+            small_dataset.graph,
+            hlm_params=HlmParams(),
+        )
+        interval = small_dataset.test_day_intervals()[0]
+        roads = list(small_dataset.graph.road_ids)
+        est.estimate_interval(
+            interval, seed_speeds_for(small_dataset, roads[:4], interval)
+        )
+        est.estimate_interval(
+            interval, seed_speeds_for(small_dataset, roads[4:8], interval)
+        )
+        assert est.plan_cache.stats().misses == 2
+
+
+class TestPosteriorArrays:
+    def test_estimates_independent_of_seed_order(self, pair):
+        dataset, vec, _ = pair
+        seeds = list(dataset.graph.road_ids)[::11][:5]
+        interval = dataset.test_day_intervals()[5]
+        forward = seed_speeds_for(dataset, seeds, interval)
+        backward = {r: forward[r] for r in reversed(seeds)}
+        assert vec.estimate_interval(interval, forward) == vec.estimate_interval(
+            interval, backward
+        )

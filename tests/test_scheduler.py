@@ -134,6 +134,27 @@ class TestScheduling:
         escalation = scheduler.plan_round()
         assert escalation.is_full and escalation.reason == "degraded round"
 
+    def test_seed_key_is_order_insensitive(self):
+        assert RoundPlan((3, 1, 2), True, "x").seed_key == RoundPlan(
+            (1, 2, 3), True, "y"
+        ).seed_key
+
+    def test_plan_stability_tracked_across_rounds(self):
+        """Stable seed sets are counted so plan-cache warmth is visible."""
+        scheduler = AdaptiveBudgetScheduler(SEEDS, max_light_rounds=5)
+        assert scheduler.plan_stable_rounds == 0
+        full = scheduler.plan_round()
+        scheduler.record_round(full, neutral(full.seeds))
+        assert scheduler.plan_stable_rounds == 1  # first round: new key
+        light = scheduler.plan_round()
+        scheduler.record_round(light, neutral(light.seeds))
+        assert scheduler.plan_stable_rounds == 1  # full -> light: key changed
+        light = scheduler.plan_round()
+        scheduler.record_round(light, neutral(light.seeds))
+        light = scheduler.plan_round()
+        scheduler.record_round(light, neutral(light.seeds))
+        assert scheduler.plan_stable_rounds == 3  # three light rounds in a row
+
     def test_degraded_full_round_keeps_escalating(self):
         scheduler = AdaptiveBudgetScheduler(SEEDS)
         plan = scheduler.plan_round()

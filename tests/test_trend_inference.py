@@ -154,6 +154,32 @@ class TestGibbs:
         with pytest.raises(InferenceError):
             GibbsSamplingInference(burn_in=-1)
 
+    def test_extreme_potentials_stay_finite(self):
+        """Near-zero agreements must not overflow the conditional sigmoid.
+
+        An edge potential of 5e-324 contributes log-odds of about -744,
+        far past the ~709 range of exp; the naive ``1/(1+exp(-x))``
+        raised overflow warnings and the sampler saw garbage. The stable
+        form saturates cleanly, so the chain follows the evidence.
+        """
+        inst = chain_instance(
+            potentials=(5e-324, 5e-324, 5e-324),
+            evidence={100: Trend.RISE},
+        )
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            post = GibbsSamplingInference(
+                num_samples=400, burn_in=100, seed=3
+            ).infer(inst)
+        arr = post.as_array()
+        assert np.all(np.isfinite(arr))
+        assert np.all((arr >= 0.0) & (arr <= 1.0))
+        # Disagreement potentials: each hop flips the trend almost surely.
+        assert post.p_rise(101) < 0.05
+        assert post.p_rise(102) > 0.95
+
 
 class TestPropagation:
     def test_matches_exact_on_chain_with_uniform_priors(self):

@@ -65,6 +65,17 @@ class TestTrendInstance:
         with pytest.raises(InferenceError):
             self.make(edges=((0, 1, 1.0),))
 
+    def test_trusted_construction_skips_validation(self):
+        """validate=False is the factory fast path — checks are skipped.
+
+        The serving loop builds one instance per interval from parts the
+        model already guarantees valid, so the O(roads + edges) check
+        would be pure overhead there. Hand-built instances keep the
+        default and stay fully checked.
+        """
+        inst = self.make(edges=((0, 1, 1.0),), validate=False)
+        assert inst.num_roads == 3  # out-of-range potential tolerated
+
 
 class TestTrendPosterior:
     def test_queries(self):
