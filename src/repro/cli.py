@@ -7,6 +7,7 @@ reproduction without writing code::
     repro-traffic select --budget 26           # pick and show seeds
     repro-traffic estimate --hour 8.5          # one estimation round
     repro-traffic route --from 0 --to 143      # plan on estimated speeds
+    repro-traffic serve --rounds 8 --check     # snapshot publish/serve loop
     repro-traffic obs record --out run.jsonl   # flight-record some rounds
     repro-traffic obs report run.jsonl         # round-by-round telemetry
 
@@ -81,6 +82,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="destination intersection id")
     route.add_argument("--budget", type=int, default=None)
     route.add_argument("--hour", type=float, default=8.5)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the snapshot publisher/store serving loop "
+        "(optionally under an infrastructure fault scenario)",
+    )
+    serve.add_argument("--rounds", type=int, default=8,
+                       help="number of publish rounds to drive")
+    serve.add_argument("--budget", type=int, default=None)
+    serve.add_argument("--hour", type=float, default=8.0,
+                       help="time of day of the first round")
+    serve.add_argument("--infra-scenario", default=None,
+                       help="infrastructure fault scenario to inject "
+                       "(see repro.faults.bundled_infra_scenarios)")
+    serve.add_argument("--scenario", default=None,
+                       help="worker-level fault scenario to inject alongside")
+    serve.add_argument("--snapshot-dir", default=None,
+                       help="directory for persisted snapshots "
+                       "(default: a temporary directory)")
+    serve.add_argument("--readers", type=int, default=25,
+                       help="roads sampled by the reader sweep each round")
+    serve.add_argument("--check", action="store_true",
+                       help="exit non-zero if any reader saw an exception "
+                       "or an unverified snapshot was served")
 
     obs = commands.add_parser(
         "obs", help="pipeline telemetry: record and inspect flight logs"
@@ -329,6 +354,152 @@ def cmd_obs_record(
     return "\n".join(lines)
 
 
+def cmd_serve(
+    dataset: TrafficDataset,
+    rounds: int,
+    budget: int | None,
+    hour: float,
+    infra_scenario: str | None,
+    scenario: str | None,
+    snapshot_dir: str | None,
+    readers: int,
+    check: bool,
+) -> tuple[str, int]:
+    """Drive the publisher/store serving loop and sweep readers.
+
+    Returns ``(output, exit_code)``; the exit code is non-zero only
+    with ``--check`` when a serving invariant was violated (a reader
+    saw an exception, or an unverified snapshot was served).
+    """
+    if rounds < 1:
+        raise SystemExit("error: --rounds must be >= 1")
+    if not 0.0 <= hour < 24.0:
+        raise SystemExit("error: --hour must be in [0, 24)")
+    import tempfile
+    from collections import Counter
+
+    from repro.core.clock import ManualClock
+    from repro.crowd.health import CircuitBreaker, WorkerHealthTracker
+    from repro.crowd.platform import CrowdsourcingPlatform
+    from repro.crowd.workers import WorkerPool, WorkerPoolParams
+    from repro.serving import (
+        EstimateStore,
+        SnapshotPublisher,
+        StalenessPolicy,
+        default_watchdog,
+    )
+    from repro.speed.uncertainty import UncertaintyModel
+
+    system = _fitted_system(dataset)
+    k = _default_budget(dataset, budget)
+    system.select_seeds(k)
+    pool = WorkerPool.sample(
+        200,
+        WorkerPoolParams(noise_std_frac=0.10, spammer_fraction=0.05),
+        seed=7,
+    )
+    if scenario is not None:
+        from repro.faults import get_scenario, inject_faults
+
+        try:
+            pool = inject_faults(pool, get_scenario(scenario))
+        except Exception as exc:
+            raise SystemExit(f"error: unknown fault scenario: {exc}")
+    platform = CrowdsourcingPlatform(
+        pool,
+        workers_per_task=5,
+        cost_per_answer=0.05,
+        health=WorkerHealthTracker(),
+        circuit_breaker=CircuitBreaker(),
+    )
+
+    clock = ManualClock()
+    interval_s = dataset.grid.interval_minutes * 60.0
+    injector = None
+    if infra_scenario is not None:
+        from repro.faults import InfraInjector, get_infra_scenario
+
+        try:
+            infra = get_infra_scenario(infra_scenario, interval_s)
+        except Exception as exc:
+            raise SystemExit(f"error: {exc}")
+        injector = InfraInjector(infra, clock)
+    store = EstimateStore(
+        history=dataset.store,
+        network=dataset.network,
+        clock=clock,
+        staleness=StalenessPolicy(
+            soft_after_s=1.5 * interval_s, hard_after_s=4.0 * interval_s
+        ),
+    )
+    publisher = SnapshotPublisher(
+        system,
+        store,
+        UncertaintyModel(system.estimator, dataset.store),
+        watchdog=default_watchdog(interval_s, clock=clock),
+        clock=clock,
+        snapshot_dir=snapshot_dir or tempfile.mkdtemp(prefix="repro-serve-"),
+        injector=injector,
+    )
+
+    start = dataset.grid.interval_at(dataset.first_test_day, hour)
+    sweep = dataset.network.road_ids()[: max(1, readers)]
+    reader_errors = 0
+    unverified_served = 0
+    status_totals: Counter = Counter()
+    rows = []
+    for i in range(rounds):
+        report = publisher.publish_round(
+            start + i, dataset.test, platform, crowd_seed=start + i
+        )
+        try:
+            served = store.get_many(sweep)
+            statuses = Counter(s.status for s in served.values())
+        except Exception:  # the invariant --check guards
+            reader_errors += 1
+            statuses = Counter()
+        snapshot = store.latest()
+        if snapshot is not None and not snapshot.verify():
+            unverified_served += 1
+        status_totals.update(statuses)
+        rows.append(
+            [
+                i,
+                report.outcome,
+                "-" if report.version is None else report.version,
+                " ".join(f"{s}:{n}" for s, n in sorted(statuses.items())) or "-",
+                (report.error or "")[:44],
+            ]
+        )
+        clock.advance(interval_s)
+    answered = sum(
+        n for s, n in status_totals.items()
+        if s in ("fresh", "stale", "baseline")
+    )
+    total_reads = sum(status_totals.values())
+    availability = answered / total_reads if total_reads else 0.0
+    table = format_table(
+        ["round", "outcome", "ver", "reader statuses", "error"],
+        rows,
+        title=f"Serving loop: {rounds} rounds, K={k}, "
+        f"scenario={infra_scenario or 'none'} ({dataset.name})",
+    )
+    lines = [
+        table,
+        "",
+        f"Reader availability: {100 * availability:.1f}% "
+        f"({answered}/{total_reads} reads answered)",
+        f"Reader exceptions: {reader_errors}; "
+        f"unverified snapshots served: {unverified_served}",
+    ]
+    failed = check and (reader_errors > 0 or unverified_served > 0)
+    if failed:
+        lines.append("CHECK FAILED: serving invariant violated")
+    elif check:
+        lines.append("check ok: no reader exceptions, all snapshots verified")
+    return "\n".join(lines), 1 if failed else 0
+
+
 def cmd_obs_report(recording_path: str) -> str:
     from repro.core.errors import DataError
     from repro.obs import report_file
@@ -371,6 +542,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         output = cmd_route(
             dataset, args.origin, args.destination, args.budget, args.hour
         )
+    elif args.command == "serve":
+        output, code = cmd_serve(
+            dataset,
+            args.rounds,
+            args.budget,
+            args.hour,
+            args.infra_scenario,
+            args.scenario,
+            args.snapshot_dir,
+            args.readers,
+            args.check,
+        )
+        print(output)
+        return code
     elif args.command == "obs":  # only "record" reaches here
         output = cmd_obs_record(
             dataset,

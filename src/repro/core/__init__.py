@@ -1,5 +1,14 @@
 """Core types, errors, configuration and the end-to-end pipeline."""
 
+from repro.core.breaker import BreakerState, CircuitBreaker
+from repro.core.clock import (
+    Clock,
+    ManualClock,
+    MonotonicClock,
+    get_clock,
+    set_clock,
+    use_clock,
+)
 from repro.core.errors import (
     ConfigError,
     CrowdsourcingError,
@@ -8,6 +17,8 @@ from repro.core.errors import (
     NetworkError,
     ReproError,
     SelectionError,
+    ServingError,
+    SnapshotIntegrityError,
 )
 from repro.core.anomaly import (
     AnomalyScore,
@@ -19,12 +30,17 @@ from repro.core.types import CrowdAnswer, SpeedEstimate, SpeedObservation, Trend
 
 __all__ = [
     "AnomalyScore",
+    "BreakerState",
+    "CircuitBreaker",
+    "Clock",
     "CongestionAnomalyDetector",
     "ConfigError",
     "CrowdAnswer",
     "CrowdsourcingError",
     "DataError",
     "InferenceError",
+    "ManualClock",
+    "MonotonicClock",
     "NetworkError",
     "ReproError",
     "RoutePlan",
@@ -32,7 +48,12 @@ __all__ = [
     "route_travel_time_s",
     "precision_at_k",
     "SelectionError",
+    "ServingError",
+    "SnapshotIntegrityError",
     "SpeedEstimate",
     "SpeedObservation",
     "Trend",
+    "get_clock",
+    "set_clock",
+    "use_clock",
 ]

@@ -1,0 +1,107 @@
+"""Injectable monotonic time for every duration measurement.
+
+Durations in this package — span timings, watchdog deadlines, snapshot
+staleness — must never be derived from the wall clock: NTP steps and
+manual clock changes would make a stage look hung (or a snapshot look
+fresh) when it is neither. Everything times itself against a
+:class:`Clock`, an object with ``monotonic()`` and ``sleep()``:
+
+* :class:`MonotonicClock` — the production clock, backed by
+  :func:`time.monotonic` (immune to wall-clock jumps by construction);
+* :class:`ManualClock` — a test clock that only moves when told to,
+  which makes watchdog timeouts, staleness thresholds and span
+  durations exactly reproducible. ``sleep`` advances it, so
+  backoff-retry loops run instantly in tests while still recording the
+  time they *would* have spent.
+
+Call sites that cannot take a constructor argument (free functions like
+the seed-selection algorithms) read the process default through
+:func:`get_clock`; tests swap it with :func:`use_clock`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Iterator, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """What every timed component depends on."""
+
+    def monotonic(self) -> float:
+        """Seconds on a monotonically non-decreasing clock."""
+        ...
+
+    def sleep(self, seconds: float) -> None:
+        """Block (or simulate blocking) for ``seconds``."""
+        ...
+
+
+class MonotonicClock:
+    """The production clock: :func:`time.monotonic` + :func:`time.sleep`."""
+
+    __slots__ = ()
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class ManualClock:
+    """A clock that moves only when advanced — deterministic tests.
+
+    ``sleep`` advances the clock by the requested amount, so code under
+    test that backs off between retries completes instantly while the
+    elapsed time it observed stays faithful. ``advance`` models time
+    passing *around* the code under test (e.g. an interval boundary, or
+    an injected clock-skew fault).
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; negative steps are rejected (monotonic)."""
+        if seconds < 0:
+            raise ValueError(f"clock cannot move backwards ({seconds} s)")
+        self._now += float(seconds)
+        return self._now
+
+
+_clock: Clock = MonotonicClock()
+
+
+def get_clock() -> Clock:
+    """The process-default clock used by free-function call sites."""
+    return _clock
+
+
+def set_clock(clock: Clock) -> Clock:
+    """Install ``clock`` as the process default; returns the previous."""
+    global _clock
+    previous = _clock
+    _clock = clock
+    return previous
+
+
+@contextlib.contextmanager
+def use_clock(clock: Clock) -> Iterator[Clock]:
+    """Scoped clock override: install for the block, restore on exit."""
+    previous = set_clock(clock)
+    try:
+        yield clock
+    finally:
+        set_clock(previous)

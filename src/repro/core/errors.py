@@ -40,3 +40,17 @@ class CrowdsourcingError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid pipeline configuration."""
+
+
+class ServingError(ReproError):
+    """The serving layer failed to produce or publish a snapshot.
+
+    Raised only on the *write* path (watchdog deadlines, stage
+    exhaustion, integrity failures). The read path never raises it:
+    readers get degraded :class:`~repro.serving.store.ServedEstimate`
+    responses instead.
+    """
+
+
+class SnapshotIntegrityError(ServingError):
+    """A persisted snapshot failed checksum or format verification."""

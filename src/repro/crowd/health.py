@@ -13,16 +13,28 @@ Two defences against a misbehaving crowd:
   instead of burning the full retry budget each. The next round it goes
   *half-open*: one probe task is posted, and its outcome decides
   whether the breaker closes again or re-opens.
+
+The breaker now lives in :mod:`repro.core.breaker` (the serving layer
+uses the same machinery); this module re-exports it unchanged for
+backward compatibility.
 """
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.breaker import BreakerState, CircuitBreaker
 from repro.core.errors import CrowdsourcingError
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "WorkerHealth",
+    "WorkerHealthTracker",
+    "mad_outlier_mask",
+]
 
 #: Consistency factor making the MAD comparable to a normal std.
 _MAD_SCALE = 1.4826
@@ -131,68 +143,3 @@ class WorkerHealthTracker:
         )
 
 
-class BreakerState(enum.Enum):
-    CLOSED = "closed"
-    OPEN = "open"
-    HALF_OPEN = "half_open"
-
-
-class CircuitBreaker:
-    """Consecutive-failure breaker over whole crowdsourcing tasks."""
-
-    def __init__(self, failure_threshold: int = 3) -> None:
-        if failure_threshold < 1:
-            raise CrowdsourcingError("failure_threshold must be >= 1")
-        self._threshold = failure_threshold
-        self._state = BreakerState.CLOSED
-        self._consecutive_failures = 0
-        self._probe_spent = False
-        self.times_tripped = 0
-
-    @property
-    def state(self) -> BreakerState:
-        return self._state
-
-    def begin_round(self) -> None:
-        """A new round starts: an open breaker becomes half-open and
-        grants exactly one probe task.
-
-        A breaker still HALF_OPEN from the previous round gets a fresh
-        probe too: its probe can be consumed by a task that yields
-        neither success nor failure (dropped in transit), and without
-        re-arming the breaker would wedge half-open and skip every task
-        of every future round.
-        """
-        if self._state in (BreakerState.OPEN, BreakerState.HALF_OPEN):
-            self._state = BreakerState.HALF_OPEN
-            self._probe_spent = False
-
-    def allow(self) -> bool:
-        """May the next task be posted?"""
-        if self._state is BreakerState.CLOSED:
-            return True
-        if self._state is BreakerState.HALF_OPEN and not self._probe_spent:
-            self._probe_spent = True
-            return True
-        return False
-
-    def record_success(self) -> None:
-        self._consecutive_failures = 0
-        self._state = BreakerState.CLOSED
-
-    def record_inconclusive(self) -> None:
-        """The task vanished before reaching any worker (dropped in
-        transit): evidence of neither recovery nor outage, so a
-        half-open probe it consumed is re-armed for the next task."""
-        if self._state is BreakerState.HALF_OPEN:
-            self._probe_spent = False
-
-    def record_failure(self) -> None:
-        self._consecutive_failures += 1
-        if (
-            self._state is BreakerState.HALF_OPEN
-            or self._consecutive_failures >= self._threshold
-        ):
-            if self._state is not BreakerState.OPEN:
-                self.times_tripped += 1
-            self._state = BreakerState.OPEN

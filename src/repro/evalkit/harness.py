@@ -10,9 +10,9 @@ for trend scoring.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
+from repro.core.clock import get_clock
 from repro.core.errors import DataError
 from repro.core.field import SpeedField
 from repro.core.types import Trend
@@ -110,7 +110,8 @@ class Evaluation:
         actual_trends: list[Trend] = []
         collects_trends = isinstance(method, TwoStepMethod)
 
-        start = time.perf_counter()
+        clock = get_clock()
+        start = clock.monotonic()
         with get_recorder().span(
             "evalkit.run",
             method=method.name,
@@ -137,7 +138,7 @@ class Evaluation:
                         predicted_trends.append(
                             self.store.trend_of(road, interval, estimate)
                         )
-        elapsed = time.perf_counter() - start
+        elapsed = clock.monotonic() - start
         get_recorder().observe(
             "evalkit.run_seconds", elapsed, method=method.name
         )

@@ -20,6 +20,17 @@ scenario seed, and per-answer randomness comes from the round rng the
 platform already threads through.
 """
 
+from repro.faults.infra import (
+    HANGABLE_STAGES,
+    INFRA_KINDS,
+    InfraFault,
+    InfraInjector,
+    InfraScenario,
+    PipelineOutageError,
+    PublisherCrashError,
+    bundled_infra_scenarios,
+    get_infra_scenario,
+)
 from repro.faults.injector import FaultyWorkerPool, inject_faults
 from repro.faults.scenarios import (
     FAULT_KINDS,
@@ -31,10 +42,19 @@ from repro.faults.scenarios import (
 
 __all__ = [
     "FAULT_KINDS",
+    "HANGABLE_STAGES",
+    "INFRA_KINDS",
     "FaultScenario",
     "FaultWindow",
     "FaultyWorkerPool",
+    "InfraFault",
+    "InfraInjector",
+    "InfraScenario",
+    "PipelineOutageError",
+    "PublisherCrashError",
+    "bundled_infra_scenarios",
     "bundled_scenarios",
+    "get_infra_scenario",
     "get_scenario",
     "inject_faults",
 ]

@@ -1,0 +1,284 @@
+"""Infrastructure-level fault scenarios for the serving layer.
+
+The scenarios in :mod:`repro.faults.scenarios` misbehave *inside* a
+crowdsourcing round: workers go silent, spam, or lose tasks, and PR 1's
+degradation machinery keeps the round itself alive. This module models
+the faults *around* the round — the ones that take the whole pipeline
+down and that the snapshot publisher/store split must absorb:
+
+``stage_hang``
+    A named pipeline stage (``collect``, ``estimate``, ``selection``,
+    ``mining``) takes ``seconds`` longer than it should — a stuck RPC, a
+    GC pause, a wedged worker process. Manifested by advancing the
+    injected clock inside the stage, so the watchdog sees a genuine
+    timeout without any real waiting.
+``publisher_crash``
+    The publisher process dies after producing a round's estimates but
+    before publishing the snapshot. The store must keep serving the
+    previous snapshot, and a restart must recover the last-known-good
+    persisted snapshot.
+``snapshot_corruption``
+    The persisted snapshot file for the round is corrupted on disk
+    (torn write, bad sector). Recovery must reject it on checksum and
+    fall back to an older valid snapshot — never serve garbage.
+``clock_skew``
+    The clock jumps forward by ``seconds`` at the start of the round —
+    the reason every duration in this package is measured on a
+    *monotonic* clock. Staleness and deadlines must respond to the jump
+    coherently (snapshots age, deadlines fire) rather than corrupting
+    state.
+``pipeline_outage``
+    The round pipeline is entirely unavailable for the window (upstream
+    data feed dead, scheduler wedged): the collect stage fails outright
+    every attempt. Distinct from the worker-level ``outage`` scenario,
+    where the platform still runs and degradation substitutes seeds —
+    here no round completes at all and readers must ride on the stale
+    snapshot and then the historical baseline.
+
+Like the worker-level scenarios, windows are expressed in round indices
+so a scenario replays identically anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.clock import Clock, ManualClock
+from repro.core.errors import CrowdsourcingError, ServingError
+
+#: Recognised infrastructure fault kinds.
+INFRA_KINDS = (
+    "stage_hang",
+    "publisher_crash",
+    "snapshot_corruption",
+    "clock_skew",
+    "pipeline_outage",
+)
+
+#: Pipeline stages a ``stage_hang`` may name.
+HANGABLE_STAGES = ("mining", "selection", "collect", "estimate")
+
+
+class PipelineOutageError(ServingError):
+    """Injected: the round pipeline is unavailable this round."""
+
+
+class PublisherCrashError(ServingError):
+    """Injected: the publisher died before publishing the snapshot."""
+
+
+@dataclass(frozen=True, slots=True)
+class InfraFault:
+    """One contiguous stretch of rounds during which a fault is active."""
+
+    kind: str
+    start_round: int
+    num_rounds: int
+    stage: str | None = None  # stage_hang only
+    seconds: float = 0.0  # hang duration / skew magnitude
+
+    def __post_init__(self) -> None:
+        if self.kind not in INFRA_KINDS:
+            raise CrowdsourcingError(
+                f"unknown infrastructure fault kind {self.kind!r}; "
+                f"choose from {INFRA_KINDS}"
+            )
+        if self.start_round < 0:
+            raise CrowdsourcingError("start_round must be >= 0")
+        if self.num_rounds < 1:
+            raise CrowdsourcingError("num_rounds must be >= 1")
+        if self.kind == "stage_hang":
+            if self.stage not in HANGABLE_STAGES:
+                raise CrowdsourcingError(
+                    f"stage_hang needs a stage from {HANGABLE_STAGES}, "
+                    f"got {self.stage!r}"
+                )
+            if self.seconds <= 0:
+                raise CrowdsourcingError("stage_hang needs seconds > 0")
+        if self.kind == "clock_skew" and self.seconds <= 0:
+            raise CrowdsourcingError("clock_skew needs seconds > 0")
+
+    def active(self, round_index: int) -> bool:
+        return self.start_round <= round_index < self.start_round + self.num_rounds
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "start_round": self.start_round,
+            "num_rounds": self.num_rounds,
+            "stage": self.stage,
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InfraFault":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class InfraScenario:
+    """A named, reproducible schedule of infrastructure faults."""
+
+    name: str
+    faults: tuple[InfraFault, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CrowdsourcingError("scenario needs a name")
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def active_faults(self, round_index: int) -> tuple[InfraFault, ...]:
+        return tuple(f for f in self.faults if f.active(round_index))
+
+    @property
+    def last_faulty_round(self) -> int:
+        """Index of the last round any fault covers (-1 if none)."""
+        if not self.faults:
+            return -1
+        return max(f.start_round + f.num_rounds - 1 for f in self.faults)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "faults": [f.to_dict() for f in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InfraScenario":
+        return cls(
+            name=payload["name"],
+            faults=tuple(
+                InfraFault.from_dict(f) for f in payload.get("faults", ())
+            ),
+            description=payload.get("description", ""),
+        )
+
+
+class InfraInjector:
+    """Replays an :class:`InfraScenario` against a publisher.
+
+    The publisher consults the injector at fixed points of each round
+    (hang before a stage, outage inside collect, crash before publish,
+    corruption after persist); the injector answers from the active
+    fault windows. ``begin_round`` advances the round clock and applies
+    any pending clock skew.
+
+    Clock skew is applied by advancing a :class:`ManualClock`; against
+    the production monotonic clock a forward wall jump is invisible by
+    construction (that is the point of measuring on it), so skew is a
+    no-op there.
+    """
+
+    def __init__(self, scenario: InfraScenario, clock: Clock) -> None:
+        self._scenario = scenario
+        self._clock = clock
+        self._round_index = -1
+
+    @property
+    def scenario(self) -> InfraScenario:
+        return self._scenario
+
+    @property
+    def round_index(self) -> int:
+        """Rounds seen so far (-1 before the first ``begin_round``)."""
+        return self._round_index
+
+    def _active(self, kind: str) -> tuple[InfraFault, ...]:
+        return tuple(
+            f
+            for f in self._scenario.active_faults(self._round_index)
+            if f.kind == kind
+        )
+
+    def begin_round(self) -> None:
+        self._round_index += 1
+        for fault in self._active("clock_skew"):
+            if isinstance(self._clock, ManualClock):
+                self._clock.advance(fault.seconds)
+
+    def hang_seconds(self, stage: str) -> float:
+        """Injected extra duration for ``stage`` this round (0 if none)."""
+        return sum(
+            f.seconds for f in self._active("stage_hang") if f.stage == stage
+        )
+
+    def pipeline_down(self) -> bool:
+        """Is the round pipeline unavailable this round?"""
+        return bool(self._active("pipeline_outage"))
+
+    def crash_before_publish(self) -> bool:
+        """Does the publisher die before publishing this round?"""
+        return bool(self._active("publisher_crash"))
+
+    def corrupt_snapshot(self) -> bool:
+        """Is this round's persisted snapshot corrupted on disk?"""
+        return bool(self._active("snapshot_corruption"))
+
+
+# ----------------------------------------------------------------------
+# Bundled scenarios — the serving chaos suite drives every one of these.
+# ----------------------------------------------------------------------
+def bundled_infra_scenarios(interval_s: float = 900.0) -> dict[str, InfraScenario]:
+    """The infrastructure scenario library (durations scale with the
+    interval length, default 15 minutes)."""
+    scenarios = (
+        InfraScenario(
+            name="stage-hang",
+            description="the estimate stage hangs past the round deadline "
+            "for rounds 2-3",
+            faults=(
+                InfraFault("stage_hang", 2, 2, stage="estimate",
+                           seconds=2.0 * interval_s),
+            ),
+        ),
+        InfraScenario(
+            name="collect-hang",
+            description="crowd collection stalls for half an interval in "
+            "rounds 1-2 (recoverable), then a full interval in round 4",
+            faults=(
+                InfraFault("stage_hang", 1, 2, stage="collect",
+                           seconds=0.5 * interval_s),
+                InfraFault("stage_hang", 4, 1, stage="collect",
+                           seconds=1.5 * interval_s),
+            ),
+        ),
+        InfraScenario(
+            name="publisher-crash",
+            description="the publisher dies before publishing in rounds 2-4",
+            faults=(InfraFault("publisher_crash", 2, 3),),
+        ),
+        InfraScenario(
+            name="snapshot-corruption",
+            description="rounds 2-3 persist corrupted snapshots and then "
+            "crash, so recovery must skip them",
+            faults=(
+                InfraFault("snapshot_corruption", 2, 2),
+                InfraFault("publisher_crash", 2, 2),
+            ),
+        ),
+        InfraScenario(
+            name="clock-skew",
+            description="the clock jumps a full hour forward at round 2",
+            faults=(InfraFault("clock_skew", 2, 1, seconds=3600.0),),
+        ),
+        InfraScenario(
+            name="sustained-outage",
+            description="the round pipeline is down for rounds 1-6 — "
+            "readers must ride the stale snapshot into the baseline",
+            faults=(InfraFault("pipeline_outage", 1, 6),),
+        ),
+    )
+    return {s.name: s for s in scenarios}
+
+
+def get_infra_scenario(name: str, interval_s: float = 900.0) -> InfraScenario:
+    """Look up a bundled infrastructure scenario by name."""
+    scenarios = bundled_infra_scenarios(interval_s)
+    if name not in scenarios:
+        raise CrowdsourcingError(
+            f"unknown infrastructure scenario {name!r}; "
+            f"bundled: {sorted(scenarios)}"
+        )
+    return scenarios[name]

@@ -27,6 +27,7 @@ from collections import deque
 from pathlib import Path
 from typing import IO, Iterator
 
+from repro.core.clock import Clock, get_clock
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import Span, SpanTracer, aggregate_spans
 
@@ -111,11 +112,13 @@ class FlightRecorder:
         ring_size: int = 256,
         registry: MetricsRegistry | None = None,
         tracer: SpanTracer | None = None,
+        clock: Clock | None = None,
     ) -> None:
         if ring_size < 1:
             raise ValueError("ring_size must be >= 1")
         self.registry = registry or MetricsRegistry()
-        self.tracer = tracer or SpanTracer()
+        self.tracer = tracer or SpanTracer(clock=clock)
+        self._clock = clock
         self._path = Path(path) if path is not None else None
         self._file: IO[str] | None = None
         self._ring: deque[dict] = deque(maxlen=ring_size)
@@ -174,8 +177,11 @@ class FlightRecorder:
     # ------------------------------------------------------------------
     # Per-round flight recording
     # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return (self._clock or get_clock()).monotonic()
+
     def round_begin(self, interval: int | None) -> None:
-        self._round_start = time.perf_counter()
+        self._round_start = self._now()
         self._round_interval = interval
 
     def round_end(self, interval: int | None, **fields: object) -> None:
@@ -187,7 +193,7 @@ class FlightRecorder:
         that triggered it.
         """
         wall = (
-            time.perf_counter() - self._round_start
+            self._now() - self._round_start
             if self._round_start is not None
             else None
         )

@@ -17,9 +17,10 @@ cannot grow without limit.
 from __future__ import annotations
 
 import itertools
-import time
 from collections import deque
 from dataclasses import dataclass, field
+
+from repro.core.clock import Clock, get_clock
 
 
 @dataclass
@@ -73,20 +74,30 @@ class _ActiveSpan:
 
 
 class SpanTracer:
-    """Records nested spans into a bounded finished-span buffer."""
+    """Records nested spans into a bounded finished-span buffer.
 
-    def __init__(self, max_finished: int = 4096) -> None:
+    Durations come from an injectable monotonic :class:`Clock` (the
+    process default when ``clock`` is None), so span timings are immune
+    to wall-clock jumps and exactly reproducible under a
+    :class:`~repro.core.clock.ManualClock` in tests.
+    """
+
+    def __init__(self, max_finished: int = 4096, clock: Clock | None = None) -> None:
         self._ids = itertools.count(1)
         self._stack: list[Span] = []
         self._finished: deque[Span] = deque(maxlen=max_finished)
+        self._clock = clock
         self.total_finished = 0
+
+    def _now(self) -> float:
+        return (self._clock or get_clock()).monotonic()
 
     def span(self, name: str, **attrs: object) -> _ActiveSpan:
         span = Span(
             name=name,
             span_id=next(self._ids),
             parent_id=self._stack[-1].span_id if self._stack else None,
-            start_s=time.perf_counter(),
+            start_s=self._now(),
             attrs=dict(attrs),
         )
         return _ActiveSpan(self, span)
@@ -103,11 +114,11 @@ class SpanTracer:
         # Re-stamp the start on entry: the span object may have been
         # created eagerly, and parentage must reflect entry-time nesting.
         span.parent_id = self._stack[-1].span_id if self._stack else None
-        span.start_s = time.perf_counter()
+        span.start_s = self._now()
         self._stack.append(span)
 
     def _pop(self, span: Span, failed: bool = False) -> None:
-        span.duration_s = time.perf_counter() - span.start_s
+        span.duration_s = self._now() - span.start_s
         if failed:
             span.attrs["error"] = True
         # Tolerate exception-driven unwinding that skipped inner exits.

@@ -10,9 +10,9 @@ O(K · n · reach) — which the lazy and partition variants accelerate.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
+from repro.core.clock import get_clock
 from repro.core.errors import SelectionError
 from repro.obs import get_recorder
 from repro.seeds.objective import SeedSelectionObjective
@@ -79,6 +79,7 @@ def greedy_select(
         )
 
     recorder = get_recorder()
+    clock = get_clock()
     state = objective.new_state()
     remaining = set(pool)
     seeds: list[int] = []
@@ -86,7 +87,7 @@ def greedy_select(
     values: list[float] = []
     evaluations = 0
     for _ in range(budget):
-        pick_start = time.perf_counter()
+        pick_start = clock.monotonic()
         best_road = None
         best_gain = -1.0
         for candidate in sorted(remaining):
@@ -102,7 +103,7 @@ def greedy_select(
         gains.append(best_gain)
         values.append(state.value)
         recorder.observe(
-            "seeds.pick_seconds", time.perf_counter() - pick_start, method="greedy"
+            "seeds.pick_seconds", clock.monotonic() - pick_start, method="greedy"
         )
     recorder.count("seeds.evaluations", evaluations, method="greedy")
     return SelectionResult(

@@ -13,8 +13,8 @@ both facts are asserted in the test suite and measured in F4.
 from __future__ import annotations
 
 import heapq
-import time
 
+from repro.core.clock import get_clock
 from repro.obs import get_recorder
 from repro.seeds.greedy import SelectionResult, validate_budget
 from repro.seeds.objective import SeedSelectionObjective
@@ -36,6 +36,7 @@ def lazy_greedy_select(
         )
 
     recorder = get_recorder()
+    clock = get_clock()
     state = objective.new_state()
     evaluations = 0
 
@@ -55,7 +56,7 @@ def lazy_greedy_select(
     # bound was already the true argmax; a "miss" forces a re-evaluation.
     heap_hits = 0
     heap_misses = 0
-    pick_start = time.perf_counter()
+    pick_start = clock.monotonic()
     while len(seeds) < budget:
         neg_gain, candidate, evaluated_round = heapq.heappop(heap)
         if evaluated_round == current_round:
@@ -66,7 +67,7 @@ def lazy_greedy_select(
             values.append(state.value)
             current_round += 1
             heap_hits += 1
-            now = time.perf_counter()
+            now = clock.monotonic()
             recorder.observe("seeds.pick_seconds", now - pick_start, method="lazy")
             pick_start = now
         else:

@@ -1,0 +1,266 @@
+"""Immutable, checksummed estimate snapshots and their persistence.
+
+An :class:`EstimateSnapshot` is the unit the publisher hands to the
+read path: every road's :class:`~repro.core.types.SpeedEstimate` and
+uncertainty :class:`~repro.speed.uncertainty.SpeedBand` for one
+interval, under a monotonically increasing version and a content
+checksum. Snapshots are deeply immutable (the mappings are read-only
+views), so any number of readers can hold one while the next is being
+built, and equality of checksum means equality of content.
+
+Persistence is last-known-good recovery, not a database: each snapshot
+is one JSON file named by version; :func:`recover_latest` walks them
+newest-first and returns the first that passes checksum verification,
+counting (not raising on) corrupted files — a torn write must cost a
+restart one snapshot of freshness, never an outage or garbage served.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.core.errors import ServingError, SnapshotIntegrityError
+from repro.core.types import SpeedEstimate, Trend
+from repro.obs import get_recorder
+from repro.speed.uncertainty import SpeedBand
+
+#: On-disk snapshot format version.
+SNAPSHOT_FORMAT = 1
+
+_FILE_PREFIX = "snapshot-v"
+_FILE_SUFFIX = ".json"
+
+
+def _canonical(body: dict) -> str:
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(body: dict) -> str:
+    return hashlib.sha256(_canonical(body).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class EstimateSnapshot:
+    """One published interval's estimates, versioned and checksummed."""
+
+    version: int
+    interval: int
+    estimates: Mapping[int, SpeedEstimate]
+    bands: Mapping[int, SpeedBand]
+    degraded: bool
+    substituted: Mapping[int, str]
+    checksum: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "estimates", MappingProxyType(dict(self.estimates)))
+        object.__setattr__(self, "bands", MappingProxyType(dict(self.bands)))
+        object.__setattr__(self, "substituted", MappingProxyType(dict(self.substituted)))
+
+    @classmethod
+    def build(
+        cls,
+        version: int,
+        interval: int,
+        estimates: Mapping[int, SpeedEstimate],
+        bands: Mapping[int, SpeedBand],
+        substituted: Mapping[int, str] | None = None,
+        degraded: bool = False,
+    ) -> "EstimateSnapshot":
+        """Assemble a snapshot, computing its content checksum."""
+        if version < 0:
+            raise ServingError(f"snapshot version must be >= 0, got {version}")
+        if not estimates:
+            raise ServingError("a snapshot needs at least one estimate")
+        missing = set(estimates) - set(bands)
+        if missing:
+            raise ServingError(
+                f"{len(missing)} estimates lack uncertainty bands "
+                f"(first: {sorted(missing)[:3]})"
+            )
+        substituted = dict(substituted or {})
+        snapshot = cls(
+            version=version,
+            interval=interval,
+            estimates=dict(estimates),
+            bands=dict(bands),
+            degraded=bool(degraded) or bool(substituted),
+            substituted=substituted,
+            checksum="",
+        )
+        object.__setattr__(snapshot, "checksum", _checksum(snapshot._body()))
+        return snapshot
+
+    @property
+    def num_roads(self) -> int:
+        return len(self.estimates)
+
+    # ------------------------------------------------------------------
+    # Content identity
+    # ------------------------------------------------------------------
+    def _body(self) -> dict:
+        roads = {}
+        for road, est in self.estimates.items():
+            band = self.bands[road]
+            roads[str(road)] = [
+                est.speed_kmh,
+                int(est.trend),
+                est.trend_probability,
+                1 if est.is_seed else 0,
+                1 if est.degraded else 0,
+                band.lower_kmh,
+                band.upper_kmh,
+                band.std_kmh,
+                band.confidence,
+            ]
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "version": self.version,
+            "interval": self.interval,
+            "degraded": self.degraded,
+            "substituted": {str(r): v for r, v in self.substituted.items()},
+            "roads": roads,
+        }
+
+    def verify(self) -> bool:
+        """Does the stored checksum match the current content?"""
+        return self.checksum == _checksum(self._body())
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {"body": self._body(), "checksum": self.checksum}, sort_keys=True
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "EstimateSnapshot":
+        """Parse and *verify* a serialized snapshot.
+
+        Raises :class:`SnapshotIntegrityError` on any malformation —
+        bad JSON, wrong format version, or checksum mismatch.
+        """
+        try:
+            payload = json.loads(text)
+            body = payload["body"]
+            checksum = payload["checksum"]
+        except (ValueError, KeyError, TypeError) as exc:
+            raise SnapshotIntegrityError(f"malformed snapshot file: {exc}") from exc
+        if body.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotIntegrityError(
+                f"unsupported snapshot format {body.get('format')!r} "
+                f"(expected {SNAPSHOT_FORMAT})"
+            )
+        if checksum != _checksum(body):
+            raise SnapshotIntegrityError("snapshot checksum mismatch")
+        try:
+            interval = int(body["interval"])
+            estimates: dict[int, SpeedEstimate] = {}
+            bands: dict[int, SpeedBand] = {}
+            for road_text, row in body["roads"].items():
+                road = int(road_text)
+                speed, trend, p, is_seed, degraded, lower, upper, std, conf = row
+                estimates[road] = SpeedEstimate(
+                    road_id=road,
+                    interval=interval,
+                    speed_kmh=float(speed),
+                    trend=Trend(int(trend)),
+                    trend_probability=float(p),
+                    is_seed=bool(is_seed),
+                    degraded=bool(degraded),
+                )
+                bands[road] = SpeedBand(
+                    road_id=road,
+                    interval=interval,
+                    speed_kmh=float(speed),
+                    lower_kmh=float(lower),
+                    upper_kmh=float(upper),
+                    std_kmh=float(std),
+                    confidence=float(conf),
+                )
+            snapshot = cls(
+                version=int(body["version"]),
+                interval=interval,
+                estimates=estimates,
+                bands=bands,
+                degraded=bool(body["degraded"]),
+                substituted={int(r): str(v) for r, v in body["substituted"].items()},
+                checksum=checksum,
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise SnapshotIntegrityError(
+                f"snapshot body failed to decode: {exc}"
+            ) from exc
+        if not snapshot.verify():
+            # Field reordering or lossy decode would land here.
+            raise SnapshotIntegrityError("snapshot re-encode mismatch")
+        return snapshot
+
+
+# ----------------------------------------------------------------------
+# Last-known-good persistence
+# ----------------------------------------------------------------------
+def snapshot_path(directory: str | Path, version: int) -> Path:
+    return Path(directory) / f"{_FILE_PREFIX}{version:08d}{_FILE_SUFFIX}"
+
+
+def save_snapshot(snapshot: EstimateSnapshot, directory: str | Path) -> Path:
+    """Persist one snapshot; returns the file written."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = snapshot_path(directory, snapshot.version)
+    path.write_text(snapshot.to_json(), encoding="utf-8")
+    return path
+
+
+def load_snapshot(path: str | Path) -> EstimateSnapshot:
+    """Load and verify one snapshot file."""
+    return EstimateSnapshot.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryResult:
+    """What :func:`recover_latest` found."""
+
+    snapshot: EstimateSnapshot | None
+    scanned: int
+    corrupt: tuple[str, ...] = field(default=())
+
+
+def recover_latest(directory: str | Path) -> RecoveryResult:
+    """The newest checksum-valid snapshot in ``directory``.
+
+    Walks snapshot files newest-version-first; a file that fails
+    verification is counted, reported through the
+    ``serving.snapshot_corrupt`` metric and skipped — never served.
+    """
+    directory = Path(directory)
+    recorder = get_recorder()
+    if not directory.is_dir():
+        return RecoveryResult(snapshot=None, scanned=0)
+    candidates = sorted(
+        directory.glob(f"{_FILE_PREFIX}*{_FILE_SUFFIX}"), reverse=True
+    )
+    corrupt: list[str] = []
+    for path in candidates:
+        try:
+            snapshot = load_snapshot(path)
+        except SnapshotIntegrityError as exc:
+            corrupt.append(path.name)
+            recorder.count("serving.snapshot_corrupt")
+            recorder.event(
+                "snapshot_corrupt", file=path.name, reason=str(exc)
+            )
+            continue
+        recorder.count("serving.snapshot_recovered")
+        return RecoveryResult(
+            snapshot=snapshot, scanned=len(candidates), corrupt=tuple(corrupt)
+        )
+    return RecoveryResult(
+        snapshot=None, scanned=len(candidates), corrupt=tuple(corrupt)
+    )

@@ -1,0 +1,400 @@
+"""The read path: lock-free snapshot serving with graceful staleness.
+
+:class:`EstimateStore` holds the latest published
+:class:`~repro.serving.snapshot.EstimateSnapshot` behind a single
+reference. Publishing swaps the reference atomically (one assignment
+under the GIL), so readers never lock, never block a publish, and never
+observe a half-built snapshot — a reader that grabbed the old reference
+keeps a complete, internally consistent snapshot for the whole read.
+
+Reads *always* answer; how well depends on the system's state:
+
+======================  ================================================
+snapshot age            reader sees
+======================  ================================================
+below soft threshold    ``fresh`` — the snapshot verbatim
+past soft threshold     ``stale`` — same numbers, widened uncertainty
+                        band, ``stale`` marker
+past hard threshold     ``baseline`` — the historical bucket mean for
+                        the interval the clock says it is now, flagged
+                        degraded
+no snapshot, no history ``unavailable`` — a typed response, not an
+                        exception
+======================  ================================================
+
+Overload is degraded the same way: a bounded in-flight admission gate
+sheds excess requests (``shed`` responses, never queue collapse), and a
+serving-side :class:`~repro.core.breaker.CircuitBreaker` short-circuits
+reads straight to the baseline while the snapshot path keeps failing.
+Readers **never** get an exception out of a read method for any
+infrastructure fault — that invariant is what the chaos suite asserts.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.core.breaker import CircuitBreaker
+from repro.core.clock import Clock, get_clock
+from repro.core.errors import ConfigError, ServingError
+from repro.core.types import Trend
+from repro.history.store import HistoricalSpeedStore
+from repro.obs import get_recorder
+from repro.roadnet.network import RoadNetwork
+from repro.serving.snapshot import EstimateSnapshot
+from repro.speed.uncertainty import z_for_confidence
+
+#: Read statuses, from best to worst.
+FRESH = "fresh"
+STALE = "stale"
+BASELINE = "baseline"
+SHED = "shed"
+UNAVAILABLE = "unavailable"
+
+READ_STATUSES = (FRESH, STALE, BASELINE, SHED, UNAVAILABLE)
+
+
+@dataclass(frozen=True, slots=True)
+class StalenessPolicy:
+    """When a snapshot stops being trusted, and by how much.
+
+    ``soft_after_s``: reads are answered from the snapshot with the
+    uncertainty band widened by ``stale_inflation`` and a ``stale``
+    marker (the degraded-seed treatment of
+    :mod:`repro.speed.degradation`, applied to whole snapshots).
+    ``hard_after_s``: the snapshot is too old to dress up; reads fall
+    back to the historical-mean baseline.
+    """
+
+    soft_after_s: float = 1800.0
+    hard_after_s: float = 7200.0
+    stale_inflation: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.soft_after_s <= 0:
+            raise ConfigError("soft_after_s must be positive")
+        if self.hard_after_s < self.soft_after_s:
+            raise ConfigError("hard_after_s must be >= soft_after_s")
+        if self.stale_inflation < 1.0:
+            raise ConfigError("stale_inflation must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class ServedEstimate:
+    """What a reader gets back — always, for every road asked.
+
+    ``status`` is one of :data:`READ_STATUSES`; numeric fields are None
+    exactly when no answer could be produced (``shed``/``unavailable``).
+    """
+
+    road_id: int
+    status: str
+    speed_kmh: float | None = None
+    lower_kmh: float | None = None
+    upper_kmh: float | None = None
+    std_kmh: float | None = None
+    trend: Trend | None = None
+    trend_probability: float | None = None
+    is_seed: bool = False
+    degraded: bool = False
+    stale: bool = False
+    snapshot_version: int | None = None
+    age_s: float | None = None
+    interval: int | None = None
+
+    @property
+    def answered(self) -> bool:
+        """Did the reader get a number (fresh, stale or baseline)?"""
+        return self.speed_kmh is not None
+
+
+class AdmissionController:
+    """A bounded in-flight gate: admit up to ``capacity``, shed the rest.
+
+    Thread-safe and deliberately tiny — the point is that overload
+    costs the shed requests a cheap typed response instead of costing
+    every request unbounded queueing latency.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ConfigError("admission capacity must be >= 1")
+        self._capacity = capacity
+        self._inflight = 0
+        self._lock = threading.Lock()
+        self.shed_total = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def try_acquire(self) -> bool:
+        with self._lock:
+            if self._inflight >= self._capacity:
+                self.shed_total += 1
+                return False
+            self._inflight += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            if self._inflight > 0:
+                self._inflight -= 1
+
+
+class EstimateStore:
+    """Serves the latest snapshot to many concurrent readers."""
+
+    def __init__(
+        self,
+        history: HistoricalSpeedStore | None = None,
+        network: RoadNetwork | None = None,
+        clock: Clock | None = None,
+        staleness: StalenessPolicy | None = None,
+        admission: AdmissionController | None = None,
+        breaker: CircuitBreaker | None = None,
+        confidence: float = 0.90,
+    ) -> None:
+        self._history = history
+        self._network = network
+        self._clock = clock
+        self._staleness = staleness or StalenessPolicy()
+        self._admission = admission or AdmissionController()
+        self._breaker = breaker
+        self._z = z_for_confidence(confidence)
+        self._publish_lock = threading.Lock()
+        # The one mutable cell readers touch: (snapshot, received_at).
+        # Swapped atomically by publish; readers copy the reference once
+        # per read and work off the immutable snapshot it points to.
+        self._current: tuple[EstimateSnapshot, float] | None = None
+        self._interval_s = (
+            history.grid.interval_minutes * 60.0 if history is not None else None
+        )
+        if history is not None:
+            deviations = history.deviation_matrix()
+            self._prior_dev_std = deviations.std(axis=0)
+            self._column = {road: i for i, road in enumerate(history.road_ids)}
+        else:
+            self._prior_dev_std = None
+            self._column = {}
+        if network is not None:
+            self._midpoints = {
+                road: network.segment_midpoint(road)
+                for road in network.road_ids()
+            }
+        else:
+            self._midpoints = {}
+
+    # ------------------------------------------------------------------
+    # Write path (the publisher's side)
+    # ------------------------------------------------------------------
+    @property
+    def staleness(self) -> StalenessPolicy:
+        return self._staleness
+
+    @property
+    def admission(self) -> AdmissionController:
+        return self._admission
+
+    @property
+    def breaker(self) -> CircuitBreaker | None:
+        return self._breaker
+
+    def latest(self) -> EstimateSnapshot | None:
+        current = self._current
+        return current[0] if current is not None else None
+
+    @property
+    def version(self) -> int | None:
+        snapshot = self.latest()
+        return snapshot.version if snapshot is not None else None
+
+    def publish(self, snapshot: EstimateSnapshot) -> bool:
+        """Atomically install ``snapshot`` as the served state.
+
+        Rejects (returns False, keeps the current snapshot) when the
+        checksum does not verify or the version does not advance —
+        garbage and replays are dropped at the door, not served.
+        """
+        recorder = get_recorder()
+        if not snapshot.verify():
+            recorder.count("serving.publish_rejected", reason="checksum")
+            recorder.event(
+                "publish_rejected", version=snapshot.version, reason="checksum"
+            )
+            return False
+        with self._publish_lock:
+            current = self._current
+            if current is not None and snapshot.version <= current[0].version:
+                recorder.count("serving.publish_rejected", reason="version")
+                return False
+            self._current = (snapshot, self._now())
+        if self._breaker is not None:
+            # A fresh snapshot is a new round for the serving breaker:
+            # an open breaker gets its half-open probe.
+            self._breaker.begin_round()
+        recorder.count("serving.publish")
+        recorder.gauge("serving.snapshot_version", snapshot.version)
+        return True
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def get(self, road_id: int) -> ServedEstimate:
+        """One road's current estimate. Never raises."""
+        return self.get_many([road_id])[road_id]
+
+    def get_many(self, road_ids: list[int] | tuple[int, ...]) -> dict[int, ServedEstimate]:
+        """Several roads, all answered from one consistent snapshot."""
+        recorder = get_recorder()
+        if not self._admission.try_acquire():
+            recorder.count("serving.shed", reason="capacity", value=len(road_ids))
+            return {r: ServedEstimate(road_id=r, status=SHED) for r in road_ids}
+        try:
+            return self._read(road_ids)
+        finally:
+            self._admission.release()
+
+    def query_bbox(
+        self, min_x: float, min_y: float, max_x: float, max_y: float
+    ) -> dict[int, ServedEstimate]:
+        """Every road whose midpoint falls inside the bounding box."""
+        if self._network is None:
+            raise ConfigError(
+                "bounding-box queries need the store constructed with a "
+                "road network"
+            )
+        roads = [
+            road
+            for road, mid in self._midpoints.items()
+            if min_x <= mid.x <= max_x and min_y <= mid.y <= max_y
+        ]
+        return self.get_many(roads)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return (self._clock or get_clock()).monotonic()
+
+    def _read(self, road_ids) -> dict[int, ServedEstimate]:
+        recorder = get_recorder()
+        # One reference copy: every road in this read sees the same
+        # snapshot even if a publish lands mid-loop.
+        current = self._current
+        now = self._now()
+        if self._breaker is not None and not self._breaker.allow():
+            recorder.count("serving.breaker_short_circuit", value=len(road_ids))
+            return {
+                r: self._baseline_or_unavailable(r, current, now)
+                for r in road_ids
+            }
+        try:
+            out = {r: self._serve(r, current, now) for r in road_ids}
+        except Exception:  # noqa: BLE001 - the reader never sees this
+            if self._breaker is not None:
+                self._breaker.record_failure()
+            recorder.count("serving.read_errors")
+            out = {
+                r: self._baseline_or_unavailable(r, current, now)
+                for r in road_ids
+            }
+        else:
+            if self._breaker is not None:
+                self._breaker.record_success()
+        for served in out.values():
+            recorder.count("serving.reads", status=served.status)
+        if current is not None:
+            recorder.gauge("serving.snapshot_age_seconds", now - current[1])
+        return out
+
+    def _serve(
+        self,
+        road: int,
+        current: tuple[EstimateSnapshot, float] | None,
+        now: float,
+    ) -> ServedEstimate:
+        if current is None:
+            return self._baseline_or_unavailable(road, current, now)
+        snapshot, received_at = current
+        age = max(0.0, now - received_at)
+        if age > self._staleness.hard_after_s:
+            return self._baseline_or_unavailable(road, current, now)
+        estimate = snapshot.estimates.get(road)
+        if estimate is None:
+            return self._baseline_or_unavailable(road, current, now)
+        band = snapshot.bands[road]
+        stale = age > self._staleness.soft_after_s
+        if stale:
+            inflate = self._staleness.stale_inflation
+            std = band.std_kmh * inflate
+            lower = max(0.0, estimate.speed_kmh - (estimate.speed_kmh - band.lower_kmh) * inflate)
+            upper = estimate.speed_kmh + (band.upper_kmh - estimate.speed_kmh) * inflate
+        else:
+            std, lower, upper = band.std_kmh, band.lower_kmh, band.upper_kmh
+        return ServedEstimate(
+            road_id=road,
+            status=STALE if stale else FRESH,
+            speed_kmh=estimate.speed_kmh,
+            lower_kmh=lower,
+            upper_kmh=upper,
+            std_kmh=std,
+            trend=estimate.trend,
+            trend_probability=estimate.trend_probability,
+            is_seed=estimate.is_seed,
+            degraded=estimate.degraded or stale,
+            stale=stale,
+            snapshot_version=snapshot.version,
+            age_s=age,
+            interval=snapshot.interval,
+        )
+
+    def _baseline_or_unavailable(
+        self,
+        road: int,
+        current: tuple[EstimateSnapshot, float] | None,
+        now: float,
+    ) -> ServedEstimate:
+        """The historical-mean fallback, or a typed refusal."""
+        version = age = interval = None
+        if current is not None:
+            snapshot, received_at = current
+            version = snapshot.version
+            age = max(0.0, now - received_at)
+            interval = snapshot.interval
+            if self._interval_s:
+                interval += int(age // self._interval_s)
+        if self._history is None or road not in self._column:
+            return ServedEstimate(
+                road_id=road,
+                status=UNAVAILABLE,
+                snapshot_version=version,
+                age_s=age,
+            )
+        if interval is None:
+            # Cold start: no snapshot ever seen, so no notion of "now"
+            # beyond the grid's first interval.
+            interval = 0
+        speed = self._history.historical_speed(road, interval)
+        std = max(0.1, float(self._prior_dev_std[self._column[road]]) * speed)
+        margin = self._z * std
+        return ServedEstimate(
+            road_id=road,
+            status=BASELINE,
+            speed_kmh=speed,
+            lower_kmh=max(0.0, speed - margin),
+            upper_kmh=speed + margin,
+            std_kmh=std,
+            trend=None,
+            trend_probability=None,
+            degraded=True,
+            stale=True,
+            snapshot_version=version,
+            age_s=age,
+            interval=interval,
+        )

@@ -1,0 +1,187 @@
+"""Deadline supervision for the round pipeline.
+
+The round pipeline is cooperative, single-threaded Python — nothing can
+preempt a stage — so the watchdog supervises at stage boundaries: each
+stage runs under a per-stage :class:`StagePolicy` (timeout, bounded
+exponential-backoff retries) and the whole round under one deadline
+tied to the interval length. A stage that raises is retried with
+backoff; a stage that *completes but overran its timeout* is treated as
+hung — its result arrived too late to trust the round's latency budget
+— and is also retried while the round deadline permits. When the round
+deadline is blown the round is cancelled with
+:class:`RoundDeadlineExceeded` and the publisher keeps serving the
+previous snapshot rather than blocking readers on a wedged pipeline.
+
+All time comes from an injectable monotonic :class:`Clock`, so chaos
+tests drive hangs and skew by advancing a
+:class:`~repro.core.clock.ManualClock` instead of sleeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.clock import Clock, get_clock
+from repro.core.errors import ConfigError, ServingError
+from repro.obs import get_recorder
+
+
+class StageTimeout(ServingError):
+    """A pipeline stage overran its per-stage timeout on every attempt."""
+
+
+class StageFailed(ServingError):
+    """A pipeline stage exhausted its retry budget on exceptions."""
+
+
+class RoundDeadlineExceeded(ServingError):
+    """The round blew its overall deadline; it is cancelled, not retried."""
+
+
+@dataclass(frozen=True, slots=True)
+class StagePolicy:
+    """Retry/timeout knobs for one pipeline stage."""
+
+    timeout_s: float = 60.0
+    max_attempts: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_s <= 0:
+            raise ConfigError("timeout_s must be positive")
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ConfigError("backoff durations must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return min(
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+            self.backoff_max_s,
+        )
+
+
+class Watchdog:
+    """Runs pipeline stages under per-stage policies and a round deadline.
+
+    ``round_deadline_s`` is typically the interval length: estimates
+    that arrive after the next interval has started are answering
+    yesterday's question. ``None`` disables the round deadline (stage
+    policies still apply).
+    """
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        round_deadline_s: float | None = None,
+        policies: dict[str, StagePolicy] | None = None,
+        default_policy: StagePolicy | None = None,
+    ) -> None:
+        if round_deadline_s is not None and round_deadline_s <= 0:
+            raise ConfigError("round_deadline_s must be positive")
+        self._clock = clock
+        self._round_deadline_s = round_deadline_s
+        self._policies = dict(policies or {})
+        self._default = default_policy or StagePolicy()
+        self._round_start: float | None = None
+
+    @property
+    def round_deadline_s(self) -> float | None:
+        return self._round_deadline_s
+
+    def policy_for(self, stage: str) -> StagePolicy:
+        return self._policies.get(stage, self._default)
+
+    def _now(self) -> float:
+        return (self._clock or get_clock()).monotonic()
+
+    def _sleep(self, seconds: float) -> None:
+        (self._clock or get_clock()).sleep(seconds)
+
+    def begin_round(self) -> None:
+        """Arm the round deadline; call once per round before any stage."""
+        self._round_start = self._now()
+
+    def round_elapsed_s(self) -> float:
+        """Seconds since ``begin_round`` (0 when never armed)."""
+        if self._round_start is None:
+            return 0.0
+        return self._now() - self._round_start
+
+    def remaining_s(self) -> float | None:
+        """Round budget left, or None when no deadline is configured."""
+        if self._round_deadline_s is None:
+            return None
+        return self._round_deadline_s - self.round_elapsed_s()
+
+    def check_deadline(self) -> None:
+        """Raise :class:`RoundDeadlineExceeded` when the round is over budget."""
+        remaining = self.remaining_s()
+        if remaining is not None and remaining < 0:
+            get_recorder().count("serving.deadline_exceeded")
+            raise RoundDeadlineExceeded(
+                f"round blew its {self._round_deadline_s:.1f}s deadline "
+                f"({self.round_elapsed_s():.1f}s elapsed)"
+            )
+
+    def run(self, stage: str, fn, *args, **kwargs):
+        """Run ``fn`` as pipeline stage ``stage`` under supervision.
+
+        Returns the stage result, or raises :class:`StageTimeout` /
+        :class:`StageFailed` / :class:`RoundDeadlineExceeded`.
+        """
+        policy = self.policy_for(stage)
+        recorder = get_recorder()
+        last_error: BaseException | None = None
+        timed_out = False
+        for attempt in range(1, policy.max_attempts + 1):
+            self.check_deadline()
+            if attempt > 1:
+                recorder.count("serving.stage_retries", stage=stage)
+                self._sleep(policy.backoff_s(attempt - 1))
+                self.check_deadline()
+            start = self._now()
+            try:
+                result = fn(*args, **kwargs)
+            except RoundDeadlineExceeded:
+                raise
+            except Exception as exc:  # noqa: BLE001 - supervision boundary
+                elapsed = self._now() - start
+                recorder.observe(
+                    "serving.stage_seconds", elapsed, stage=stage, ok="false"
+                )
+                last_error = exc
+                timed_out = False
+                continue
+            elapsed = self._now() - start
+            if elapsed > policy.timeout_s:
+                # The stage completed, but past its budget: a hang. The
+                # late result is discarded — serving a snapshot built
+                # from it would report it fresher than it is.
+                recorder.count("serving.stage_timeouts", stage=stage)
+                recorder.observe(
+                    "serving.stage_seconds", elapsed, stage=stage, ok="false"
+                )
+                last_error = StageTimeout(
+                    f"stage {stage!r} took {elapsed:.1f}s "
+                    f"(timeout {policy.timeout_s:.1f}s)"
+                )
+                timed_out = True
+                continue
+            recorder.observe(
+                "serving.stage_seconds", elapsed, stage=stage, ok="true"
+            )
+            return result
+        self.check_deadline()
+        recorder.count("serving.stage_exhausted", stage=stage)
+        if timed_out and isinstance(last_error, StageTimeout):
+            raise last_error
+        raise StageFailed(
+            f"stage {stage!r} failed after {policy.max_attempts} attempts: "
+            f"{last_error}"
+        ) from last_error

@@ -315,6 +315,97 @@ class TestPlanCache:
         assert est.plan_cache.stats().misses == 2
 
 
+class TestDegradedPathDifferential:
+    """The degraded path must not diverge between plan and scalar.
+
+    Fault-forced seed substitution flows through ``run_round``'s
+    degradation machinery; the ``degraded`` flags, substitution map and
+    widened uncertainty bands must be identical whether Step-2 serving
+    used the compiled interval plan or the per-road scalar reference.
+    """
+
+    def _system(self, dataset, use_plan):
+        from repro.core.config import PipelineConfig
+        from repro.core.pipeline import SpeedEstimationSystem
+
+        system = SpeedEstimationSystem.from_parts(
+            dataset.network,
+            dataset.store,
+            dataset.graph,
+            PipelineConfig(use_interval_plan=use_plan),
+        )
+        system.select_seeds(8)
+        return system
+
+    def _platform(self):
+        from repro.crowd.platform import CrowdsourcingPlatform
+        from repro.crowd.workers import WorkerPool, WorkerPoolParams
+        from repro.faults import get_scenario, inject_faults
+
+        pool = WorkerPool.sample(
+            60, WorkerPoolParams(noise_std_frac=0.10), seed=7
+        )
+        pool = inject_faults(pool, get_scenario("outage-window"))
+        return CrowdsourcingPlatform(pool, workers_per_task=3)
+
+    def test_degraded_flags_and_bands_match_scalar(self, small_dataset):
+        from repro.speed.uncertainty import UncertaintyModel
+
+        fast = self._system(small_dataset, use_plan=True)
+        slow = self._system(small_dataset, use_plan=False)
+        assert fast.seeds == slow.seeds
+        platform_fast = self._platform()
+        platform_slow = self._platform()
+        intervals = small_dataset.test_day_intervals()
+        fast_bands_model = UncertaintyModel(
+            fast.estimator, small_dataset.store
+        )
+        slow_bands_model = UncertaintyModel(
+            slow.estimator, small_dataset.store
+        )
+        saw_substitution = False
+        # The outage window spans several rounds; drive far enough to
+        # cover healthy rounds, the outage, and the recovery after it.
+        for i in range(6):
+            interval = intervals[i]
+            fast_out = fast.run_round(
+                interval, small_dataset.test, platform_fast, crowd_seed=i
+            )
+            slow_out = slow.run_round(
+                interval, small_dataset.test, platform_slow, crowd_seed=i
+            )
+            assert fast_out.substituted == slow_out.substituted
+            assert fast_out.degraded == slow_out.degraded
+            saw_substitution |= bool(fast_out.substituted)
+            fast_estimates = fast_out.estimates
+            slow_estimates = slow_out.estimates
+            assert set(fast_estimates) == set(slow_estimates)
+            for road, fast_estimate in fast_estimates.items():
+                slow_estimate = slow_estimates[road]
+                assert fast_estimate.degraded == slow_estimate.degraded
+                assert fast_estimate.speed_kmh == pytest.approx(
+                    slow_estimate.speed_kmh, abs=SPEED_TOL
+                )
+            seeds = {r: fast_out.observed.get(r) for r in fast.seeds}
+            seeds = {r: v for r, v in seeds.items() if v is not None}
+            fast_bands = fast_bands_model.bands_for(fast_estimates, seeds)
+            slow_bands = slow_bands_model.bands_for(slow_estimates, seeds)
+            assert set(fast_bands) == set(slow_bands)
+            for road, fast_band in fast_bands.items():
+                slow_band = slow_bands[road]
+                assert fast_band.std_kmh == pytest.approx(
+                    slow_band.std_kmh, abs=SPEED_TOL
+                )
+                assert fast_band.lower_kmh == pytest.approx(
+                    slow_band.lower_kmh, abs=SPEED_TOL
+                )
+                assert fast_band.upper_kmh == pytest.approx(
+                    slow_band.upper_kmh, abs=SPEED_TOL
+                )
+        # The scenario must actually have exercised the degraded path.
+        assert saw_substitution
+
+
 class TestPosteriorArrays:
     def test_estimates_independent_of_seed_order(self, pair):
         dataset, vec, _ = pair

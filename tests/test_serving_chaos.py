@@ -1,0 +1,225 @@
+"""Chaos suite: the serving invariants under every infra scenario.
+
+Two invariants, asserted under *every* bundled infrastructure fault
+scenario (and a combined custom one):
+
+1. the store never serves garbage — every snapshot it holds verifies
+   against its content checksum, versions never move backwards, and
+   every answered read carries internally consistent numbers;
+2. a reader never sees an exception — every read returns a typed
+   :class:`~repro.serving.store.ServedEstimate`, degrading through
+   ``fresh -> stale -> baseline`` rather than failing.
+"""
+
+import pytest
+
+from repro.core.clock import ManualClock
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import SpeedEstimationSystem
+from repro.crowd.platform import CrowdsourcingPlatform
+from repro.crowd.workers import WorkerPool, WorkerPoolParams
+from repro.faults import (
+    InfraFault,
+    InfraInjector,
+    InfraScenario,
+    bundled_infra_scenarios,
+    get_infra_scenario,
+)
+from repro.serving import (
+    CANCELLED,
+    CRASHED,
+    PUBLISHED,
+    EstimateStore,
+    SnapshotPublisher,
+    StalenessPolicy,
+    default_watchdog,
+    recover_latest,
+)
+from repro.speed.uncertainty import UncertaintyModel
+
+SCENARIO_NAMES = sorted(bundled_infra_scenarios())
+
+ANSWERING_STATUSES = ("fresh", "stale", "baseline")
+
+
+def drive(small_dataset, tmp_path, scenario, rounds=None, seeds=8):
+    """Run the publisher/store stack under ``scenario``; sweep readers
+    every round. Returns per-round (report, reads, snapshot_version)."""
+    clock = ManualClock()
+    interval_s = small_dataset.grid.interval_minutes * 60.0
+    system = SpeedEstimationSystem.from_parts(
+        small_dataset.network,
+        small_dataset.store,
+        small_dataset.graph,
+        PipelineConfig(),
+    )
+    system.select_seeds(seeds)
+    pool = WorkerPool.sample(60, WorkerPoolParams(noise_std_frac=0.10), seed=7)
+    platform = CrowdsourcingPlatform(pool, workers_per_task=3)
+    store = EstimateStore(
+        history=small_dataset.store,
+        network=small_dataset.network,
+        clock=clock,
+        staleness=StalenessPolicy(
+            soft_after_s=1.5 * interval_s, hard_after_s=4.0 * interval_s
+        ),
+    )
+    publisher = SnapshotPublisher(
+        system,
+        store,
+        UncertaintyModel(system.estimator, small_dataset.store),
+        watchdog=default_watchdog(interval_s, clock=clock),
+        clock=clock,
+        snapshot_dir=tmp_path,
+        injector=InfraInjector(scenario, clock),
+    )
+    rounds = rounds if rounds is not None else scenario.last_faulty_round + 3
+    sweep = small_dataset.network.road_ids()[:20]
+    intervals = small_dataset.test_day_intervals()
+    rows = []
+    for i in range(rounds):
+        report = publisher.publish_round(
+            intervals[i], small_dataset.test, platform, crowd_seed=i
+        )
+        reads = store.get_many(sweep)  # must never raise
+        snapshot = store.latest()
+        if snapshot is not None:
+            assert snapshot.verify(), "store is holding a corrupt snapshot"
+        rows.append((report, reads, store.version))
+        clock.advance(interval_s)
+    return rows
+
+
+def assert_serving_invariants(rows):
+    last_version = -1
+    for report, reads, version in rows:
+        if version is not None:
+            assert version >= last_version, "snapshot version went backwards"
+            last_version = version
+        for road, served in reads.items():
+            assert served.road_id == road
+            assert served.status in ANSWERING_STATUSES + ("shed", "unavailable")
+            if served.answered:
+                assert served.speed_kmh >= 0.0
+                assert served.lower_kmh <= served.speed_kmh <= served.upper_kmh
+                assert served.std_kmh > 0.0
+
+
+def availability(rows):
+    answered = total = 0
+    for _, reads, _ in rows:
+        for served in reads.values():
+            total += 1
+            answered += served.status in ANSWERING_STATUSES
+    return answered / total
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+def test_invariants_under_every_scenario(name, small_dataset, tmp_path):
+    interval_s = small_dataset.grid.interval_minutes * 60.0
+    scenario = get_infra_scenario(name, interval_s)
+    rows = drive(small_dataset, tmp_path, scenario)
+    assert_serving_invariants(rows)
+    # With a historical baseline behind the store, every read is
+    # answerable no matter what the infrastructure does.
+    assert availability(rows) == 1.0
+
+
+def test_stage_hang_cancels_only_faulty_rounds(small_dataset, tmp_path):
+    interval_s = small_dataset.grid.interval_minutes * 60.0
+    scenario = get_infra_scenario("stage-hang", interval_s)
+    rows = drive(small_dataset, tmp_path, scenario)
+    outcomes = [report.outcome for report, _, _ in rows]
+    assert outcomes[2] == CANCELLED and outcomes[3] == CANCELLED
+    assert outcomes[0] == outcomes[1] == outcomes[4] == PUBLISHED
+    # Cancelled rounds leave the store serving the previous snapshot.
+    assert rows[2][2] == rows[1][2]
+
+
+def test_collect_hang_recoverable_within_timeout(small_dataset, tmp_path):
+    interval_s = small_dataset.grid.interval_minutes * 60.0
+    scenario = get_infra_scenario("collect-hang", interval_s)
+    rows = drive(small_dataset, tmp_path, scenario)
+    outcomes = [report.outcome for report, _, _ in rows]
+    # Half-interval stalls (rounds 1-2) fit inside the collect timeout;
+    # the 1.5x-interval stall (round 4) blows the round deadline.
+    assert outcomes[1] == outcomes[2] == PUBLISHED
+    assert outcomes[4] == CANCELLED
+    assert outcomes[5] == PUBLISHED
+
+
+def test_publisher_crash_keeps_previous_snapshot(small_dataset, tmp_path):
+    interval_s = small_dataset.grid.interval_minutes * 60.0
+    scenario = get_infra_scenario("publisher-crash", interval_s)
+    rows = drive(small_dataset, tmp_path, scenario)
+    outcomes = [report.outcome for report, _, _ in rows]
+    assert outcomes[2] == outcomes[3] == outcomes[4] == CRASHED
+    # Crashed rounds never touched the in-memory store.
+    assert rows[2][2] == rows[1][2] == 1
+    # Post-fault round publishes and the version is strictly newer.
+    assert outcomes[5] == PUBLISHED
+    assert rows[5][2] > rows[1][2]
+
+
+def test_corrupt_snapshots_skipped_on_recovery(small_dataset, tmp_path):
+    interval_s = small_dataset.grid.interval_minutes * 60.0
+    scenario = get_infra_scenario("snapshot-corruption", interval_s)
+    # Stop right after the fault window so the corrupt files are the
+    # newest on disk — the case recovery exists for.
+    rows = drive(
+        small_dataset, tmp_path, scenario,
+        rounds=scenario.last_faulty_round + 1,
+    )
+    corrupted = [report for report, _, _ in rows if report.corrupted]
+    assert len(corrupted) == 2  # rounds 2-3 wrote corrupt files
+    recovery = recover_latest(tmp_path)
+    # Recovery walks newest-first, rejects both corrupt files by
+    # checksum, and lands on the newest good snapshot instead.
+    assert recovery.snapshot is not None
+    assert recovery.snapshot.verify()
+    assert len(recovery.corrupt) == 2
+    good_versions = {
+        report.version for report, _, _ in rows
+        if report.outcome == PUBLISHED
+    }
+    assert recovery.snapshot.version == max(good_versions)
+
+
+def test_sustained_outage_rides_staleness_ladder(small_dataset, tmp_path):
+    interval_s = small_dataset.grid.interval_minutes * 60.0
+    scenario = get_infra_scenario("sustained-outage", interval_s)
+    rows = drive(small_dataset, tmp_path, scenario)
+    statuses = [
+        {served.status for served in reads.values()}
+        for _, reads, _ in rows
+    ]
+    assert statuses[0] == {"fresh"}
+    # As the outage persists the one pre-outage snapshot ages through
+    # the ladder; the exact boundary follows the staleness thresholds.
+    assert statuses[2] == {"stale"}
+    assert statuses[5] == {"baseline"}
+    # First post-outage round goes straight back to fresh.
+    assert statuses[7] == {"fresh"}
+    assert availability(rows) == 1.0
+
+
+def test_clock_skew_combined_with_outage(small_dataset, tmp_path):
+    """A forward clock jump during an outage ages the snapshot coherently:
+    readers land deeper in the staleness ladder, never on garbage."""
+    interval_s = small_dataset.grid.interval_minutes * 60.0
+    scenario = InfraScenario(
+        name="skew-during-outage",
+        faults=(
+            InfraFault("pipeline_outage", 1, 2),
+            InfraFault("clock_skew", 2, 1, seconds=5.0 * interval_s),
+        ),
+    )
+    rows = drive(small_dataset, tmp_path, scenario, rounds=4)
+    assert_serving_invariants(rows)
+    outcomes = [report.outcome for report, _, _ in rows]
+    assert outcomes[0] == PUBLISHED and outcomes[3] == PUBLISHED
+    assert outcomes[1] == outcomes[2] == CANCELLED
+    # Round 1's read is one interval old: merely soft-stale at worst.
+    assert {s.status for s in rows[1][1].values()} <= {"fresh", "stale"}
+    # The 5-interval jump at round 2 pushes past the hard threshold.
+    assert {s.status for s in rows[2][1].values()} == {"baseline"}

@@ -1,0 +1,196 @@
+"""Deadline supervision (repro.serving.watchdog)."""
+
+import pytest
+
+from repro.core.clock import ManualClock
+from repro.core.errors import ConfigError
+from repro.serving.watchdog import (
+    RoundDeadlineExceeded,
+    StageFailed,
+    StagePolicy,
+    StageTimeout,
+    Watchdog,
+)
+
+
+class TestStagePolicy:
+    def test_defaults_are_valid(self):
+        StagePolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"timeout_s": 0.0},
+            {"timeout_s": -1.0},
+            {"max_attempts": 0},
+            {"backoff_base_s": -0.1},
+            {"backoff_max_s": -0.1},
+            {"backoff_factor": 0.5},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            StagePolicy(**kwargs)
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = StagePolicy(
+            backoff_base_s=0.1, backoff_factor=2.0, backoff_max_s=0.5
+        )
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.2)
+        assert policy.backoff_s(3) == pytest.approx(0.4)
+        assert policy.backoff_s(4) == pytest.approx(0.5)  # capped
+        assert policy.backoff_s(10) == pytest.approx(0.5)
+
+
+class TestStageSupervision:
+    def test_success_passes_result_through(self):
+        watchdog = Watchdog(clock=ManualClock())
+        watchdog.begin_round()
+        assert watchdog.run("stage", lambda: 42) == 42
+
+    def test_exception_retried_then_succeeds(self):
+        clock = ManualClock()
+        watchdog = Watchdog(
+            clock=clock,
+            policies={
+                "s": StagePolicy(
+                    max_attempts=3, backoff_base_s=1.0, backoff_max_s=10.0
+                )
+            },
+        )
+        watchdog.begin_round()
+        calls = []
+
+        def flaky():
+            calls.append(clock.monotonic())
+            if len(calls) < 3:
+                raise RuntimeError("transient")
+            return "ok"
+
+        assert watchdog.run("s", flaky) == "ok"
+        assert len(calls) == 3
+        # The backoff sleeps happened on the injected clock: 1s then 2s.
+        assert calls[1] - calls[0] == pytest.approx(1.0)
+        assert calls[2] - calls[1] == pytest.approx(2.0)
+
+    def test_exhausted_retries_raise_stage_failed(self):
+        watchdog = Watchdog(
+            clock=ManualClock(),
+            policies={"s": StagePolicy(max_attempts=2, backoff_base_s=0.0)},
+        )
+        watchdog.begin_round()
+
+        def always_fails():
+            raise ValueError("broken dependency")
+
+        with pytest.raises(StageFailed, match="broken dependency"):
+            watchdog.run("s", always_fails)
+
+    def test_overrun_counts_as_hang_and_discards_result(self):
+        clock = ManualClock()
+        watchdog = Watchdog(
+            clock=clock,
+            policies={"s": StagePolicy(timeout_s=10.0, max_attempts=1)},
+        )
+        watchdog.begin_round()
+
+        def hangs():
+            clock.advance(25.0)
+            return "too late to trust"
+
+        with pytest.raises(StageTimeout):
+            watchdog.run("s", hangs)
+
+    def test_hang_retried_within_budget(self):
+        clock = ManualClock()
+        watchdog = Watchdog(
+            clock=clock,
+            policies={
+                "s": StagePolicy(
+                    timeout_s=10.0, max_attempts=2, backoff_base_s=0.0
+                )
+            },
+        )
+        watchdog.begin_round()
+        attempts = []
+
+        def hangs_once():
+            attempts.append(None)
+            if len(attempts) == 1:
+                clock.advance(25.0)
+            return "fine"
+
+        assert watchdog.run("s", hangs_once) == "fine"
+        assert len(attempts) == 2
+
+
+class TestRoundDeadline:
+    def test_invalid_deadline_rejected(self):
+        with pytest.raises(ConfigError):
+            Watchdog(round_deadline_s=0.0)
+
+    def test_no_deadline_means_unbounded(self):
+        clock = ManualClock()
+        watchdog = Watchdog(clock=clock, round_deadline_s=None)
+        watchdog.begin_round()
+        clock.advance(1e9)
+        assert watchdog.remaining_s() is None
+        watchdog.check_deadline()  # never raises
+
+    def test_elapsed_and_remaining(self):
+        clock = ManualClock()
+        watchdog = Watchdog(clock=clock, round_deadline_s=100.0)
+        watchdog.begin_round()
+        clock.advance(30.0)
+        assert watchdog.round_elapsed_s() == pytest.approx(30.0)
+        assert watchdog.remaining_s() == pytest.approx(70.0)
+
+    def test_blown_deadline_cancels_round(self):
+        clock = ManualClock()
+        watchdog = Watchdog(
+            clock=clock,
+            round_deadline_s=100.0,
+            policies={"s": StagePolicy(timeout_s=1000.0, max_attempts=5)},
+        )
+        watchdog.begin_round()
+        clock.advance(150.0)
+        with pytest.raises(RoundDeadlineExceeded):
+            watchdog.run("s", lambda: "never runs")
+
+    def test_deadline_checked_between_retries(self):
+        clock = ManualClock()
+        watchdog = Watchdog(
+            clock=clock,
+            round_deadline_s=100.0,
+            policies={
+                "s": StagePolicy(
+                    timeout_s=40.0, max_attempts=10, backoff_base_s=0.0
+                )
+            },
+        )
+        watchdog.begin_round()
+        attempts = []
+
+        def hangs_forever():
+            attempts.append(None)
+            clock.advance(60.0)
+            return "late"
+
+        # Attempt 1 hangs 60s (timeout); attempt 2 starts at 60s, hangs to
+        # 120s > 100s deadline -> the next deadline check cancels the round
+        # instead of burning the remaining 8 attempts.
+        with pytest.raises(RoundDeadlineExceeded):
+            watchdog.run("s", hangs_forever)
+        assert len(attempts) == 2
+
+    def test_begin_round_rearms(self):
+        clock = ManualClock()
+        watchdog = Watchdog(clock=clock, round_deadline_s=100.0)
+        watchdog.begin_round()
+        clock.advance(150.0)
+        with pytest.raises(RoundDeadlineExceeded):
+            watchdog.check_deadline()
+        watchdog.begin_round()
+        watchdog.check_deadline()  # fresh budget
+        assert watchdog.remaining_s() == pytest.approx(100.0)
