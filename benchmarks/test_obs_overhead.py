@@ -22,11 +22,14 @@ noise far better than single-shot timing.
 
 import time
 
+from repro.core.types import SpeedEstimate, Trend
 from repro.datasets.synthetic import scaled_dataset
 from repro.evalkit.reporting import fmt, fmt_pct, format_table
 from repro.obs import FlightRecorder, NullRecorder, get_recorder, recording
 from repro.seeds.lazy import lazy_greedy_select
 from repro.seeds.objective import SeedSelectionObjective
+from repro.serving import EstimateSnapshot, EstimateStore
+from repro.speed.uncertainty import SpeedBand
 from repro.trend.model import TrendModel
 from repro.trend.propagation import TrendPropagationInference
 
@@ -35,6 +38,10 @@ REPEATS = 30
 TRIALS = 7
 #: Recording may add at most 50 microseconds to one inference call.
 MAX_OVERHEAD_SECONDS = 50e-6
+
+#: One traced store read (a whole get_many sweep) gets the same budget.
+READ_SWEEP = 25
+READ_REPEATS = 200
 
 
 def _batch_seconds(inference, instance) -> float:
@@ -102,4 +109,96 @@ def test_obs_recording_overhead(report):
     assert per_call_overhead < MAX_OVERHEAD_SECONDS, (
         f"flight recorder adds {per_call_overhead * 1e6:.1f} us per "
         f"inference call (budget {MAX_OVERHEAD_SECONDS * 1e6:.0f} us)"
+    )
+
+
+def _served_store() -> tuple[EstimateStore, list[int]]:
+    """A store serving one fresh snapshot over ``READ_SWEEP`` roads."""
+    estimates = {}
+    bands = {}
+    for road in range(READ_SWEEP):
+        speed = 30.0 + road
+        estimates[road] = SpeedEstimate(
+            road_id=road,
+            interval=0,
+            speed_kmh=speed,
+            trend=Trend.RISE,
+            trend_probability=0.7,
+            is_seed=False,
+            degraded=False,
+        )
+        bands[road] = SpeedBand(
+            road_id=road,
+            interval=0,
+            speed_kmh=speed,
+            lower_kmh=speed - 2.0,
+            upper_kmh=speed + 2.0,
+            std_kmh=1.0,
+            confidence=0.9,
+        )
+    store = EstimateStore()
+    assert store.publish(EstimateSnapshot.build(0, 0, estimates, bands))
+    return store, list(range(READ_SWEEP))
+
+
+def _read_batch_seconds(store: EstimateStore, sweep: list[int]) -> float:
+    start = time.perf_counter()
+    for _ in range(READ_REPEATS):
+        store.get_many(sweep)
+    return time.perf_counter() - start
+
+
+def test_serving_read_trace_overhead(report):
+    """Request tracing adds < 50 us to one store read.
+
+    The traced read path (latency + freshness histograms, tail-sampled
+    ``read_trace`` events) runs only when a flight recorder is
+    installed; under the default NullRecorder the read is the bare hot
+    path. Both are timed best-of-``TRIALS``, interleaved.
+    """
+    store, sweep = _served_store()
+    store.get_many(sweep)  # warm both paths' allocations
+
+    assert isinstance(get_recorder(), NullRecorder)
+    recorder = FlightRecorder(ring_size=16)
+    best_null = float("inf")
+    best_traced = float("inf")
+    for _ in range(TRIALS):
+        best_null = min(best_null, _read_batch_seconds(store, sweep))
+        with recording(recorder):
+            best_traced = min(best_traced, _read_batch_seconds(store, sweep))
+
+    per_read_overhead = (best_traced - best_null) / READ_REPEATS
+    relative = best_traced / best_null - 1.0
+    table = format_table(
+        ["configuration", "per-read us", "added us/read", "relative"],
+        [
+            [
+                "NullRecorder (default)",
+                fmt(best_null / READ_REPEATS * 1e6, 2),
+                "-",
+                "-",
+            ],
+            [
+                "FlightRecorder + tracing",
+                fmt(best_traced / READ_REPEATS * 1e6, 2),
+                fmt(per_read_overhead * 1e6, 2),
+                fmt_pct(relative * 100),
+            ],
+        ],
+        title=(
+            f"OBS: read-trace overhead on store.get_many "
+            f"({READ_SWEEP} roads per read)"
+        ),
+    )
+    report("obs_read_trace_overhead", table)
+
+    # Sanity: the traced runs really were traced (healthy reads are
+    # interval-sampled, so the registry saw every read).
+    reads = recorder.registry.counter("serving.traces", recorded="true")
+    skipped = recorder.registry.counter("serving.traces", recorded="false")
+    assert reads.value + skipped.value >= READ_REPEATS * TRIALS
+    assert per_read_overhead < MAX_OVERHEAD_SECONDS, (
+        f"request tracing adds {per_read_overhead * 1e6:.1f} us per store "
+        f"read (budget {MAX_OVERHEAD_SECONDS * 1e6:.0f} us)"
     )

@@ -8,8 +8,10 @@ reproduction without writing code::
     repro-traffic estimate --hour 8.5          # one estimation round
     repro-traffic route --from 0 --to 143      # plan on estimated speeds
     repro-traffic serve --rounds 8 --check     # snapshot publish/serve loop
+    repro-traffic serve --slo --explain 17     # SLO burn-rate alerts + explain
     repro-traffic obs record --out run.jsonl   # flight-record some rounds
     repro-traffic obs report run.jsonl         # round-by-round telemetry
+    repro-traffic obs top metrics.json         # one-shot ops dashboard
 
 All commands operate on the built-in synthetic cities (``--city
 beijing`` by default) and print plain-text tables.
@@ -106,6 +108,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--check", action="store_true",
                        help="exit non-zero if any reader saw an exception "
                        "or an unverified snapshot was served")
+    serve.add_argument("--slo", action="store_true",
+                       help="evaluate the default serving SLOs (burn-rate "
+                       "alerting) once per round")
+    serve.add_argument("--slo-check", action="store_true",
+                       help="exit non-zero unless every SLO ends the run "
+                       "in the ok state (implies --slo)")
+    serve.add_argument("--expect-page", default=None, metavar="SLO",
+                       help="require this SLO to reach page during the run "
+                       "and return to ok by the end (implies --slo-check)")
+    serve.add_argument("--explain", type=int, default=None, metavar="ROAD",
+                       help="print the provenance chain for one road's "
+                       "read after the loop")
+    serve.add_argument("--metrics-out", default=None,
+                       help="dump the final metrics registry "
+                       "(.prom -> Prometheus text, otherwise JSON)")
 
     obs = commands.add_parser(
         "obs", help="pipeline telemetry: record and inspect flight logs"
@@ -140,6 +157,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate a recording (non-zero exit if empty or malformed)",
     )
     verify.add_argument("recording", help="JSONL event log to check")
+
+    top = obs_commands.add_parser(
+        "top",
+        help="render the serving ops dashboard from a metrics dump "
+        "(serve --metrics-out) or a JSONL recording",
+    )
+    top.add_argument("source", help="metrics JSON or JSONL recording")
     return parser
 
 
@@ -364,17 +388,25 @@ def cmd_serve(
     snapshot_dir: str | None,
     readers: int,
     check: bool,
+    slo: bool = False,
+    slo_check: bool = False,
+    expect_page: str | None = None,
+    explain: int | None = None,
+    metrics_out: str | None = None,
 ) -> tuple[str, int]:
     """Drive the publisher/store serving loop and sweep readers.
 
     Returns ``(output, exit_code)``; the exit code is non-zero only
     with ``--check`` when a serving invariant was violated (a reader
-    saw an exception, or an unverified snapshot was served).
+    saw an exception, or an unverified snapshot was served), or with
+    ``--slo-check`` / ``--expect-page`` when the SLO arc did not play
+    out as required.
     """
     if rounds < 1:
         raise SystemExit("error: --rounds must be >= 1")
     if not 0.0 <= hour < 24.0:
         raise SystemExit("error: --hour must be in [0, 24)")
+    import contextlib
     import tempfile
     from collections import Counter
 
@@ -382,6 +414,16 @@ def cmd_serve(
     from repro.crowd.health import CircuitBreaker, WorkerHealthTracker
     from repro.crowd.platform import CrowdsourcingPlatform
     from repro.crowd.workers import WorkerPool, WorkerPoolParams
+    from repro.obs import (
+        OK,
+        PAGE,
+        FlightRecorder,
+        SLOEngine,
+        default_serving_slos,
+        recording,
+        to_json,
+        to_prometheus_text,
+    )
     from repro.serving import (
         EstimateStore,
         SnapshotPublisher,
@@ -389,6 +431,9 @@ def cmd_serve(
         default_watchdog,
     )
     from repro.speed.uncertainty import UncertaintyModel
+
+    slo_check = slo_check or expect_page is not None
+    slo = slo or slo_check
 
     system = _fitted_system(dataset)
     k = _default_budget(dataset, budget)
@@ -448,38 +493,73 @@ def cmd_serve(
     unverified_served = 0
     status_totals: Counter = Counter()
     rows = []
-    for i in range(rounds):
-        report = publisher.publish_round(
-            start + i, dataset.test, platform, crowd_seed=start + i
-        )
-        try:
-            served = store.get_many(sweep)
-            statuses = Counter(s.status for s in served.values())
-        except Exception:  # the invariant --check guards
-            reader_errors += 1
-            statuses = Counter()
-        snapshot = store.latest()
-        if snapshot is not None and not snapshot.verify():
-            unverified_served += 1
-        status_totals.update(statuses)
-        rows.append(
-            [
+    state_history: dict[str, list[str]] = {}
+    record_metrics = slo or metrics_out is not None
+    recorder_ctx = (
+        recording(FlightRecorder())
+        if record_metrics
+        else contextlib.nullcontext(None)
+    )
+    with recorder_ctx as recorder:
+        engine = None
+        if slo:
+            engine = SLOEngine(
+                recorder.registry,
+                default_serving_slos(
+                    interval_s, soft_after_s=1.5 * interval_s
+                ),
+                clock=clock,
+            )
+        for i in range(rounds):
+            report = publisher.publish_round(
+                start + i, dataset.test, platform, crowd_seed=start + i
+            )
+            try:
+                served = store.get_many(sweep)
+                statuses = Counter(s.status for s in served.values())
+            except Exception:  # the invariant --check guards
+                reader_errors += 1
+                statuses = Counter()
+            snapshot = store.latest()
+            if snapshot is not None and not snapshot.verify():
+                unverified_served += 1
+            status_totals.update(statuses)
+            row = [
                 i,
                 report.outcome,
                 "-" if report.version is None else report.version,
                 " ".join(f"{s}:{n}" for s, n in sorted(statuses.items())) or "-",
                 (report.error or "")[:44],
             ]
-        )
-        clock.advance(interval_s)
+            if engine is not None:
+                states = engine.tick()
+                for name, state in states.items():
+                    state_history.setdefault(name, []).append(state)
+                alerting = [f"{n}={s}" for n, s in states.items() if s != OK]
+                row.append(" ".join(alerting) or "ok")
+            rows.append(row)
+            clock.advance(interval_s)
+        if metrics_out is not None:
+            text = (
+                to_prometheus_text(recorder.registry)
+                if metrics_out.endswith(".prom")
+                else to_json(recorder.registry)
+            )
+            with open(metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        explanation = store.explain(explain) if explain is not None else None
+        slo_statuses = engine.statuses() if engine is not None else None
     answered = sum(
         n for s, n in status_totals.items()
         if s in ("fresh", "stale", "baseline")
     )
     total_reads = sum(status_totals.values())
     availability = answered / total_reads if total_reads else 0.0
+    headers = ["round", "outcome", "ver", "reader statuses", "error"]
+    if engine is not None:
+        headers.append("slo alerts")
     table = format_table(
-        ["round", "outcome", "ver", "reader statuses", "error"],
+        headers,
         rows,
         title=f"Serving loop: {rounds} rounds, K={k}, "
         f"scenario={infra_scenario or 'none'} ({dataset.name})",
@@ -492,12 +572,111 @@ def cmd_serve(
         f"Reader exceptions: {reader_errors}; "
         f"unverified snapshots served: {unverified_served}",
     ]
+    slo_failures: list[str] = []
+    if slo_statuses is not None:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["slo", "final state", "pages", "warnings"],
+                [
+                    [
+                        name,
+                        history[-1],
+                        history.count("page"),
+                        history.count("warning"),
+                    ]
+                    for name, history in sorted(state_history.items())
+                ],
+                title="SLO arc over the run",
+            )
+        )
+        if expect_page is not None:
+            history = state_history.get(expect_page)
+            if history is None:
+                slo_failures.append(
+                    f"unknown SLO {expect_page!r} "
+                    f"(have: {sorted(state_history)})"
+                )
+            else:
+                if PAGE not in history:
+                    slo_failures.append(f"SLO {expect_page} never reached page")
+                if history and history[-1] != OK:
+                    slo_failures.append(
+                        f"SLO {expect_page} did not return to ok "
+                        f"(ended {history[-1]})"
+                    )
+        if slo_check:
+            for name, history in sorted(state_history.items()):
+                if name == expect_page:
+                    continue
+                if history and history[-1] != OK:
+                    slo_failures.append(f"SLO {name} ended {history[-1]}")
+    if explanation is not None:
+        lines.append("")
+        lines.append(_render_explanation(explanation))
+    if metrics_out is not None:
+        lines.append(f"Final metrics registry -> {metrics_out}")
     failed = check and (reader_errors > 0 or unverified_served > 0)
     if failed:
         lines.append("CHECK FAILED: serving invariant violated")
     elif check:
         lines.append("check ok: no reader exceptions, all snapshots verified")
-    return "\n".join(lines), 1 if failed else 0
+    if slo_failures:
+        lines.append("SLO CHECK FAILED: " + "; ".join(slo_failures))
+    elif slo_check:
+        lines.append("slo check ok: alert arc completed, all SLOs ended ok")
+    return "\n".join(lines), 1 if (failed or slo_failures) else 0
+
+
+def _render_explanation(explanation) -> str:
+    """Plain-text rendering of one :class:`ReadExplanation`."""
+    detail = explanation.to_dict()
+    head = (
+        f"Explain road {detail['road_id']}: {detail['status']}"
+        + (
+            f" {detail['speed_kmh']:.1f} km/h"
+            if detail["speed_kmh"] is not None
+            else ""
+        )
+        + (
+            f" (snapshot v{detail['snapshot_version']}, "
+            f"age {detail['snapshot_age_s']:.0f}s)"
+            if detail["snapshot_version"] is not None
+            else " (no snapshot)"
+        )
+    )
+    chain = format_table(
+        ["rung", "taken", "reason"],
+        [
+            [entry["rung"], "yes" if entry["taken"] else "-", entry["reason"]]
+            for entry in detail["chain"]
+        ],
+    )
+    lines = [head, chain]
+    provenance = detail["provenance"]
+    if provenance is not None:
+        lines.append(
+            f"Produced by round {provenance['round_index']} "
+            f"(seed budget {provenance['seed_budget']}, "
+            f"degraded={provenance['degraded']}, "
+            f"substituted={provenance['substituted']}, "
+            f"elapsed {provenance['elapsed_s']:.2f}s"
+            + (
+                f" of {provenance['deadline_s']:.0f}s deadline)"
+                if provenance["deadline_s"] is not None
+                else ")"
+            )
+        )
+        for stage in provenance["stages"]:
+            lines.append(
+                f"  stage {stage['stage']}: "
+                f"{1000.0 * stage['seconds']:.2f} ms, "
+                f"{stage['attempts']} attempt(s), "
+                f"{'ok' if stage['ok'] else 'FAILED'}"
+            )
+    else:
+        lines.append("Produced by: (snapshot carries no provenance)")
+    return "\n".join(lines)
 
 
 def cmd_obs_report(recording_path: str) -> str:
@@ -520,14 +699,26 @@ def cmd_obs_verify(recording_path: str) -> str:
         raise SystemExit(f"error: {exc}")
 
 
+def cmd_obs_top(source_path: str) -> str:
+    from repro.core.errors import DataError
+    from repro.obs.dashboard import dashboard_file
+
+    try:
+        return dashboard_file(source_path)
+    except DataError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "obs" and args.obs_command in ("report", "verify"):
+    if args.command == "obs" and args.obs_command in ("report", "verify", "top"):
         # Pure log-file commands: no dataset build needed.
         if args.obs_command == "report":
             print(cmd_obs_report(args.recording))
-        else:
+        elif args.obs_command == "verify":
             print(cmd_obs_verify(args.recording))
+        else:
+            print(cmd_obs_top(args.source))
         return 0
     dataset = CITIES[args.city]()
     if args.command == "info":
@@ -553,6 +744,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.snapshot_dir,
             args.readers,
             args.check,
+            slo=args.slo,
+            slo_check=args.slo_check,
+            expect_page=args.expect_page,
+            explain=args.explain,
+            metrics_out=args.metrics_out,
         )
         print(output)
         return code

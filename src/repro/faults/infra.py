@@ -269,6 +269,18 @@ def bundled_infra_scenarios(interval_s: float = 900.0) -> dict[str, InfraScenari
             "readers must ride the stale snapshot into the baseline",
             faults=(InfraFault("pipeline_outage", 1, 6),),
         ),
+        InfraScenario(
+            name="flapping-outage",
+            description="the pipeline flaps: short outages in rounds 1-2, "
+            "5 and 8-9 with recoveries between — burn-rate alerting "
+            "should warn on the sustained bleed without paging on "
+            "every blip",
+            faults=(
+                InfraFault("pipeline_outage", 1, 2),
+                InfraFault("pipeline_outage", 5, 1),
+                InfraFault("pipeline_outage", 8, 2),
+            ),
+        ),
     )
     return {s.name: s for s in scenarios}
 

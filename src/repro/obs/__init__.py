@@ -28,6 +28,7 @@ The metric-name catalogue and span hierarchy live in
 ``docs/OBSERVABILITY.md``.
 """
 
+from repro.obs.dashboard import MetricsView, dashboard_file, render_dashboard
 from repro.obs.exporters import to_json, to_prometheus_text
 from repro.obs.recorder import (
     OBS_ENV_VAR,
@@ -46,15 +47,52 @@ from repro.obs.registry import (
     MetricsRegistry,
 )
 from repro.obs.report import (
+    EVENT_SCHEMAS,
     load_events,
     render_report,
     report_file,
     summarize_rounds,
     verify_recording,
 )
+from repro.obs.slo import (
+    ALERT_LEVEL,
+    ALERT_STATES,
+    OK,
+    PAGE,
+    SLO,
+    SLO_ALERT_EVENT,
+    WARNING,
+    BurnWindow,
+    CounterRatioSLI,
+    HistogramThresholdSLI,
+    SLOEngine,
+    SLOStatus,
+    default_serving_slos,
+)
 from repro.obs.spans import Span, SpanTracer, aggregate_spans
+from repro.obs.trace import READ_TRACE_EVENT, RUNG_ORDER, ReadTracer, worst_rung
 
 __all__ = [
+    "ALERT_LEVEL",
+    "ALERT_STATES",
+    "OK",
+    "PAGE",
+    "SLO",
+    "SLO_ALERT_EVENT",
+    "WARNING",
+    "BurnWindow",
+    "CounterRatioSLI",
+    "HistogramThresholdSLI",
+    "MetricsView",
+    "SLOEngine",
+    "SLOStatus",
+    "dashboard_file",
+    "default_serving_slos",
+    "render_dashboard",
+    "READ_TRACE_EVENT",
+    "RUNG_ORDER",
+    "ReadTracer",
+    "worst_rung",
     "OBS_ENV_VAR",
     "DEFAULT_BUCKETS",
     "Counter",
@@ -72,6 +110,7 @@ __all__ = [
     "set_recorder",
     "to_json",
     "to_prometheus_text",
+    "EVENT_SCHEMAS",
     "load_events",
     "render_report",
     "report_file",

@@ -1,0 +1,359 @@
+"""The live ops dashboard: one screen of serving health.
+
+``repro-traffic obs top`` renders a :class:`MetricsView` — a read-only,
+source-agnostic view over metric series — into the operator's screen:
+SLO alert states and burn rates, the read ladder's rung breakdown,
+pipeline stage timings, publish outcomes, and the protection layer
+(admission shedding, breaker short-circuits, trace sampling).
+
+A view can come from three places, in decreasing order of fidelity:
+
+* a live :class:`~repro.obs.registry.MetricsRegistry` (or its
+  :meth:`~repro.obs.registry.MetricsRegistry.snapshot` dict / the JSON
+  file ``--metrics-out`` writes) — full histograms, so latency
+  percentiles render;
+* the last ``round`` event of a recorded JSONL — scalar totals only,
+  histogram rows degrade to counts;
+* the :class:`~repro.obs.slo.SLOEngine`'s own statuses, passed
+  alongside either, which add good/total and targets to the SLO rows.
+
+Like :mod:`repro.obs.report` this module is a leaf: it formats its own
+tables and imports nothing above :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.core.errors import DataError
+from repro.obs.registry import MetricsRegistry, quantile_from_cumulative
+from repro.obs.report import fmt, format_table, load_events
+from repro.obs.slo import ALERT_STATES, SLOStatus
+
+_SCALAR_KEY_RE = re.compile(r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$")
+
+
+def _parse_scalar_key(key: str) -> tuple[str, dict[str, str]]:
+    match = _SCALAR_KEY_RE.match(key)
+    if match is None:  # pragma: no cover - the regex accepts any key
+        return key, {}
+    labels: dict[str, str] = {}
+    raw = match.group("labels")
+    if raw:
+        for part in raw.split(","):
+            label, _eq, value = part.partition("=")
+            labels[label] = value
+    return match.group("name"), labels
+
+
+class MetricsView:
+    """Uniform read access over metric series from any source.
+
+    Internally one flat list of ``(family, labels, payload)`` where the
+    payload is ``{"value": v}`` for scalars or ``{"sum", "count",
+    "buckets"}`` for histograms (bucket keys are bound strings plus
+    ``"+Inf"``, values cumulative — the registry snapshot shape).
+    """
+
+    def __init__(
+        self, series: list[tuple[str, dict[str, str], dict]]
+    ) -> None:
+        self._series = series
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_registry(cls, registry: MetricsRegistry) -> "MetricsView":
+        return cls.from_snapshot(registry.snapshot())
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "MetricsView":
+        series: list[tuple[str, dict[str, str], dict]] = []
+        for family, entry in snapshot.items():
+            for item in entry.get("series", []):
+                payload = {k: v for k, v in item.items() if k != "labels"}
+                series.append((family, dict(item.get("labels", {})), payload))
+        return cls(series)
+
+    @classmethod
+    def from_scalar_totals(cls, totals: dict[str, float]) -> "MetricsView":
+        series = []
+        for key, value in totals.items():
+            family, labels = _parse_scalar_key(key)
+            series.append((family, labels, {"value": float(value)}))
+        return cls(series)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "MetricsView":
+        """Load from a metrics JSON dump or a recorded JSONL.
+
+        A ``.jsonl`` recording contributes its *last* round event's
+        cumulative counters; anything else is parsed as the registry
+        snapshot JSON that ``--metrics-out`` writes.
+        """
+        path = Path(path)
+        if path.suffix == ".jsonl":
+            rounds = [
+                e for e in load_events(path) if e.get("type") == "round"
+            ]
+            if not rounds:
+                raise DataError(
+                    f"recording {path} has no round events to build a "
+                    f"dashboard from"
+                )
+            return cls.from_scalar_totals(rounds[-1].get("counters", {}))
+        try:
+            snapshot = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError as exc:
+            raise DataError(f"metrics file {path} does not exist") from exc
+        except (ValueError, OSError) as exc:
+            raise DataError(f"metrics file {path} is unreadable: {exc}") from exc
+        if not isinstance(snapshot, dict):
+            raise DataError(f"metrics file {path} is not a registry snapshot")
+        return cls.from_snapshot(snapshot)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _matching(self, family: str, **match: str):
+        for name, labels, payload in self._series:
+            if name != family:
+                continue
+            if any(labels.get(k) != v for k, v in match.items()):
+                continue
+            yield labels, payload
+
+    @staticmethod
+    def _scalar(payload: dict) -> float:
+        if "value" in payload:
+            return float(payload["value"])
+        return float(payload.get("count", 0.0))
+
+    def total(self, family: str, **match: str) -> float:
+        """Summed scalar of matching series (histograms count)."""
+        return sum(self._scalar(p) for _l, p in self._matching(family, **match))
+
+    def value(self, family: str, **match: str) -> float | None:
+        """The first matching series' scalar, or None."""
+        for _labels, payload in self._matching(family, **match):
+            return self._scalar(payload)
+        return None
+
+    def by_label(
+        self, family: str, label: str, **match: str
+    ) -> dict[str, float]:
+        """Scalar totals keyed by one label's values."""
+        out: dict[str, float] = {}
+        for labels, payload in self._matching(family, **match):
+            key = labels.get(label, "")
+            out[key] = out.get(key, 0.0) + self._scalar(payload)
+        return dict(sorted(out.items()))
+
+    def label_values(self, family: str, label: str) -> list[str]:
+        return sorted(
+            {
+                labels[label]
+                for labels, _p in self._matching(family)
+                if label in labels
+            }
+        )
+
+    def histogram(self, family: str, **match: str) -> dict | None:
+        """Matching histogram series merged; None when there are none
+        (or the view only has scalar totals)."""
+        merged_sum = 0.0
+        merged_count = 0
+        merged_buckets: dict[str, float] | None = None
+        for _labels, payload in self._matching(family, **match):
+            buckets = payload.get("buckets")
+            if buckets is None:
+                continue
+            merged_sum += float(payload.get("sum", 0.0))
+            merged_count += int(payload.get("count", 0))
+            if merged_buckets is None:
+                merged_buckets = dict(buckets)
+            elif set(merged_buckets) == set(buckets):
+                for key, value in buckets.items():
+                    merged_buckets[key] += value
+            else:  # pragma: no cover - one family has one bucket layout
+                continue
+        if merged_buckets is None:
+            return None
+        return {"sum": merged_sum, "count": merged_count, "buckets": merged_buckets}
+
+    @staticmethod
+    def histogram_quantile(stats: dict, q: float) -> float:
+        bounds = sorted(
+            float(b) for b in stats["buckets"] if b != "+Inf"
+        )
+        cumulative = [stats["buckets"][_bound_key(stats, b)] for b in bounds]
+        cumulative.append(stats["buckets"].get("+Inf", stats["count"]))
+        return quantile_from_cumulative(tuple(bounds), cumulative, q)
+
+
+def _bound_key(stats: dict, bound: float) -> str:
+    # Bucket keys are the stringified bounds; find the one that parses
+    # back to this value (handles "0.5" vs "0.50" style differences).
+    for key in stats["buckets"]:
+        if key != "+Inf" and float(key) == bound:
+            return key
+    raise KeyError(bound)  # pragma: no cover - keys come from bounds
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+_STATE_BY_LEVEL = dict(enumerate(ALERT_STATES))
+
+
+def _share(part: float, whole: float) -> str:
+    return f"{100.0 * part / whole:.1f}%" if whole else "-"
+
+
+def _slo_section(
+    view: MetricsView, slo_statuses: dict[str, SLOStatus] | None
+) -> str:
+    if slo_statuses:
+        rows = [
+            [
+                status.name,
+                status.state.upper(),
+                fmt(status.burn_fast, 1),
+                fmt(status.burn_slow, 1),
+                f"{int(status.good)}/{int(status.total)}",
+                f"{100 * status.target:g}%",
+            ]
+            for status in slo_statuses.values()
+        ]
+        return format_table(
+            ["slo", "state", "burn fast", "burn slow", "good/total", "target"],
+            rows,
+            title="SLO status",
+        )
+    states = view.by_label("slo.alert_state", "slo")
+    if not states:
+        return "SLO status\n  (no SLO engine data in this source)"
+    rows = []
+    for name, level in states.items():
+        rows.append(
+            [
+                name,
+                _STATE_BY_LEVEL.get(int(level), "?").upper(),
+                _fmt_or_dash(view.value("slo.burn_rate", slo=name, window="fast")),
+                _fmt_or_dash(view.value("slo.burn_rate", slo=name, window="slow")),
+            ]
+        )
+    return format_table(
+        ["slo", "state", "burn fast", "burn slow"], rows, title="SLO status"
+    )
+
+
+def _fmt_or_dash(value: float | None, digits: int = 1) -> str:
+    return fmt(value, digits) if value is not None else "-"
+
+
+def _ladder_section(view: MetricsView) -> str:
+    by_status = view.by_label("serving.reads", "status")
+    if not by_status:
+        return "Read ladder\n  (no serving reads recorded)"
+    total = sum(by_status.values())
+    rows = [
+        [status, int(count), _share(count, total)]
+        for status, count in by_status.items()
+    ]
+    rows.append(["total", int(total), ""])
+    return format_table(["rung", "reads", "share"], rows, title="Read ladder")
+
+
+def _stage_section(view: MetricsView) -> str:
+    stages = view.label_values("serving.stage_seconds", "stage")
+    if not stages:
+        return "Stage timings\n  (no supervised stages recorded)"
+    rows = []
+    for stage in stages:
+        for ok in view.label_values("serving.stage_seconds", "ok"):
+            count = view.total("serving.stage_seconds", stage=stage, ok=ok)
+            if not count:
+                continue
+            stats = view.histogram("serving.stage_seconds", stage=stage, ok=ok)
+            mean_ms = (
+                fmt(1000.0 * stats["sum"] / stats["count"], 2)
+                if stats and stats["count"]
+                else "-"
+            )
+            rows.append([stage, ok, int(count), mean_ms])
+    return format_table(
+        ["stage", "ok", "runs", "mean ms"], rows, title="Stage timings"
+    )
+
+
+def _publish_section(view: MetricsView) -> str:
+    outcomes = view.by_label("serving.rounds", "outcome")
+    if not outcomes:
+        return "Publish outcomes\n  (no publish rounds recorded)"
+    total = sum(outcomes.values())
+    rows = [
+        [outcome, int(count), _share(count, total)]
+        for outcome, count in outcomes.items()
+    ]
+    return format_table(
+        ["outcome", "rounds", "share"], rows, title="Publish outcomes"
+    )
+
+
+def _protection_section(view: MetricsView) -> str:
+    traces = view.by_label("serving.traces", "recorded")
+    latency = view.histogram("serving.read_seconds")
+    lines = ["Protection & freshness"]
+    rows = [
+        ["requests shed", int(view.total("serving.shed"))],
+        [
+            "breaker short-circuited reads",
+            int(view.total("serving.breaker_short_circuit")),
+        ],
+        ["deadline-cancelled rounds", int(view.total("serving.deadline_exceeded"))],
+        ["traces recorded", int(traces.get("true", 0))],
+        ["traces sampled away", int(traces.get("false", 0))],
+    ]
+    version = view.value("serving.snapshot_version")
+    if version is not None:
+        rows.append(["snapshot version", int(version)])
+    age = view.value("serving.snapshot_age_seconds")
+    if age is not None:
+        rows.append(["snapshot age (s)", fmt(age, 1)])
+    if latency is not None and latency["count"]:
+        p50 = MetricsView.histogram_quantile(latency, 0.50)
+        p99 = MetricsView.histogram_quantile(latency, 0.99)
+        rows.append(["read latency p50 (ms)", fmt(1000.0 * p50, 3)])
+        rows.append(["read latency p99 (ms)", fmt(1000.0 * p99, 3)])
+    lines.append(
+        format_table(["signal", "value"], [[k, str(v)] for k, v in rows])
+    )
+    return "\n".join(lines)
+
+
+def render_dashboard(
+    view: MetricsView,
+    slo_statuses: dict[str, SLOStatus] | None = None,
+    title: str | None = None,
+) -> str:
+    """The whole ops screen, section by section."""
+    sections = [
+        _slo_section(view, slo_statuses),
+        _ladder_section(view),
+        _publish_section(view),
+        _stage_section(view),
+        _protection_section(view),
+    ]
+    header = title or "Serving ops dashboard"
+    return header + "\n\n" + "\n\n".join(sections)
+
+
+def dashboard_file(path: str | Path) -> str:
+    """Load + render in one call (the ``obs top`` entry point)."""
+    return render_dashboard(
+        MetricsView.from_file(path), title=f"Serving ops dashboard: {path}"
+    )

@@ -18,9 +18,17 @@ def _prom_name(name: str) -> str:
     return name.replace(".", "_").replace("-", "_")
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: backslash first,
+    then double quotes and line feeds."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
     parts = [
-        f'{key}="{value}"'.replace("\\", "\\\\")
+        f'{_prom_name(key)}="{_escape_label_value(value)}"'
         for key, value in labels
     ]
     if extra:

@@ -217,6 +217,11 @@ class FlightRecorder:
         """The in-memory ring of round snapshots (oldest first)."""
         return [e for e in self._ring if e.get("type") == "round"]
 
+    @property
+    def events(self) -> list[dict]:
+        """The in-memory ring's free-form events (oldest first)."""
+        return [e for e in self._ring if e.get("type") == "event"]
+
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------

@@ -49,6 +49,40 @@ def _label_key(labels: dict[str, object]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def quantile_from_cumulative(
+    bounds: tuple[float, ...], cumulative: list[int] | tuple[int, ...], q: float
+) -> float:
+    """Interpolated quantile from fixed-bucket cumulative counts.
+
+    ``cumulative`` has one entry per bound plus the ``+Inf`` overflow
+    slot (the shape :meth:`Histogram.cumulative_counts` returns), and
+    may equally be a *windowed delta* between two such snapshots — the
+    SLO engine computes sliding-window percentiles exactly that way.
+
+    Follows ``histogram_quantile`` semantics: linear interpolation
+    inside the bucket the rank lands in, a lower edge of 0 for the
+    first bucket of a non-negative histogram, and the highest finite
+    bound for ranks in the overflow bucket. Returns ``nan`` when the
+    window holds no observations.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigError(f"quantile must be in [0, 1], got {q}")
+    total = cumulative[-1]
+    if total <= 0:
+        return float("nan")
+    rank = q * total
+    for i, bound in enumerate(bounds):
+        if cumulative[i] >= rank:
+            below = cumulative[i - 1] if i > 0 else 0
+            in_bucket = cumulative[i] - below
+            if in_bucket <= 0:
+                return bound
+            lower = bounds[i - 1] if i > 0 else min(0.0, bound)
+            return lower + (bound - lower) * (rank - below) / in_bucket
+    # The rank lands past every finite bound: all we know is "> max".
+    return bounds[-1]
+
+
 class Counter:
     """A monotonically increasing float total."""
 
@@ -109,6 +143,17 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Interpolated quantile estimate from the fixed buckets.
+
+        Accuracy is bounded by bucket resolution (like Prometheus's
+        ``histogram_quantile``); pick bucket bounds near the latency
+        objectives you care about. ``nan`` when nothing was observed.
+        """
+        return quantile_from_cumulative(
+            self.bounds, self.cumulative_counts(), q
+        )
 
     def cumulative_counts(self) -> list[int]:
         """Prometheus-style cumulative counts, one per bound plus +Inf."""

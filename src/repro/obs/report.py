@@ -90,12 +90,54 @@ def load_events(path: str | Path) -> list[dict]:
     return events
 
 
+#: Required fields per structured event kind. ``obs verify`` rejects a
+#: recording containing an event of an unknown kind or one missing a
+#: required field — the schema contract the trace/SLO consumers
+#: (``obs top``, the chaos suite, downstream tooling) rely on. New
+#: emitters must register here; docs/OBSERVABILITY.md documents each.
+EVENT_SCHEMAS: dict[str, tuple[str, ...]] = {
+    "read_trace": (
+        "trace_id", "rung", "statuses", "roads", "latency_s",
+        "snapshot_version", "age_s", "breaker_open", "sampled",
+    ),
+    "slo_alert": (
+        "slo", "previous", "state", "burn_fast", "burn_slow", "target",
+    ),
+    "publish_rejected": ("version", "reason"),
+    "round_not_published": ("round", "interval", "outcome"),
+    "snapshot_corrupt": ("file", "reason"),
+    "snapshot_corruption_injected": ("file",),
+}
+
+
 def verify_recording(path: str | Path) -> str:
-    """Validate a recording; returns a one-line summary, raises on rot."""
+    """Validate a recording; returns a one-line summary, raises on rot.
+
+    Beyond well-formed JSONL, every ``event`` line is checked against
+    :data:`EVENT_SCHEMAS`: an unknown kind, a missing kind, or a kind
+    missing one of its required fields is a hard error.
+    """
     events = load_events(path)
     by_type: dict[str, int] = {}
-    for event in events:
+    for lineno, event in enumerate(events, start=1):
         by_type[event["type"]] = by_type.get(event["type"], 0) + 1
+        if event["type"] != "event":
+            continue
+        kind = event.get("kind")
+        if kind is None:
+            raise DataError(f"{path}: event #{lineno} has no 'kind'")
+        schema = EVENT_SCHEMAS.get(kind)
+        if schema is None:
+            raise DataError(
+                f"{path}: event #{lineno} has unknown kind {kind!r} "
+                f"(known: {sorted(EVENT_SCHEMAS)})"
+            )
+        missing = [field for field in schema if field not in event]
+        if missing:
+            raise DataError(
+                f"{path}: {kind!r} event #{lineno} is missing required "
+                f"fields {missing}"
+            )
     if by_type.get("span", 0) == 0 and by_type.get("round", 0) == 0:
         raise DataError(
             f"recording {path} has no span or round events "

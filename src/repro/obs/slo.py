@@ -1,0 +1,383 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An SLO here is the standard SRE object: a *service level indicator*
+(the fraction of events that were good), a *target* (the fraction that
+must be good over time), and an *error budget* (``1 - target``) that
+degraded service spends. Alerting is on **burn rate** — how many times
+faster than sustainable the budget is being spent::
+
+    burn = bad_fraction / (1 - target)
+
+A burn of 1 spends exactly the budget; a burn of 100 on a 99% target
+means every event is bad. Burn is evaluated over two sliding windows
+per SLO: a *fast* window with a high threshold that pages on sudden
+total breakage within minutes, and a *slow* window with a low threshold
+that warns on sustained slow bleed. The alert state is the worst
+verdict of the two, so a page degrades to a warning while the slow
+window drains and then to ok — the ``ok → page → warning → ok`` arc
+the chaos suite asserts under a sustained outage.
+
+The :class:`SLOEngine` is driven entirely off a
+:class:`~repro.obs.registry.MetricsRegistry` and the injectable
+:mod:`repro.core.clock`: call :meth:`SLOEngine.tick` once per interval
+(the CLI serve loop does) and it samples each SLI's cumulative
+counters, computes windowed burn, exports ``slo.alert_state`` /
+``slo.burn_rate`` gauges, and emits one ``slo_alert`` event per state
+transition. Nothing here imports the serving layer; the default
+serving SLOs are bound to it only by metric names.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.clock import Clock, get_clock
+from repro.core.errors import ConfigError
+from repro.obs.recorder import get_recorder
+from repro.obs.registry import Histogram, MetricsRegistry
+
+#: Alert states, from best to worst.
+OK = "ok"
+WARNING = "warning"
+PAGE = "page"
+
+ALERT_STATES = (OK, WARNING, PAGE)
+
+#: Numeric severity exported through the ``slo.alert_state`` gauge.
+ALERT_LEVEL = {OK: 0, WARNING: 1, PAGE: 2}
+
+#: The flight-recorder event kind an alert transition is emitted as.
+SLO_ALERT_EVENT = "slo_alert"
+
+
+@dataclass(frozen=True, slots=True)
+class BurnWindow:
+    """One sliding burn-rate window and the state it asserts.
+
+    ``min_events`` guards against alerting on statistical noise: a
+    window whose total event delta is below it reports a burn of 0.
+    """
+
+    window_s: float
+    threshold: float
+    state: str = PAGE
+    min_events: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ConfigError("window_s must be positive")
+        if self.threshold <= 0:
+            raise ConfigError("burn threshold must be positive")
+        if self.state not in (WARNING, PAGE):
+            raise ConfigError(
+                f"a burn window asserts 'warning' or 'page', not {self.state!r}"
+            )
+        if self.min_events < 1:
+            raise ConfigError("min_events must be >= 1")
+
+
+class CounterRatioSLI:
+    """good/total from one counter family, split by a label.
+
+    ``CounterRatioSLI("serving.reads", "status", good=("fresh",
+    "stale"))`` reads every labeled series of the family and counts a
+    series toward ``good`` when its ``status`` label is listed. With
+    ``total=None`` every series counts toward the denominator.
+    """
+
+    def __init__(
+        self,
+        family: str,
+        label: str,
+        good: tuple[str, ...],
+        total: tuple[str, ...] | None = None,
+    ) -> None:
+        if not good:
+            raise ConfigError("a ratio SLI needs at least one good label value")
+        self.family = family
+        self.label = label
+        self.good = tuple(good)
+        self.total = tuple(total) if total is not None else None
+
+    def sample(self, registry: MetricsRegistry) -> tuple[float, float]:
+        good = total = 0.0
+        for labels, series in registry.series(self.family):
+            if isinstance(series, Histogram):
+                continue
+            value = series.value
+            label_value = dict(labels).get(self.label)
+            if self.total is None or label_value in self.total:
+                total += value
+            if label_value in self.good:
+                good += value
+        return good, total
+
+
+class HistogramThresholdSLI:
+    """good = observations at or below a threshold, from a histogram.
+
+    The threshold should sit on (or near) a bucket bound — accuracy is
+    bucket-resolution-bounded, exactly like ``histogram_quantile``. All
+    labeled series of the family are pooled.
+    """
+
+    def __init__(self, family: str, threshold: float) -> None:
+        if threshold <= 0:
+            raise ConfigError("threshold must be positive")
+        self.family = family
+        self.threshold = threshold
+
+    def sample(self, registry: MetricsRegistry) -> tuple[float, float]:
+        good = total = 0.0
+        for _labels, series in registry.series(self.family):
+            if not isinstance(series, Histogram):
+                continue
+            idx = bisect.bisect_right(series.bounds, self.threshold) - 1
+            if idx >= 0:
+                good += series.cumulative_counts()[idx]
+            total += series.count
+        return good, total
+
+
+@dataclass(frozen=True, slots=True)
+class SLO:
+    """One declarative objective: an SLI, a target, two burn windows."""
+
+    name: str
+    sli: object
+    target: float
+    fast: BurnWindow
+    slow: BurnWindow
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("an SLO needs a name")
+        if not 0.0 < self.target < 1.0:
+            raise ConfigError(
+                f"target must be in (0, 1), got {self.target} "
+                f"(an SLO of 1.0 has no error budget to burn)"
+            )
+        if self.fast.window_s > self.slow.window_s:
+            raise ConfigError("the fast window must not outlast the slow window")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the bad fraction the target tolerates."""
+        return 1.0 - self.target
+
+
+@dataclass(slots=True)
+class SLOStatus:
+    """One SLO's most recent evaluation — what ``obs top`` renders."""
+
+    name: str
+    state: str = OK
+    burn_fast: float = 0.0
+    burn_slow: float = 0.0
+    good: float = 0.0
+    total: float = 0.0
+    target: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "burn_fast": self.burn_fast,
+            "burn_slow": self.burn_slow,
+            "good": self.good,
+            "total": self.total,
+            "target": self.target,
+        }
+
+
+class _Track:
+    """Internal per-SLO state: the sample deque and the alert state."""
+
+    __slots__ = ("samples", "status")
+
+    def __init__(self, slo: SLO) -> None:
+        # (t, cumulative good, cumulative total), oldest first.
+        self.samples: deque[tuple[float, float, float]] = deque()
+        self.status = SLOStatus(name=slo.name, target=slo.target)
+
+
+class SLOEngine:
+    """Evaluates a set of SLOs against a registry, one tick at a time.
+
+    Ticks sample each SLI's *cumulative* counts; burn over a window is
+    computed from the delta between the newest sample and the newest
+    sample at or before the window's horizon, so the engine never needs
+    the registry to reset anything. Tick it once per serving interval.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        slos: tuple[SLO, ...] | list[SLO],
+        clock: Clock | None = None,
+    ) -> None:
+        if not slos:
+            raise ConfigError("an SLO engine needs at least one SLO")
+        names = [slo.name for slo in slos]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate SLO names: {names}")
+        self._registry = registry
+        self._slos = tuple(slos)
+        self._clock = clock
+        self._tracks = {slo.name: _Track(slo) for slo in self._slos}
+
+    @property
+    def slos(self) -> tuple[SLO, ...]:
+        return self._slos
+
+    def state(self, name: str) -> str:
+        return self._tracks[name].status.state
+
+    def statuses(self) -> dict[str, SLOStatus]:
+        return {name: track.status for name, track in self._tracks.items()}
+
+    def worst_state(self) -> str:
+        return max(
+            (t.status.state for t in self._tracks.values()),
+            key=ALERT_LEVEL.__getitem__,
+        )
+
+    def _now(self) -> float:
+        return (self._clock or get_clock()).monotonic()
+
+    def tick(self) -> dict[str, str]:
+        """Sample every SLI, update alert states, export, return them."""
+        recorder = get_recorder()
+        now = self._now()
+        out: dict[str, str] = {}
+        for slo in self._slos:
+            track = self._tracks[slo.name]
+            good, total = slo.sli.sample(self._registry)
+            track.samples.append((now, good, total))
+            self._prune(track, now - slo.slow.window_s)
+            burn_fast = self._burn(track, now, slo, slo.fast)
+            burn_slow = self._burn(track, now, slo, slo.slow)
+            state = OK
+            if burn_slow >= slo.slow.threshold:
+                state = slo.slow.state
+            if burn_fast >= slo.fast.threshold and (
+                ALERT_LEVEL[slo.fast.state] > ALERT_LEVEL[state]
+            ):
+                state = slo.fast.state
+            previous = track.status.state
+            track.status.state = state
+            track.status.burn_fast = burn_fast
+            track.status.burn_slow = burn_slow
+            track.status.good = good
+            track.status.total = total
+            recorder.gauge("slo.alert_state", ALERT_LEVEL[state], slo=slo.name)
+            recorder.gauge("slo.burn_rate", burn_fast, slo=slo.name, window="fast")
+            recorder.gauge("slo.burn_rate", burn_slow, slo=slo.name, window="slow")
+            if state != previous:
+                recorder.count("slo.transitions", slo=slo.name, to=state)
+                recorder.event(
+                    SLO_ALERT_EVENT,
+                    slo=slo.name,
+                    previous=previous,
+                    state=state,
+                    burn_fast=burn_fast,
+                    burn_slow=burn_slow,
+                    target=slo.target,
+                    fast_window_s=slo.fast.window_s,
+                    slow_window_s=slo.slow.window_s,
+                )
+            out[slo.name] = state
+        return out
+
+    @staticmethod
+    def _prune(track: _Track, horizon: float) -> None:
+        # Keep the newest sample at or before the horizon: it is the
+        # baseline the slow window's delta is measured against.
+        samples = track.samples
+        while len(samples) >= 2 and samples[1][0] <= horizon:
+            samples.popleft()
+
+    @staticmethod
+    def _burn(track: _Track, now: float, slo: SLO, window: BurnWindow) -> float:
+        samples = track.samples
+        if len(samples) < 2:
+            return 0.0
+        horizon = now - window.window_s
+        baseline = samples[0]
+        for sample in samples:
+            if sample[0] > horizon:
+                break
+            baseline = sample
+        _t, good0, total0 = baseline
+        _t, good1, total1 = samples[-1]
+        events = total1 - total0
+        if events < window.min_events:
+            return 0.0
+        bad_fraction = 1.0 - (good1 - good0) / events
+        return bad_fraction / slo.budget
+
+
+# ----------------------------------------------------------------------
+# The serving layer's default objectives
+# ----------------------------------------------------------------------
+def default_serving_slos(
+    interval_s: float,
+    soft_after_s: float | None = None,
+    latency_threshold_s: float = 0.025,
+) -> tuple[SLO, ...]:
+    """The four objectives the serving read path is operated against.
+
+    ``read-availability`` counts a read as good only when it was served
+    *live from a snapshot* (fresh or stale). This is deliberately
+    stricter than the benchmark's "answered" fraction: the baseline
+    fallback keeps readers answered, but it spends error budget — a
+    sustained pipeline outage must page even though nobody got an
+    exception. ``soft_after_s`` defaults to the serving stack's default
+    staleness relationship (1.5 intervals) and must match the store's
+    :class:`~repro.serving.store.StalenessPolicy` for the freshness SLI
+    to sit on a bucket bound.
+    """
+    if interval_s <= 0:
+        raise ConfigError("interval_s must be positive")
+    soft = soft_after_s if soft_after_s is not None else 1.5 * interval_s
+    fast = BurnWindow(window_s=2 * interval_s, threshold=10.0, state=PAGE)
+    slow = BurnWindow(window_s=4 * interval_s, threshold=2.0, state=WARNING)
+    return (
+        SLO(
+            name="read-availability",
+            sli=CounterRatioSLI(
+                "serving.reads", "status", good=("fresh", "stale")
+            ),
+            target=0.99,
+            fast=fast,
+            slow=slow,
+            description="reads served live from a snapshot (fresh or stale)",
+        ),
+        SLO(
+            name="read-freshness",
+            sli=HistogramThresholdSLI("serving.freshness_seconds", soft),
+            target=0.99,
+            fast=fast,
+            slow=slow,
+            description="reads answered inside the soft staleness window",
+        ),
+        SLO(
+            name="read-latency",
+            sli=HistogramThresholdSLI("serving.read_seconds", latency_threshold_s),
+            target=0.999,
+            fast=fast,
+            slow=slow,
+            description=f"reads under {latency_threshold_s * 1000:g} ms",
+        ),
+        SLO(
+            name="degraded-reads",
+            sli=CounterRatioSLI("serving.reads", "status", good=("fresh",)),
+            target=0.90,
+            fast=fast,
+            slow=slow,
+            description="reads needing no degradation at all",
+        ),
+    )

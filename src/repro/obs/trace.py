@@ -1,0 +1,117 @@
+"""Request traces for the serving read path, with tail sampling.
+
+Every :meth:`~repro.serving.store.EstimateStore.get_many` call is one
+*read*: a batch of roads answered from a single consistent snapshot.
+When a flight recorder is installed, each read gets a trace — trace id,
+the worst ladder rung it touched (``fresh``/``stale``/``baseline``/
+``shed``/``unavailable``), the snapshot version and age it was served
+from, admission and breaker state, and the read's latency — emitted as
+one structured ``read_trace`` event.
+
+Recording every healthy read of a store doing thousands of reads per
+interval would drown the black box in the boring case, so the tracer
+**tail-samples**: a read that touched any degraded rung (anything worse
+than ``fresh``), was short-circuited by the breaker, or was shed is
+*always* recorded; fully healthy reads are recorded one-in-
+``sample_every``. Sampling is deterministic (a shared counter, not a
+RNG) so `recorded + skipped` always adds up to the number of reads —
+asserted by the concurrency suite — and the accounting is exported as
+``serving.traces{recorded=...}``.
+
+The tracer allocates ids and sampling slots from :mod:`itertools`
+counters, which are atomic under the GIL: concurrent readers never tear
+a trace or share an id.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.errors import ConfigError
+
+#: The flight-recorder event kind a read trace is emitted as.
+READ_TRACE_EVENT = "read_trace"
+
+#: Ladder rungs from best to worst — the trace records the worst rung
+#: any road of the read landed on.
+RUNG_ORDER = ("fresh", "stale", "baseline", "shed", "unavailable")
+
+_RUNG_RANK = {rung: rank for rank, rung in enumerate(RUNG_ORDER)}
+
+
+def worst_rung(statuses) -> str:
+    """The worst ladder rung among ``statuses`` (an iterable)."""
+    worst = "fresh"
+    rank = 0
+    for status in statuses:
+        status_rank = _RUNG_RANK.get(status, len(RUNG_ORDER))
+        if status_rank > rank:
+            worst, rank = status, status_rank
+    return worst
+
+
+class ReadTracer:
+    """Tail-sampling trace policy for one store's reads.
+
+    ``sample_every=N`` records every Nth fully-healthy read (1 records
+    them all); degraded reads are always recorded regardless. The
+    tracer is intentionally free of store internals: the store hands it
+    the facts of one finished read and it decides whether an event is
+    emitted.
+    """
+
+    def __init__(self, sample_every: int = 16) -> None:
+        if sample_every < 1:
+            raise ConfigError(
+                f"sample_every must be >= 1, got {sample_every}"
+            )
+        self._sample_every = sample_every
+        self._ids = itertools.count(1)
+        self._healthy_slots = itertools.count(0)
+
+    @property
+    def sample_every(self) -> int:
+        return self._sample_every
+
+    def record_read(
+        self,
+        recorder,
+        status_counts: dict[str, int],
+        latency_s: float,
+        snapshot_version: int | None,
+        age_s: float | None,
+        breaker_open: bool = False,
+        inflight: int = 0,
+        capacity: int = 0,
+    ) -> int | None:
+        """Trace one finished read; returns the trace id if recorded.
+
+        Every read consumes a trace id (so ids double as a read
+        sequence number); only sampled reads cost an event.
+        """
+        trace_id = next(self._ids)
+        rung = worst_rung(status_counts)
+        degraded = rung != "fresh" or breaker_open
+        if degraded:
+            sampled = "tail"
+        elif next(self._healthy_slots) % self._sample_every == 0:
+            sampled = "interval"
+        else:
+            recorder.count("serving.traces", recorded="false")
+            return None
+        recorder.count("serving.traces", recorded="true")
+        recorder.event(
+            READ_TRACE_EVENT,
+            trace_id=trace_id,
+            rung=rung,
+            statuses=dict(status_counts),
+            roads=sum(status_counts.values()),
+            latency_s=latency_s,
+            snapshot_version=snapshot_version,
+            age_s=age_s,
+            breaker_open=breaker_open,
+            inflight=inflight,
+            capacity=capacity,
+            sampled=sampled,
+        )
+        return trace_id

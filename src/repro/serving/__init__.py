@@ -34,6 +34,8 @@ from repro.serving.snapshot import (
     SNAPSHOT_FORMAT,
     EstimateSnapshot,
     RecoveryResult,
+    RoundProvenance,
+    StageTiming,
     load_snapshot,
     recover_latest,
     save_snapshot,
@@ -48,6 +50,8 @@ from repro.serving.store import (
     UNAVAILABLE,
     AdmissionController,
     EstimateStore,
+    ReadExplanation,
+    RungDecision,
     ServedEstimate,
     StalenessPolicy,
 )
@@ -75,9 +79,13 @@ __all__ = [
     "EstimateSnapshot",
     "EstimateStore",
     "PublishReport",
+    "ReadExplanation",
     "RecoveryResult",
     "RoundDeadlineExceeded",
+    "RoundProvenance",
+    "RungDecision",
     "ServedEstimate",
+    "StageTiming",
     "SnapshotPublisher",
     "StageFailed",
     "StagePolicy",

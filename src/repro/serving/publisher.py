@@ -33,7 +33,14 @@ from repro.core.pipeline import SpeedEstimationSystem
 from repro.crowd.platform import CrowdsourcingPlatform, SpeedQueryTask
 from repro.faults.infra import InfraInjector, PipelineOutageError, PublisherCrashError
 from repro.obs import get_recorder
-from repro.serving.snapshot import EstimateSnapshot, RecoveryResult, recover_latest, save_snapshot
+from repro.serving.snapshot import (
+    EstimateSnapshot,
+    RecoveryResult,
+    RoundProvenance,
+    StageTiming,
+    recover_latest,
+    save_snapshot,
+)
 from repro.serving.store import EstimateStore
 from repro.serving.watchdog import StagePolicy, Watchdog
 from repro.speed.uncertainty import SpeedBand, UncertaintyModel
@@ -276,6 +283,25 @@ class SnapshotPublisher:
 
         version = self._next_version
         self._next_version += 1
+        provenance = RoundProvenance(
+            round_index=self._round_index,
+            seed_budget=len(self._system.seeds),
+            degraded=result.report_degraded or bool(result.substituted),
+            substituted=len(result.substituted),
+            stages=tuple(
+                StageTiming(
+                    stage=stage,
+                    seconds=entry["seconds"],
+                    attempts=entry["attempts"],
+                    ok=entry["ok"],
+                )
+                for stage, entry in sorted(
+                    self._watchdog.stage_report().items()
+                )
+            ),
+            deadline_s=self._watchdog.round_deadline_s,
+            elapsed_s=self._watchdog.round_elapsed_s(),
+        )
         snapshot = EstimateSnapshot.build(
             version=version,
             interval=interval,
@@ -283,6 +309,7 @@ class SnapshotPublisher:
             bands=result.bands,
             substituted=result.substituted,
             degraded=result.report_degraded,
+            provenance=provenance,
         )
 
         persisted: Path | None = None

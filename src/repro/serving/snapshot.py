@@ -29,11 +29,98 @@ from repro.core.types import SpeedEstimate, Trend
 from repro.obs import get_recorder
 from repro.speed.uncertainty import SpeedBand
 
-#: On-disk snapshot format version.
-SNAPSHOT_FORMAT = 1
+#: On-disk snapshot format version. Version 2 added the round
+#: provenance block (producing round, seed budget, stage timings).
+SNAPSHOT_FORMAT = 2
 
 _FILE_PREFIX = "snapshot-v"
 _FILE_SUFFIX = ".json"
+
+
+@dataclass(frozen=True, slots=True)
+class StageTiming:
+    """One supervised stage's outcome inside the producing round."""
+
+    stage: str
+    seconds: float
+    attempts: int
+    ok: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "seconds": self.seconds,
+            "attempts": self.attempts,
+            "ok": self.ok,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StageTiming":
+        return cls(
+            stage=str(payload["stage"]),
+            seconds=float(payload["seconds"]),
+            attempts=int(payload["attempts"]),
+            ok=bool(payload["ok"]),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RoundProvenance:
+    """Why this snapshot says what it says: the round that produced it.
+
+    Carried *inside* the snapshot (and therefore inside its checksum),
+    so ``store.explain(road)`` can answer "which round produced this
+    number, on what seed budget, and how did its stages run" without
+    consulting anything but the served snapshot itself.
+    """
+
+    round_index: int
+    seed_budget: int
+    degraded: bool
+    substituted: int
+    stages: tuple[StageTiming, ...] = ()
+    deadline_s: float | None = None
+    elapsed_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.round_index < 0:
+            raise ServingError("provenance round_index must be >= 0")
+        object.__setattr__(self, "stages", tuple(self.stages))
+
+    def stage(self, name: str) -> StageTiming | None:
+        for timing in self.stages:
+            if timing.stage == name:
+                return timing
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "round_index": self.round_index,
+            "seed_budget": self.seed_budget,
+            "degraded": self.degraded,
+            "substituted": self.substituted,
+            "stages": [s.to_dict() for s in self.stages],
+            "deadline_s": self.deadline_s,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RoundProvenance":
+        return cls(
+            round_index=int(payload["round_index"]),
+            seed_budget=int(payload["seed_budget"]),
+            degraded=bool(payload["degraded"]),
+            substituted=int(payload["substituted"]),
+            stages=tuple(
+                StageTiming.from_dict(s) for s in payload.get("stages", ())
+            ),
+            deadline_s=(
+                float(payload["deadline_s"])
+                if payload.get("deadline_s") is not None
+                else None
+            ),
+            elapsed_s=float(payload.get("elapsed_s", 0.0)),
+        )
 
 
 def _canonical(body: dict) -> str:
@@ -55,6 +142,7 @@ class EstimateSnapshot:
     degraded: bool
     substituted: Mapping[int, str]
     checksum: str
+    provenance: RoundProvenance | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "estimates", MappingProxyType(dict(self.estimates)))
@@ -70,6 +158,7 @@ class EstimateSnapshot:
         bands: Mapping[int, SpeedBand],
         substituted: Mapping[int, str] | None = None,
         degraded: bool = False,
+        provenance: RoundProvenance | None = None,
     ) -> "EstimateSnapshot":
         """Assemble a snapshot, computing its content checksum."""
         if version < 0:
@@ -91,6 +180,7 @@ class EstimateSnapshot:
             degraded=bool(degraded) or bool(substituted),
             substituted=substituted,
             checksum="",
+            provenance=provenance,
         )
         object.__setattr__(snapshot, "checksum", _checksum(snapshot._body()))
         return snapshot
@@ -123,6 +213,11 @@ class EstimateSnapshot:
             "interval": self.interval,
             "degraded": self.degraded,
             "substituted": {str(r): v for r, v in self.substituted.items()},
+            "provenance": (
+                self.provenance.to_dict()
+                if self.provenance is not None
+                else None
+            ),
             "roads": roads,
         }
 
@@ -191,6 +286,11 @@ class EstimateSnapshot:
                 degraded=bool(body["degraded"]),
                 substituted={int(r): str(v) for r, v in body["substituted"].items()},
                 checksum=checksum,
+                provenance=(
+                    RoundProvenance.from_dict(body["provenance"])
+                    if body.get("provenance") is not None
+                    else None
+                ),
             )
         except (ValueError, KeyError, TypeError) as exc:
             raise SnapshotIntegrityError(

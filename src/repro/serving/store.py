@@ -35,14 +35,15 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
-from repro.core.breaker import CircuitBreaker
+from repro.core.breaker import BreakerState, CircuitBreaker
 from repro.core.clock import Clock, get_clock
 from repro.core.errors import ConfigError, ServingError
 from repro.core.types import Trend
 from repro.history.store import HistoricalSpeedStore
 from repro.obs import get_recorder
+from repro.obs.trace import RUNG_ORDER, ReadTracer
 from repro.roadnet.network import RoadNetwork
-from repro.serving.snapshot import EstimateSnapshot
+from repro.serving.snapshot import EstimateSnapshot, RoundProvenance
 from repro.speed.uncertainty import z_for_confidence
 
 #: Read statuses, from best to worst.
@@ -109,6 +110,71 @@ class ServedEstimate:
         return self.speed_kmh is not None
 
 
+@dataclass(frozen=True, slots=True)
+class RungDecision:
+    """One ladder rung's verdict inside an :class:`ReadExplanation`."""
+
+    rung: str
+    taken: bool
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {"rung": self.rung, "taken": self.taken, "reason": self.reason}
+
+
+@dataclass(frozen=True, slots=True)
+class ReadExplanation:
+    """Why one road's read answered the way it did.
+
+    The full provenance chain for a single road: the rung the read
+    resolved at, every rung the ladder considered (with the reason it
+    was or wasn't taken), the snapshot version and age it was judged
+    against, and — when the served snapshot carries one — the
+    :class:`~repro.serving.snapshot.RoundProvenance` of the round that
+    produced it, stage timings included. Built by
+    :meth:`EstimateStore.explain` without touching admission or breaker
+    state, so explaining a struggling store never makes it worse.
+    """
+
+    road_id: int
+    status: str
+    served: ServedEstimate
+    chain: tuple[RungDecision, ...]
+    snapshot_version: int | None
+    snapshot_age_s: float | None
+    staleness: StalenessPolicy
+    breaker_open: bool
+    provenance: RoundProvenance | None
+
+    def decision(self, rung: str) -> RungDecision | None:
+        for entry in self.chain:
+            if entry.rung == rung:
+                return entry
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "road_id": self.road_id,
+            "status": self.status,
+            "speed_kmh": self.served.speed_kmh,
+            "band_kmh": (
+                [self.served.lower_kmh, self.served.upper_kmh]
+                if self.served.answered
+                else None
+            ),
+            "degraded": self.served.degraded,
+            "snapshot_version": self.snapshot_version,
+            "snapshot_age_s": self.snapshot_age_s,
+            "soft_after_s": self.staleness.soft_after_s,
+            "hard_after_s": self.staleness.hard_after_s,
+            "breaker_open": self.breaker_open,
+            "chain": [entry.to_dict() for entry in self.chain],
+            "provenance": (
+                self.provenance.to_dict() if self.provenance is not None else None
+            ),
+        }
+
+
 class AdmissionController:
     """A bounded in-flight gate: admit up to ``capacity``, shed the rest.
 
@@ -159,6 +225,7 @@ class EstimateStore:
         admission: AdmissionController | None = None,
         breaker: CircuitBreaker | None = None,
         confidence: float = 0.90,
+        tracer: ReadTracer | None = None,
     ) -> None:
         self._history = history
         self._network = network
@@ -166,6 +233,14 @@ class EstimateStore:
         self._staleness = staleness or StalenessPolicy()
         self._admission = admission or AdmissionController()
         self._breaker = breaker
+        self._tracer = tracer or ReadTracer()
+        # Freshness buckets aligned with the staleness ladder, so the
+        # histogram directly answers "what fraction of reads were served
+        # inside the soft window" — the freshness SLI.
+        soft, hard = self._staleness.soft_after_s, self._staleness.hard_after_s
+        self._freshness_buckets = tuple(
+            sorted({soft / 4, soft / 2, soft, (soft + hard) / 2, hard, 2 * hard})
+        )
         self._z = z_for_confidence(confidence)
         self._publish_lock = threading.Lock()
         # The one mutable cell readers touch: (snapshot, received_at).
@@ -250,15 +325,34 @@ class EstimateStore:
         return self.get_many([road_id])[road_id]
 
     def get_many(self, road_ids: list[int] | tuple[int, ...]) -> dict[int, ServedEstimate]:
-        """Several roads, all answered from one consistent snapshot."""
+        """Several roads, all answered from one consistent snapshot.
+
+        With a flight recorder installed every call is one traced read
+        (see :mod:`repro.obs.trace`); with the default
+        :class:`~repro.obs.recorder.NullRecorder` the read path is
+        exactly the untraced hot path.
+        """
         recorder = get_recorder()
+        if not recorder.enabled:
+            if not self._admission.try_acquire():
+                return {r: ServedEstimate(road_id=r, status=SHED) for r in road_ids}
+            try:
+                return self._read(road_ids)[0]
+            finally:
+                self._admission.release()
+        start = self._now()
         if not self._admission.try_acquire():
             recorder.count("serving.shed", reason="capacity", value=len(road_ids))
-            return {r: ServedEstimate(road_id=r, status=SHED) for r in road_ids}
-        try:
-            return self._read(road_ids)
-        finally:
-            self._admission.release()
+            recorder.count("serving.reads", status=SHED, value=len(road_ids))
+            out = {r: ServedEstimate(road_id=r, status=SHED) for r in road_ids}
+            counts = {SHED: len(road_ids)}
+        else:
+            try:
+                out, counts = self._read(road_ids)
+            finally:
+                self._admission.release()
+        self._trace(recorder, counts, self._now() - start)
+        return out
 
     def query_bbox(
         self, min_x: float, min_y: float, max_x: float, max_y: float
@@ -276,13 +370,141 @@ class EstimateStore:
         ]
         return self.get_many(roads)
 
+    def explain(self, road_id: int) -> ReadExplanation:
+        """The complete provenance chain for one road's read.
+
+        Answers "why did this road get this number": the rung the
+        ladder resolved at, a verdict for *every* rung (unavailable
+        included), the snapshot version/age judged against, and the
+        producing round's provenance when the snapshot carries one.
+        Diagnostics only — bypasses admission and never mutates breaker
+        state, so explaining a struggling store cannot make it worse.
+        Never raises.
+        """
+        current = self._current
+        now = self._now()
+        breaker_open = self._breaker_open()
+        if breaker_open:
+            served = self._baseline_or_unavailable(road_id, current, now)
+        else:
+            try:
+                served = self._serve(road_id, current, now)
+            except Exception:  # noqa: BLE001 - same invariant as reads
+                served = self._baseline_or_unavailable(road_id, current, now)
+        snapshot = current[0] if current is not None else None
+        age = max(0.0, now - current[1]) if current is not None else None
+        get_recorder().count("serving.explains", status=served.status)
+        return ReadExplanation(
+            road_id=road_id,
+            status=served.status,
+            served=served,
+            chain=self._explain_chain(road_id, served, snapshot, age, breaker_open),
+            snapshot_version=snapshot.version if snapshot is not None else None,
+            snapshot_age_s=age,
+            staleness=self._staleness,
+            breaker_open=breaker_open,
+            provenance=snapshot.provenance if snapshot is not None else None,
+        )
+
+    def _explain_chain(
+        self,
+        road: int,
+        served: ServedEstimate,
+        snapshot: EstimateSnapshot | None,
+        age: float | None,
+        breaker_open: bool,
+    ) -> tuple[RungDecision, ...]:
+        """One verdict per ladder rung, in :data:`~repro.obs.trace.RUNG_ORDER`."""
+        soft = self._staleness.soft_after_s
+        hard = self._staleness.hard_after_s
+        decisions: dict[str, RungDecision] = {}
+        decisions[SHED] = RungDecision(
+            rung=SHED,
+            taken=False,
+            reason=(
+                f"explain bypasses admission "
+                f"({self._admission.inflight}/{self._admission.capacity} in flight)"
+            ),
+        )
+        if breaker_open:
+            snapshot_reason: str | None = (
+                "breaker open: snapshot path short-circuited"
+            )
+        elif snapshot is None:
+            snapshot_reason = "no snapshot has ever been published"
+        elif road not in snapshot.estimates:
+            snapshot_reason = f"road absent from snapshot v{snapshot.version}"
+        elif age is not None and age > hard:
+            snapshot_reason = (
+                f"snapshot age {age:.0f}s past hard threshold {hard:.0f}s"
+            )
+        else:
+            snapshot_reason = None  # the snapshot path answered
+        if snapshot_reason is not None:
+            decisions[FRESH] = RungDecision(FRESH, False, snapshot_reason)
+            decisions[STALE] = RungDecision(STALE, False, snapshot_reason)
+        elif served.status == FRESH:
+            decisions[FRESH] = RungDecision(
+                FRESH,
+                True,
+                f"snapshot v{snapshot.version} age {age:.0f}s within "
+                f"soft threshold {soft:.0f}s",
+            )
+            decisions[STALE] = RungDecision(
+                STALE, False, "not needed: fresh rung answered"
+            )
+        else:
+            decisions[FRESH] = RungDecision(
+                FRESH,
+                False,
+                f"snapshot age {age:.0f}s past soft threshold {soft:.0f}s",
+            )
+            decisions[STALE] = RungDecision(
+                STALE,
+                True,
+                f"served from snapshot v{snapshot.version} with uncertainty "
+                f"band widened x{self._staleness.stale_inflation:g}",
+            )
+        if served.status == BASELINE:
+            decisions[BASELINE] = RungDecision(
+                BASELINE,
+                True,
+                f"historical bucket mean for interval {served.interval}",
+            )
+            decisions[UNAVAILABLE] = RungDecision(
+                UNAVAILABLE, False, "not needed: baseline answered"
+            )
+        elif served.status == UNAVAILABLE:
+            if self._history is None:
+                baseline_reason = "no history store configured"
+            elif road not in self._column:
+                baseline_reason = "road absent from the history store"
+            else:
+                baseline_reason = "baseline not reached"
+            decisions[BASELINE] = RungDecision(BASELINE, False, baseline_reason)
+            decisions[UNAVAILABLE] = RungDecision(
+                UNAVAILABLE,
+                True,
+                "typed refusal: no snapshot answer and no baseline",
+            )
+        else:
+            decisions[BASELINE] = RungDecision(
+                BASELINE, False, "not needed: snapshot answered"
+            )
+            decisions[UNAVAILABLE] = RungDecision(
+                UNAVAILABLE, False, "not reached"
+            )
+        return tuple(decisions[rung] for rung in RUNG_ORDER)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _now(self) -> float:
         return (self._clock or get_clock()).monotonic()
 
-    def _read(self, road_ids) -> dict[int, ServedEstimate]:
+    def _read(
+        self, road_ids
+    ) -> tuple[dict[int, ServedEstimate], dict[str, int]]:
         recorder = get_recorder()
         # One reference copy: every road in this read sees the same
         # snapshot even if a publish lands mid-loop.
@@ -290,10 +512,11 @@ class EstimateStore:
         now = self._now()
         if self._breaker is not None and not self._breaker.allow():
             recorder.count("serving.breaker_short_circuit", value=len(road_ids))
-            return {
+            out = {
                 r: self._baseline_or_unavailable(r, current, now)
                 for r in road_ids
             }
+            return self._account_read(recorder, out, current, now)
         try:
             out = {r: self._serve(r, current, now) for r in road_ids}
         except Exception:  # noqa: BLE001 - the reader never sees this
@@ -307,11 +530,51 @@ class EstimateStore:
         else:
             if self._breaker is not None:
                 self._breaker.record_success()
+        return self._account_read(recorder, out, current, now)
+
+    @staticmethod
+    def _account_read(
+        recorder,
+        out: dict[int, ServedEstimate],
+        current: tuple[EstimateSnapshot, float] | None,
+        now: float,
+    ) -> tuple[dict[int, ServedEstimate], dict[str, int]]:
+        """Count statuses once per read (batched per-status increments)."""
+        counts: dict[str, int] = {}
         for served in out.values():
-            recorder.count("serving.reads", status=served.status)
+            counts[served.status] = counts.get(served.status, 0) + 1
+        for status, n in counts.items():
+            recorder.count("serving.reads", status=status, value=n)
         if current is not None:
             recorder.gauge("serving.snapshot_age_seconds", now - current[1])
-        return out
+        return out, counts
+
+    def _breaker_open(self) -> bool:
+        return self._breaker is not None and self._breaker.state is BreakerState.OPEN
+
+    def _trace(self, recorder, status_counts: dict[str, int], latency_s: float) -> None:
+        """Account one finished read to the tracer and latency histograms."""
+        current = self._current
+        if current is not None:
+            version: int | None = current[0].version
+            age: float | None = max(0.0, self._now() - current[1])
+        else:
+            version = age = None
+        recorder.observe("serving.read_seconds", latency_s)
+        if age is not None:
+            recorder.observe(
+                "serving.freshness_seconds", age, buckets=self._freshness_buckets
+            )
+        self._tracer.record_read(
+            recorder,
+            status_counts,
+            latency_s,
+            snapshot_version=version,
+            age_s=age,
+            breaker_open=self._breaker_open(),
+            inflight=self._admission.inflight,
+            capacity=self._admission.capacity,
+        )
 
     def _serve(
         self,

@@ -89,6 +89,7 @@ class Watchdog:
         self._policies = dict(policies or {})
         self._default = default_policy or StagePolicy()
         self._round_start: float | None = None
+        self._stage_report: dict[str, dict] = {}
 
     @property
     def round_deadline_s(self) -> float | None:
@@ -106,6 +107,18 @@ class Watchdog:
     def begin_round(self) -> None:
         """Arm the round deadline; call once per round before any stage."""
         self._round_start = self._now()
+        self._stage_report = {}
+
+    def stage_report(self) -> dict[str, dict]:
+        """Per-stage outcome of the current round, for provenance.
+
+        ``{stage: {"seconds": final-attempt duration, "attempts": n,
+        "ok": bool}}`` — reset by :meth:`begin_round`, updated by every
+        :meth:`run` whether the stage succeeded or exhausted its
+        retries, so a snapshot can carry the stage timings of the round
+        that produced it.
+        """
+        return {stage: dict(entry) for stage, entry in self._stage_report.items()}
 
     def round_elapsed_s(self) -> float:
         """Seconds since ``begin_round`` (0 when never armed)."""
@@ -139,6 +152,8 @@ class Watchdog:
         recorder = get_recorder()
         last_error: BaseException | None = None
         timed_out = False
+        attempt = 0
+        elapsed = 0.0
         for attempt in range(1, policy.max_attempts + 1):
             self.check_deadline()
             if attempt > 1:
@@ -176,7 +191,13 @@ class Watchdog:
             recorder.observe(
                 "serving.stage_seconds", elapsed, stage=stage, ok="true"
             )
+            self._stage_report[stage] = {
+                "seconds": elapsed, "attempts": attempt, "ok": True,
+            }
             return result
+        self._stage_report[stage] = {
+            "seconds": elapsed, "attempts": attempt, "ok": False,
+        }
         self.check_deadline()
         recorder.count("serving.stage_exhausted", stage=stage)
         if timed_out and isinstance(last_error, StageTimeout):

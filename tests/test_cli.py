@@ -48,6 +48,37 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["obs"])
 
+    def test_serve_slo_options(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--slo-check",
+                "--expect-page", "read-availability",
+                "--explain", "3", "--metrics-out", "m.json",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.slo_check is True
+        assert args.expect_page == "read-availability"
+        assert args.explain == 3
+        assert args.metrics_out == "m.json"
+
+    def test_serve_slo_defaults_off(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.slo is False
+        assert args.slo_check is False
+        assert args.expect_page is None
+        assert args.explain is None
+        assert args.metrics_out is None
+
+    def test_obs_top_source(self):
+        args = build_parser().parse_args(["obs", "top", "metrics.json"])
+        assert args.obs_command == "top"
+        assert args.source == "metrics.json"
+
+    def test_obs_top_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "top"])
+
 
 class TestCommands:
     """End-to-end command runs on the (cached) tianjin dataset."""
@@ -150,6 +181,58 @@ class TestObsCommands:
         bad.write_text("not json\n")
         with pytest.raises(SystemExit, match="malformed"):
             main(["obs", "verify", str(bad)])
+
+
+class TestServeSLOCommands:
+    """Serve with the SLO engine on, then feed the metrics to obs top."""
+
+    def test_serve_with_slo_explain_and_metrics(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            [
+                "--city", "tianjin", "serve",
+                "--rounds", "3", "--budget", "5", "--slo",
+                "--explain", "0", "--metrics-out", str(metrics),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SLO arc over the run" in out
+        assert "Explain road 0: fresh" in out
+        assert "Produced by round" in out
+        assert metrics.exists()
+
+        # The metrics dump drives the live ops dashboard directly.
+        assert main(["obs", "top", str(metrics)]) == 0
+        top = capsys.readouterr().out
+        assert "SLO status" in top
+        assert "Read ladder" in top
+        assert "read-availability" in top
+
+    def test_serve_expect_page_fails_without_outage(self, tmp_path, capsys):
+        assert main(
+            [
+                "--city", "tianjin", "serve",
+                "--rounds", "3", "--budget", "5",
+                "--expect-page", "read-availability",
+            ]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "SLO CHECK FAILED" in out
+        assert "never reached page" in out
+
+    def test_serve_slo_check_healthy_run_passes(self, capsys):
+        assert main(
+            [
+                "--city", "tianjin", "serve",
+                "--rounds", "3", "--budget", "5", "--slo-check",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "slo check ok" in out
+
+    def test_obs_top_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["obs", "top", str(tmp_path / "missing.json")])
 
 
 class TestEstimateMap:

@@ -323,6 +323,47 @@ class TestExporters:
         assert doc["a"]["series"][0]["value"] == 1
 
 
+class TestPrometheusConformance:
+    """Exposition-format details real scrapers trip over."""
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("m", path='a\\b"c\nd').inc()
+        text = to_prometheus_text(reg)
+        assert 'path="a\\\\b\\"c\\nd"' in text
+        # The escaped line is still a single line.
+        (line,) = [l for l in text.splitlines() if l.startswith("m{")]
+        assert line.endswith(" 1")
+
+    def test_histogram_inf_bucket_equals_count(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat.seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        lines = to_prometheus_text(reg).splitlines()
+        buckets = {}
+        for line in lines:
+            if line.startswith("lat_seconds_bucket"):
+                le = line.split('le="')[1].split('"')[0]
+                buckets[le] = float(line.rsplit(" ", 1)[1])
+        count = next(
+            float(l.rsplit(" ", 1)[1])
+            for l in lines
+            if l.startswith("lat_seconds_count")
+        )
+        assert buckets["+Inf"] == count == 3
+        # Buckets are cumulative and non-decreasing in bound order.
+        assert buckets["0.1"] <= buckets["1"] <= buckets["+Inf"]
+        assert any(l.startswith("lat_seconds_sum") for l in lines)
+
+    def test_every_family_gets_one_type_line(self):
+        reg = MetricsRegistry()
+        reg.counter("c", a="1").inc()
+        reg.counter("c", a="2").inc()
+        text = to_prometheus_text(reg)
+        assert text.count("# TYPE c counter") == 1
+
+
 # ----------------------------------------------------------------------
 # Report / verify
 # ----------------------------------------------------------------------
@@ -433,3 +474,74 @@ class TestReport:
     def test_render_report_rejects_useless_recording(self):
         with pytest.raises(DataError):
             render_report([{"type": "meta"}])
+
+
+class TestVerifyEventSchemas:
+    """``obs verify`` enforces the structured-event contract."""
+
+    def _valid_trace_fields(self):
+        return {
+            "trace_id": 1, "rung": "fresh", "statuses": {"fresh": 2},
+            "roads": 2, "latency_s": 0.001, "snapshot_version": 0,
+            "age_s": 0.0, "breaker_open": False, "sampled": "interval",
+        }
+
+    def test_known_kinds_with_all_fields_pass(self, tmp_path):
+        path = tmp_path / "ok.jsonl"
+        with FlightRecorder(path=path) as rec:
+            rec.event("read_trace", **self._valid_trace_fields())
+            rec.event(
+                "slo_alert", slo="read-availability", previous="ok",
+                state="page", burn_fast=50.0, burn_slow=12.0, target=0.99,
+            )
+            rec.round_end(0)
+        assert "1 round" in verify_recording(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "unknown.jsonl"
+        with FlightRecorder(path=path) as rec:
+            rec.event("mystery_kind", detail=1)
+            rec.round_end(0)
+        with pytest.raises(DataError, match="unknown kind 'mystery_kind'"):
+            verify_recording(path)
+
+    def test_missing_required_field_rejected(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        fields = self._valid_trace_fields()
+        fields.pop("rung")
+        with FlightRecorder(path=path) as rec:
+            rec.event("read_trace", **fields)
+            rec.round_end(0)
+        with pytest.raises(DataError, match=r"missing required fields \['rung'\]"):
+            verify_recording(path)
+
+    def test_event_without_kind_rejected(self, tmp_path):
+        path = tmp_path / "kindless.jsonl"
+        _write_lines(
+            path,
+            [
+                {"type": "event", "ts": 0.0},
+                {"type": "round", "round": 0},
+            ],
+        )
+        with pytest.raises(DataError, match="no 'kind'"):
+            verify_recording(path)
+
+    def test_every_src_emitter_is_registered(self):
+        """Any event() kind the instrumentation emits must have a schema,
+        or obs verify would reject its own recordings."""
+        from repro.obs.report import EVENT_SCHEMAS
+
+        for kind in (
+            "read_trace", "slo_alert", "publish_rejected",
+            "round_not_published", "snapshot_corrupt",
+            "snapshot_corruption_injected",
+        ):
+            assert kind in EVENT_SCHEMAS
+
+    def test_recorder_events_property_filters_ring(self):
+        rec = FlightRecorder()
+        rec.event("read_trace", **self._valid_trace_fields())
+        rec.round_end(0)
+        (event,) = rec.events
+        assert event["kind"] == "read_trace"

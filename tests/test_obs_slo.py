@@ -1,0 +1,439 @@
+"""Tests for repro.obs SLOs: burn-rate engine, quantiles, tracer, dashboard."""
+
+import json
+import math
+
+import pytest
+
+from repro.core.clock import ManualClock
+from repro.core.errors import ConfigError, DataError
+from repro.obs import (
+    ALERT_LEVEL,
+    OK,
+    PAGE,
+    SLO,
+    SLO_ALERT_EVENT,
+    WARNING,
+    BurnWindow,
+    CounterRatioSLI,
+    FlightRecorder,
+    HistogramThresholdSLI,
+    MetricsRegistry,
+    MetricsView,
+    ReadTracer,
+    SLOEngine,
+    default_serving_slos,
+    recording,
+    render_dashboard,
+    worst_rung,
+)
+from repro.obs.registry import quantile_from_cumulative
+
+
+# ----------------------------------------------------------------------
+# Histogram quantiles
+# ----------------------------------------------------------------------
+class TestQuantile:
+    def test_empty_window_is_nan(self):
+        assert math.isnan(quantile_from_cumulative((1.0, 2.0), [0, 0, 0], 0.5))
+        assert math.isnan(MetricsRegistry().histogram("h").quantile(0.99))
+
+    def test_interpolates_inside_first_bucket(self):
+        # 10 observations all in (0, 10]: the median interpolates to 5.
+        assert quantile_from_cumulative((10.0,), [10, 10], 0.5) == pytest.approx(5.0)
+
+    def test_interpolates_between_bounds(self):
+        # 5 in (0,10], 5 in (10,20]: p75 sits mid-second-bucket.
+        assert quantile_from_cumulative(
+            (10.0, 20.0), [5, 10, 10], 0.75
+        ) == pytest.approx(15.0)
+
+    def test_overflow_clamps_to_last_bound(self):
+        # Everything beyond the finite buckets: all we know is "> max".
+        assert quantile_from_cumulative((10.0, 20.0), [0, 0, 5], 0.99) == 20.0
+
+    def test_histogram_method_matches_function(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        for value in (0.5, 0.5, 1.5, 1.5):
+            hist.observe(value)
+        assert hist.quantile(0.5) == pytest.approx(
+            quantile_from_cumulative((1.0, 2.0), [2, 4, 4], 0.5)
+        )
+
+    @pytest.mark.parametrize("q", [-0.1, 1.5])
+    def test_rejects_out_of_range_q(self, q):
+        with pytest.raises(ConfigError):
+            quantile_from_cumulative((1.0,), [1, 1], q)
+
+
+# ----------------------------------------------------------------------
+# Read tracer
+# ----------------------------------------------------------------------
+class TestReadTracer:
+    def test_rejects_bad_sample_every(self):
+        with pytest.raises(ConfigError):
+            ReadTracer(sample_every=0)
+
+    def test_worst_rung_ordering(self):
+        assert worst_rung({"fresh": 3}) == "fresh"
+        assert worst_rung(["fresh", "baseline", "stale"]) == "baseline"
+        assert worst_rung(["baseline", "shed"]) == "shed"
+        # Unknown statuses are treated as worse than anything known.
+        assert worst_rung(["fresh", "weird"]) == "weird"
+
+    def test_healthy_reads_sampled_every_nth(self):
+        rec = FlightRecorder()
+        tracer = ReadTracer(sample_every=3)
+        ids = [
+            tracer.record_read(rec, {"fresh": 2}, 0.001, 1, 0.0)
+            for _ in range(6)
+        ]
+        # Slots 0 and 3 are recorded; ids keep counting regardless.
+        assert ids == [1, None, None, 4, None, None]
+        events = [e for e in rec.events if e["kind"] == "read_trace"]
+        assert [e["trace_id"] for e in events] == [1, 4]
+        assert all(e["sampled"] == "interval" for e in events)
+        assert rec.registry.counter("serving.traces", recorded="true").value == 2
+        assert rec.registry.counter("serving.traces", recorded="false").value == 4
+
+    def test_degraded_reads_always_tail_sampled(self):
+        rec = FlightRecorder()
+        tracer = ReadTracer(sample_every=1000)
+        for counts in ({"fresh": 1, "stale": 1}, {"baseline": 2}, {"shed": 3}):
+            assert tracer.record_read(rec, counts, 0.0, 0, 10.0) is not None
+        events = [e for e in rec.events if e["kind"] == "read_trace"]
+        assert [e["rung"] for e in events] == ["stale", "baseline", "shed"]
+        assert all(e["sampled"] == "tail" for e in events)
+
+    def test_breaker_open_forces_tail_sample(self):
+        rec = FlightRecorder()
+        tracer = ReadTracer(sample_every=1000)
+        tracer.record_read(rec, {"fresh": 1}, 0.0, 0, 0.0)  # slot 0: recorded
+        assert (
+            tracer.record_read(rec, {"fresh": 1}, 0.0, 0, 0.0, breaker_open=True)
+            is not None
+        )
+        assert rec.events[-1]["sampled"] == "tail"
+        assert rec.events[-1]["breaker_open"] is True
+
+
+# ----------------------------------------------------------------------
+# SLIs
+# ----------------------------------------------------------------------
+class TestCounterRatioSLI:
+    def test_good_over_total_by_label(self):
+        reg = MetricsRegistry()
+        reg.counter("serving.reads", status="fresh").inc(70)
+        reg.counter("serving.reads", status="stale").inc(20)
+        reg.counter("serving.reads", status="baseline").inc(10)
+        sli = CounterRatioSLI("serving.reads", "status", good=("fresh", "stale"))
+        assert sli.sample(reg) == (90.0, 100.0)
+
+    def test_explicit_total_restricts_denominator(self):
+        reg = MetricsRegistry()
+        reg.counter("reads", status="fresh").inc(5)
+        reg.counter("reads", status="shed").inc(5)
+        sli = CounterRatioSLI(
+            "reads", "status", good=("fresh",), total=("fresh",)
+        )
+        assert sli.sample(reg) == (5.0, 5.0)
+
+    def test_needs_a_good_label(self):
+        with pytest.raises(ConfigError):
+            CounterRatioSLI("reads", "status", good=())
+
+
+class TestHistogramThresholdSLI:
+    def test_counts_observations_at_or_below_threshold(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("age", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 3.0, 9.0):
+            hist.observe(value)
+        assert HistogramThresholdSLI("age", 2.0).sample(reg) == (3.0, 5.0)
+
+    def test_threshold_below_first_bound_counts_nothing_good(self):
+        reg = MetricsRegistry()
+        reg.histogram("age", buckets=(1.0,)).observe(0.5)
+        assert HistogramThresholdSLI("age", 0.1).sample(reg) == (0.0, 1.0)
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ConfigError):
+            HistogramThresholdSLI("age", 0.0)
+
+
+# ----------------------------------------------------------------------
+# SLO / engine
+# ----------------------------------------------------------------------
+def _one_slo(fast_s=1.0, slow_s=4.0):
+    return SLO(
+        name="availability",
+        sli=CounterRatioSLI("reads", "status", good=("good",)),
+        target=0.9,
+        fast=BurnWindow(window_s=fast_s, threshold=10.0, state=PAGE),
+        slow=BurnWindow(window_s=slow_s, threshold=2.0, state=WARNING),
+    )
+
+
+class TestSLOValidation:
+    def test_burn_window_validation(self):
+        with pytest.raises(ConfigError):
+            BurnWindow(window_s=0.0, threshold=1.0)
+        with pytest.raises(ConfigError):
+            BurnWindow(window_s=1.0, threshold=0.0)
+        with pytest.raises(ConfigError):
+            BurnWindow(window_s=1.0, threshold=1.0, state=OK)
+        with pytest.raises(ConfigError):
+            BurnWindow(window_s=1.0, threshold=1.0, min_events=0)
+
+    @pytest.mark.parametrize("target", [0.0, 1.0, 1.5])
+    def test_target_must_leave_a_budget(self, target):
+        with pytest.raises(ConfigError):
+            SLO(
+                name="x",
+                sli=CounterRatioSLI("r", "s", good=("g",)),
+                target=target,
+                fast=BurnWindow(1.0, 10.0),
+                slow=BurnWindow(4.0, 2.0, state=WARNING),
+            )
+
+    def test_fast_window_must_not_outlast_slow(self):
+        with pytest.raises(ConfigError, match="fast window"):
+            _one_slo(fast_s=8.0, slow_s=4.0)
+
+    def test_budget_is_one_minus_target(self):
+        assert _one_slo().budget == pytest.approx(0.1)
+
+    def test_engine_rejects_duplicates_and_emptiness(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigError, match="at least one"):
+            SLOEngine(reg, [])
+        with pytest.raises(ConfigError, match="duplicate"):
+            SLOEngine(reg, [_one_slo(), _one_slo()])
+
+
+class TestSLOEngine:
+    def test_burn_arc_ok_page_warning_ok(self):
+        """The canonical alert arc: total breakage pages via the fast
+        window, then degrades to a warning while the slow window drains,
+        then clears — all on cumulative counters and a manual clock."""
+        clock = ManualClock()
+        rec = FlightRecorder()
+        with recording(rec):
+            reg = rec.registry
+            engine = SLOEngine(reg, [_one_slo()], clock=clock)
+            good = reg.counter("reads", status="good")
+            bad = reg.counter("reads", status="bad")
+
+            assert engine.tick() == {"availability": OK}  # t=0: no window yet
+            clock.advance(1.0)
+            good.inc(10)
+            assert engine.tick() == {"availability": OK}  # t=1: all good
+            clock.advance(1.0)
+            bad.inc(20)  # total breakage inside the fast window
+            assert engine.tick() == {"availability": PAGE}
+            status = engine.statuses()["availability"]
+            assert status.burn_fast == pytest.approx(10.0)
+            assert status.good == 10.0 and status.total == 30.0
+            clock.advance(1.0)
+            # t=3: the fast window saw no new events, the slow window is
+            # still digesting the breakage.
+            assert engine.tick() == {"availability": WARNING}
+            for _ in range(3):
+                clock.advance(1.0)
+                good.inc(30)
+                states = engine.tick()
+            assert states == {"availability": OK}
+            assert engine.worst_state() == OK
+
+        # Each transition emitted one slo_alert event and a counter bump.
+        alerts = [e for e in rec.events if e["kind"] == SLO_ALERT_EVENT]
+        assert [(e["previous"], e["state"]) for e in alerts] == [
+            (OK, PAGE),
+            (PAGE, WARNING),
+            (WARNING, OK),
+        ]
+        assert all(e["slo"] == "availability" for e in alerts)
+        assert reg.counter("slo.transitions", slo="availability", to=PAGE).value == 1
+        # The alert state gauge tracks the numeric severity.
+        assert reg.gauge("slo.alert_state", slo="availability").value == ALERT_LEVEL[OK]
+
+    def test_min_events_guards_noise(self):
+        clock = ManualClock()
+        slo = SLO(
+            name="noisy",
+            sli=CounterRatioSLI("reads", "status", good=("good",)),
+            target=0.9,
+            fast=BurnWindow(1.0, 10.0, min_events=50),
+            slow=BurnWindow(4.0, 2.0, state=WARNING, min_events=50),
+        )
+        reg = MetricsRegistry()
+        engine = SLOEngine(reg, [slo], clock=clock)
+        engine.tick()
+        clock.advance(1.0)
+        reg.counter("reads", status="bad").inc(10)  # 100% bad, but few
+        assert engine.tick() == {"noisy": OK}
+        status = engine.statuses()["noisy"]
+        assert status.burn_fast == 0.0 and status.burn_slow == 0.0
+
+    def test_sample_pruning_keeps_slow_baseline(self):
+        clock = ManualClock()
+        reg = MetricsRegistry()
+        engine = SLOEngine(reg, [_one_slo(slow_s=4.0)], clock=clock)
+        good = reg.counter("reads", status="good")
+        for _ in range(20):
+            good.inc(1)
+            engine.tick()
+            clock.advance(1.0)
+        track = engine._tracks["availability"]
+        # Everything older than the slow horizon is gone except the one
+        # baseline sample the windowed delta is measured against.
+        assert len(track.samples) <= 6
+
+    def test_status_to_dict_round_trips_json(self):
+        reg = MetricsRegistry()
+        engine = SLOEngine(reg, [_one_slo()], clock=ManualClock())
+        engine.tick()
+        doc = json.loads(json.dumps(engine.statuses()["availability"].to_dict()))
+        assert doc["name"] == "availability" and doc["state"] == OK
+
+
+class TestDefaultServingSLOs:
+    def test_four_objectives_with_sound_windows(self):
+        slos = default_serving_slos(900.0)
+        names = [slo.name for slo in slos]
+        assert names == [
+            "read-availability", "read-freshness", "read-latency",
+            "degraded-reads",
+        ]
+        for slo in slos:
+            assert slo.fast.window_s == 1800.0 and slo.fast.state == PAGE
+            assert slo.slow.window_s == 3600.0 and slo.slow.state == WARNING
+
+    def test_availability_counts_baseline_as_bad(self):
+        """Baseline reads answer the reader but spend error budget —
+        the property that makes a sustained outage page."""
+        (availability, *_rest) = default_serving_slos(900.0)
+        reg = MetricsRegistry()
+        reg.counter("serving.reads", status="baseline").inc(10)
+        good, total = availability.sli.sample(reg)
+        assert (good, total) == (0.0, 10.0)
+
+    def test_freshness_threshold_follows_soft_staleness(self):
+        slos = default_serving_slos(900.0, soft_after_s=1350.0)
+        freshness = slos[1]
+        assert freshness.sli.threshold == 1350.0
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ConfigError):
+            default_serving_slos(0.0)
+
+
+# ----------------------------------------------------------------------
+# Dashboard
+# ----------------------------------------------------------------------
+def _serving_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("serving.reads", status="fresh").inc(80)
+    reg.counter("serving.reads", status="stale").inc(15)
+    reg.counter("serving.reads", status="baseline").inc(5)
+    reg.counter("serving.rounds", outcome="published").inc(7)
+    reg.counter("serving.rounds", outcome="cancelled").inc(1)
+    reg.counter("serving.shed", reason="capacity").inc(3)
+    reg.counter("serving.traces", recorded="true").inc(9)
+    reg.counter("serving.traces", recorded="false").inc(91)
+    reg.gauge("serving.snapshot_version").set(7)
+    reg.gauge("serving.snapshot_age_seconds").set(12.5)
+    hist = reg.histogram("serving.read_seconds", buckets=(0.001, 0.01, 0.1))
+    for value in (0.0005, 0.002, 0.05):
+        hist.observe(value)
+    stage = reg.histogram(
+        "serving.stage_seconds", buckets=(1.0, 10.0), stage="collect", ok="true"
+    )
+    stage.observe(2.0)
+    reg.gauge("slo.alert_state", slo="read-availability").set(2)
+    reg.gauge("slo.burn_rate", slo="read-availability", window="fast").set(50.0)
+    reg.gauge("slo.burn_rate", slo="read-availability", window="slow").set(12.0)
+    return reg
+
+
+class TestMetricsView:
+    def test_from_registry_queries(self):
+        view = MetricsView.from_registry(_serving_registry())
+        assert view.total("serving.reads") == 100.0
+        assert view.by_label("serving.reads", "status")["fresh"] == 80.0
+        assert view.value("serving.snapshot_version") == 7.0
+        assert view.value("serving.reads", status="nope") is None
+        assert view.label_values("serving.stage_seconds", "stage") == ["collect"]
+
+    def test_histogram_merge_and_quantile(self):
+        view = MetricsView.from_registry(_serving_registry())
+        stats = view.histogram("serving.read_seconds")
+        assert stats["count"] == 3
+        p50 = MetricsView.histogram_quantile(stats, 0.5)
+        assert 0.001 <= p50 <= 0.01
+        # Scalar-only views have no histograms to merge.
+        scalar = MetricsView.from_scalar_totals({"serving.read_seconds": 3})
+        assert scalar.histogram("serving.read_seconds") is None
+
+    def test_from_scalar_totals_parses_label_keys(self):
+        view = MetricsView.from_scalar_totals(
+            {"serving.reads{status=fresh}": 10, "serving.publish": 2}
+        )
+        assert view.by_label("serving.reads", "status") == {"fresh": 10.0}
+        assert view.total("serving.publish") == 2.0
+
+    def test_from_file_metrics_json(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(_serving_registry().snapshot()))
+        view = MetricsView.from_file(path)
+        assert view.total("serving.reads") == 100.0
+
+    def test_from_file_jsonl_uses_last_round(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with FlightRecorder(path=path) as rec:
+            rec.count("serving.reads", 5, status="fresh")
+            rec.round_end(0)
+            rec.count("serving.reads", 7, status="stale")
+            rec.round_end(1)
+        view = MetricsView.from_file(path)
+        ladder = view.by_label("serving.reads", "status")
+        assert ladder == {"fresh": 5.0, "stale": 7.0}
+
+    def test_from_file_errors_are_typed(self, tmp_path):
+        with pytest.raises(DataError, match="does not exist"):
+            MetricsView.from_file(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2]")
+        with pytest.raises(DataError, match="not a registry snapshot"):
+            MetricsView.from_file(bad)
+        empty = tmp_path / "no_rounds.jsonl"
+        empty.write_text('{"type": "meta", "version": 1}\n')
+        with pytest.raises(DataError, match="no round events"):
+            MetricsView.from_file(empty)
+
+
+class TestRenderDashboard:
+    def test_all_sections_render_from_registry(self):
+        text = render_dashboard(MetricsView.from_registry(_serving_registry()))
+        assert "SLO status" in text
+        assert "read-availability" in text and "PAGE" in text
+        assert "Read ladder" in text and "fresh" in text
+        assert "Publish outcomes" in text and "published" in text
+        assert "Stage timings" in text and "collect" in text
+        assert "Protection & freshness" in text
+        assert "read latency p99 (ms)" in text
+
+    def test_live_slo_statuses_take_precedence(self):
+        reg = MetricsRegistry()
+        engine = SLOEngine(reg, [_one_slo()], clock=ManualClock())
+        engine.tick()
+        text = render_dashboard(
+            MetricsView.from_registry(reg), slo_statuses=engine.statuses()
+        )
+        assert "availability" in text and "OK" in text
+        assert "good/total" in text  # only the live table has these columns
+
+    def test_empty_view_degrades_gracefully(self):
+        text = render_dashboard(MetricsView.from_scalar_totals({}))
+        assert "(no SLO engine data in this source)" in text
+        assert "(no serving reads recorded)" in text

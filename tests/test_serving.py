@@ -12,6 +12,7 @@ from repro.core.pipeline import SpeedEstimationSystem
 from repro.core.types import SpeedEstimate, Trend
 from repro.crowd.platform import CrowdsourcingPlatform
 from repro.crowd.workers import WorkerPool, WorkerPoolParams
+from repro.obs.trace import RUNG_ORDER
 from repro.serving import (
     BASELINE,
     FRESH,
@@ -21,7 +22,9 @@ from repro.serving import (
     AdmissionController,
     EstimateSnapshot,
     EstimateStore,
+    RoundProvenance,
     SnapshotPublisher,
+    StageTiming,
     StalenessPolicy,
     default_watchdog,
     load_snapshot,
@@ -32,8 +35,25 @@ from repro.serving import (
 from repro.speed.uncertainty import SpeedBand, UncertaintyModel
 
 
+def make_provenance(round_index=4, **overrides):
+    payload = dict(
+        round_index=round_index,
+        seed_budget=8,
+        degraded=False,
+        substituted=0,
+        stages=(
+            StageTiming(stage="collect", seconds=12.5, attempts=1, ok=True),
+            StageTiming(stage="estimate", seconds=3.25, attempts=2, ok=True),
+        ),
+        deadline_s=900.0,
+        elapsed_s=15.75,
+    )
+    payload.update(overrides)
+    return RoundProvenance(**payload)
+
+
 def make_snapshot(version=0, interval=3, roads=(1, 2, 3), speed=40.0,
-                  substituted=None, degraded=False):
+                  substituted=None, degraded=False, provenance=None):
     estimates = {}
     bands = {}
     for road in roads:
@@ -57,7 +77,7 @@ def make_snapshot(version=0, interval=3, roads=(1, 2, 3), speed=40.0,
         )
     return EstimateSnapshot.build(
         version, interval, estimates, bands,
-        substituted=substituted, degraded=degraded,
+        substituted=substituted, degraded=degraded, provenance=provenance,
     )
 
 
@@ -318,6 +338,155 @@ class TestEstimateStore:
             store.query_bbox(0, 0, 1, 1)
 
 
+class TestRoundProvenance:
+    def test_dict_round_trip(self):
+        provenance = make_provenance()
+        restored = RoundProvenance.from_dict(provenance.to_dict())
+        assert restored == provenance
+        assert restored.stage("collect").seconds == 12.5
+        assert restored.stage("nope") is None
+
+    def test_negative_round_index_rejected(self):
+        with pytest.raises(ServingError):
+            make_provenance(round_index=-1)
+
+    def test_snapshot_json_round_trip_preserves_provenance(self):
+        snapshot = make_snapshot(provenance=make_provenance())
+        restored = EstimateSnapshot.from_json(snapshot.to_json())
+        assert restored.provenance == snapshot.provenance
+        assert restored.checksum == snapshot.checksum
+        # A provenance-free snapshot restores to None, not a default.
+        assert EstimateSnapshot.from_json(
+            make_snapshot().to_json()
+        ).provenance is None
+
+    def test_checksum_covers_provenance(self):
+        text = make_snapshot(provenance=make_provenance(seed_budget=8)).to_json()
+        tampered = text.replace('"seed_budget": 8', '"seed_budget": 80')
+        assert tampered != text
+        with pytest.raises(SnapshotIntegrityError, match="checksum"):
+            EstimateSnapshot.from_json(tampered)
+
+    def test_persisted_provenance_survives_recovery(self, tmp_path):
+        snapshot = make_snapshot(version=3, provenance=make_provenance())
+        save_snapshot(snapshot, tmp_path)
+        recovered = recover_latest(tmp_path).snapshot
+        assert recovered.provenance == snapshot.provenance
+
+
+class TestExplain:
+    def fresh_store(self, **kwargs):
+        clock = ManualClock()
+        store = EstimateStore(
+            clock=clock,
+            staleness=StalenessPolicy(soft_after_s=100.0, hard_after_s=1000.0),
+            **kwargs,
+        )
+        return store, clock
+
+    def assert_complete_chain(self, explanation):
+        assert tuple(d.rung for d in explanation.chain) == RUNG_ORDER
+        assert all(d.reason for d in explanation.chain)
+        taken = [d.rung for d in explanation.chain if d.taken]
+        assert taken == [explanation.status]
+
+    def test_fresh_read_explained(self):
+        store, _ = self.fresh_store()
+        store.publish(make_snapshot(provenance=make_provenance(round_index=4)))
+        explanation = store.explain(1)
+        assert explanation.status == FRESH
+        self.assert_complete_chain(explanation)
+        assert "within" in explanation.decision(FRESH).reason
+        assert explanation.snapshot_version == 0
+        assert explanation.snapshot_age_s == 0.0
+        # The provenance chain reaches back into the producing round.
+        assert explanation.provenance.round_index == 4
+        assert explanation.provenance.stage("collect").ok
+
+    def test_stale_read_explained(self):
+        store, clock = self.fresh_store()
+        store.publish(make_snapshot())
+        clock.advance(500.0)
+        explanation = store.explain(1)
+        assert explanation.status == STALE
+        self.assert_complete_chain(explanation)
+        assert "past soft threshold" in explanation.decision(FRESH).reason
+        assert "widened" in explanation.decision(STALE).reason
+
+    def test_baseline_read_explained(self, small_dataset):
+        store = EstimateStore(
+            history=small_dataset.store,
+            clock=(clock := ManualClock()),
+            staleness=StalenessPolicy(soft_after_s=100.0, hard_after_s=1000.0),
+        )
+        road = small_dataset.network.road_ids()[0]
+        store.publish(make_snapshot(roads=(road,)))
+        clock.advance(5000.0)
+        explanation = store.explain(road)
+        assert explanation.status == BASELINE
+        self.assert_complete_chain(explanation)
+        assert "past hard threshold" in explanation.decision(FRESH).reason
+        assert "historical bucket mean" in explanation.decision(BASELINE).reason
+
+    def test_unavailable_cold_start_explained(self):
+        store, _ = self.fresh_store()
+        explanation = store.explain(1)
+        assert explanation.status == UNAVAILABLE
+        self.assert_complete_chain(explanation)
+        assert (
+            explanation.decision(FRESH).reason
+            == "no snapshot has ever been published"
+        )
+        assert (
+            explanation.decision(BASELINE).reason
+            == "no history store configured"
+        )
+        assert "typed refusal" in explanation.decision(UNAVAILABLE).reason
+        assert explanation.snapshot_version is None
+        assert explanation.provenance is None
+
+    def test_road_absent_from_snapshot_explained(self):
+        store, _ = self.fresh_store()
+        store.publish(make_snapshot(roads=(1, 2)))
+        explanation = store.explain(999)
+        assert explanation.status == UNAVAILABLE
+        assert "absent from snapshot v0" in explanation.decision(FRESH).reason
+
+    def test_open_breaker_explained_without_mutating_it(self, small_dataset):
+        breaker = CircuitBreaker(failure_threshold=1)
+        store = EstimateStore(
+            history=small_dataset.store,
+            clock=ManualClock(),
+            breaker=breaker,
+        )
+        road = small_dataset.network.road_ids()[0]
+        store.publish(make_snapshot(roads=(road,)))
+        breaker.record_failure()
+        explanation = store.explain(road)
+        assert explanation.status == BASELINE
+        assert explanation.breaker_open
+        assert "breaker open" in explanation.decision(FRESH).reason
+        self.assert_complete_chain(explanation)
+        # Diagnostics never consume the breaker's half-open probe.
+        assert breaker.state is BreakerState.OPEN
+
+    def test_explain_bypasses_admission(self):
+        store, _ = self.fresh_store(admission=AdmissionController(capacity=1))
+        store.publish(make_snapshot())
+        assert store.admission.try_acquire()  # saturate the gate
+        explanation = store.explain(1)
+        assert explanation.status == FRESH  # not shed
+        assert "bypasses admission" in explanation.decision(SHED).reason
+
+    def test_to_dict_is_json_serialisable(self):
+        store, _ = self.fresh_store()
+        store.publish(make_snapshot(provenance=make_provenance()))
+        doc = json.loads(json.dumps(store.explain(1).to_dict()))
+        assert doc["status"] == FRESH
+        assert [d["rung"] for d in doc["chain"]] == list(RUNG_ORDER)
+        assert doc["provenance"]["seed_budget"] == 8
+
+
 class TestBreakerExtraction:
     """Satellite: the breaker is a core utility with a compat re-export."""
 
@@ -393,6 +562,28 @@ class TestSnapshotPublisher:
         # The served numbers are the snapshot's numbers.
         snapshot = store.latest()
         assert served.speed_kmh == snapshot.estimates[served.road_id].speed_kmh
+
+    def test_published_snapshot_carries_round_provenance(
+        self, served_system, small_dataset, platform, tmp_path
+    ):
+        publisher, store, _ = self.build(served_system, small_dataset, tmp_path)
+        interval = small_dataset.test_day_intervals()[0]
+        publisher.publish_round(interval, small_dataset.test, platform)
+        provenance = store.latest().provenance
+        assert provenance is not None
+        assert provenance.round_index == 0
+        assert provenance.seed_budget == len(served_system.seeds)
+        assert not provenance.degraded and provenance.substituted == 0
+        assert provenance.stages, "supervised stage timings missing"
+        assert all(
+            timing.ok and timing.attempts >= 1 and timing.seconds >= 0.0
+            for timing in provenance.stages
+        )
+        assert provenance.deadline_s is not None
+        assert provenance.elapsed_s >= 0.0
+        # The persisted copy carries the same provenance block.
+        persisted = load_snapshot(snapshot_path(tmp_path, 0))
+        assert persisted.provenance == provenance
 
     def test_versions_increment_across_rounds(
         self, served_system, small_dataset, platform, tmp_path

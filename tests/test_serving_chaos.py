@@ -42,10 +42,16 @@ SCENARIO_NAMES = sorted(bundled_infra_scenarios())
 ANSWERING_STATUSES = ("fresh", "stale", "baseline")
 
 
-def drive(small_dataset, tmp_path, scenario, rounds=None, seeds=8):
+def drive(small_dataset, tmp_path, scenario, rounds=None, seeds=8,
+          clock=None, on_round=None):
     """Run the publisher/store stack under ``scenario``; sweep readers
-    every round. Returns per-round (report, reads, snapshot_version)."""
-    clock = ManualClock()
+    every round. Returns per-round (report, reads, snapshot_version).
+
+    ``clock`` injects the manual clock (so a caller can share it with
+    an SLO engine); ``on_round(i)`` runs after each round's reads,
+    before the clock advances — where the serve loop ticks its SLOs.
+    """
+    clock = clock or ManualClock()
     interval_s = small_dataset.grid.interval_minutes * 60.0
     system = SpeedEstimationSystem.from_parts(
         small_dataset.network,
@@ -86,6 +92,8 @@ def drive(small_dataset, tmp_path, scenario, rounds=None, seeds=8):
         if snapshot is not None:
             assert snapshot.verify(), "store is holding a corrupt snapshot"
         rows.append((report, reads, store.version))
+        if on_round is not None:
+            on_round(i)
         clock.advance(interval_s)
     return rows
 
@@ -223,3 +231,80 @@ def test_clock_skew_combined_with_outage(small_dataset, tmp_path):
     assert {s.status for s in rows[1][1].values()} <= {"fresh", "stale"}
     # The 5-interval jump at round 2 pushes past the hard threshold.
     assert {s.status for s in rows[2][1].values()} == {"baseline"}
+
+
+# ----------------------------------------------------------------------
+# SLO burn-rate alerting under infrastructure chaos
+# ----------------------------------------------------------------------
+def _collapse(states):
+    """Consecutive duplicates collapsed: the shape of the alert arc."""
+    arc = []
+    for state in states:
+        if not arc or arc[-1] != state:
+            arc.append(state)
+    return arc
+
+
+def _drive_with_slos(small_dataset, tmp_path, scenario, rounds):
+    from repro.obs import FlightRecorder, SLOEngine, default_serving_slos, recording
+
+    interval_s = small_dataset.grid.interval_minutes * 60.0
+    clock = ManualClock()
+    recorder = FlightRecorder(ring_size=8192)
+    states = []
+    with recording(recorder):
+        engine = SLOEngine(
+            recorder.registry,
+            default_serving_slos(interval_s, soft_after_s=1.5 * interval_s),
+            clock=clock,
+        )
+        rows = drive(
+            small_dataset, tmp_path, scenario, rounds=rounds,
+            clock=clock, on_round=lambda _i: states.append(dict(engine.tick())),
+        )
+    return rows, states, recorder
+
+
+def test_sustained_outage_slo_arc(small_dataset, tmp_path):
+    """The acceptance arc: availability is ok while the stale snapshot
+    still answers, pages when readers fall to the baseline, degrades to
+    a warning as the slow window drains after recovery, and ends ok —
+    even though every single read was answered (availability == 1.0)."""
+    interval_s = small_dataset.grid.interval_minutes * 60.0
+    scenario = get_infra_scenario("sustained-outage", interval_s)
+    rows, states, recorder = _drive_with_slos(
+        small_dataset, tmp_path, scenario, rounds=14
+    )
+    assert availability(rows) == 1.0  # nobody saw an error...
+    arc = _collapse([s["read-availability"] for s in states])
+    assert arc == ["ok", "page", "warning", "ok"]  # ...but the SLO paged
+    # Every objective has recovered by the end of the run.
+    assert all(state == "ok" for state in states[-1].values())
+    # The transitions were emitted as structured slo_alert events, and
+    # the degraded reads were tail-sampled into read_trace events.
+    alerts = [
+        e for e in recorder.events
+        if e["kind"] == "slo_alert" and e["slo"] == "read-availability"
+    ]
+    assert [e["state"] for e in alerts] == ["page", "warning", "ok"]
+    traced_rungs = {
+        e["rung"] for e in recorder.events if e["kind"] == "read_trace"
+    }
+    assert {"stale", "baseline"} <= traced_rungs
+
+
+def test_flapping_outage_warns_without_paging(small_dataset, tmp_path):
+    """Short blips never exhaust the stale window, so availability
+    (fresh-or-stale) stays ok throughout; the stricter degraded-reads
+    objective warns on the sustained bleed but never pages."""
+    interval_s = small_dataset.grid.interval_minutes * 60.0
+    scenario = get_infra_scenario("flapping-outage", interval_s)
+    rows, states, _recorder = _drive_with_slos(
+        small_dataset, tmp_path, scenario, rounds=14
+    )
+    assert_serving_invariants(rows)
+    assert {s["read-availability"] for s in states} == {"ok"}
+    degraded = [s["degraded-reads"] for s in states]
+    assert "warning" in degraded
+    assert "page" not in degraded
+    assert all(state == "ok" for state in states[-1].values())
