@@ -23,6 +23,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.core.config import PipelineConfig
 from repro.core.pipeline import SpeedEstimationSystem
 from repro.core.routing import RoutePlanner, route_travel_time_s
 from repro.datasets.synthetic import (
@@ -62,6 +63,25 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["greedy", "lazy", "partition", "random", "top-degree",
                  "k-center"],
         default="lazy",
+    )
+    select.add_argument(
+        "--parallel", action="store_true",
+        help="run partitioned selection across a process pool with the "
+             "CSR fidelity arrays in shared memory (implies "
+             "--method partition)",
+    )
+    select.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="partition-pool worker count (0 = one per CPU)",
+    )
+    select.add_argument(
+        "--partitions", type=int, default=8, metavar="P",
+        help="number of BFS-grown districts for partitioned selection",
+    )
+    select.add_argument(
+        "--rounds", type=int, default=1, metavar="R",
+        help="re-select R times with the warm-started incremental CELF "
+             "and report how much of the scan stayed cached",
     )
 
     estimate = commands.add_parser(
@@ -175,9 +195,11 @@ def _default_budget(dataset: TrafficDataset, budget: int | None) -> int:
     return max(1, round(dataset.network.num_segments * 0.05))
 
 
-def _fitted_system(dataset: TrafficDataset) -> SpeedEstimationSystem:
+def _fitted_system(
+    dataset: TrafficDataset, config: PipelineConfig | None = None
+) -> SpeedEstimationSystem:
     return SpeedEstimationSystem.from_parts(
-        dataset.network, dataset.store, dataset.graph
+        dataset.network, dataset.store, dataset.graph, config
     )
 
 
@@ -188,11 +210,39 @@ def cmd_info(dataset: TrafficDataset) -> str:
                         title=f"Dataset: {dataset.name}")
 
 
-def cmd_select(dataset: TrafficDataset, budget: int | None, method: str) -> str:
-    system = _fitted_system(dataset)
+def cmd_select(
+    dataset: TrafficDataset,
+    budget: int | None,
+    method: str,
+    parallel: bool = False,
+    workers: int = 0,
+    partitions: int = 8,
+    rounds: int = 1,
+) -> str:
+    if parallel:
+        method = "partition"
+    config = PipelineConfig(
+        selection_method=method,
+        num_partitions=partitions,
+        use_parallel_partitions=parallel,
+        num_partition_workers=workers,
+    )
     k = _default_budget(dataset, budget)
-    seeds = system.select_seeds(k, method=method)
-    result = system.selection
+    lines = []
+    with _fitted_system(dataset, config) as system:
+        if rounds > 1:
+            # Warm-started incremental CELF: round 1 pays the full scan,
+            # stable rounds re-evaluate nothing.
+            for round_no in range(rounds):
+                seeds = system.reselect_seeds(k)
+                result = system.selection
+                lines.append(
+                    f"round {round_no + 1}: {result.evaluations} gain "
+                    f"evaluations ({result.method})"
+                )
+        else:
+            seeds = system.select_seeds(k, method=method)
+        result = system.selection
     rows = [
         [i + 1, seed, dataset.network.segment(seed).road_class,
          fmt(result.gains[i], 2)]
@@ -203,6 +253,8 @@ def cmd_select(dataset: TrafficDataset, budget: int | None, method: str) -> str:
         f"(objective {result.final_value:.1f}, "
         f"{result.evaluations} gain evaluations)"
     )
+    if lines:
+        header = "\n".join(lines) + "\n" + header
     return header + "\n" + format_table(
         ["#", "road", "class", "marginal gain"], rows
     )
@@ -724,7 +776,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "info":
         output = cmd_info(dataset)
     elif args.command == "select":
-        output = cmd_select(dataset, args.budget, args.method)
+        output = cmd_select(
+            dataset,
+            args.budget,
+            args.method,
+            parallel=args.parallel,
+            workers=args.workers,
+            partitions=args.partitions,
+            rounds=args.rounds,
+        )
     elif args.command == "estimate":
         output = cmd_estimate(
             dataset, args.budget, args.hour, args.show, args.show_map

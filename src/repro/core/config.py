@@ -43,6 +43,14 @@ class PipelineConfig:
     #: bucket; 128 covers a full day of 15-minute buckets with room for
     #: a second seed set).
     plan_cache_size: int = 128
+    #: Run partitioned seed selection across a process pool with the CSR
+    #: fidelity arrays shared read-only (repro.seeds.parallel). Only
+    #: meaningful with selection_method="partition"; the parallel path
+    #: returns the identical seed sequence to the single-process one.
+    use_parallel_partitions: bool = False
+    #: Worker count for the partition pool; 0 means "one per CPU, capped
+    #: at the partition count".
+    num_partition_workers: int = 0
     hlm: HlmParams = field(default_factory=HlmParams)
     degradation: DegradationParams = field(default_factory=DegradationParams)
 
@@ -63,5 +71,7 @@ class PipelineConfig:
             raise ConfigError("correlation_min_agreement must be in [0.5, 1]")
         if self.num_partitions < 1:
             raise ConfigError("num_partitions must be >= 1")
+        if self.num_partition_workers < 0:
+            raise ConfigError("num_partition_workers must be >= 0 (0 = auto)")
         if self.plan_cache_size < 1:
             raise ConfigError("plan_cache_size must be >= 1")

@@ -109,6 +109,11 @@ class SpeedEstimationSystem:
         graph: CorrelationGraph,
         config: PipelineConfig,
     ) -> None:
+        if config.use_parallel_partitions and not config.use_fidelity_kernel:
+            raise ConfigError(
+                "use_parallel_partitions requires use_fidelity_kernel "
+                "(district workers run the CSR kernel)"
+            )
         self._network = network
         self._store = store
         self._graph = graph
@@ -123,11 +128,12 @@ class SpeedEstimationSystem:
         self._plan_cache = IntervalPlanCache(
             maxsize=config.plan_cache_size
         ).attach(self._fidelity)
+        self._inference = self._build_inference(config, self._fidelity)
         self._estimator = TwoStepEstimator(
             network,
             store,
             graph,
-            trend_inference=self._build_inference(config, self._fidelity),
+            trend_inference=self._inference,
             hlm_params=config.hlm,
             fidelity_service=self._fidelity,
             plan_cache=self._plan_cache,
@@ -142,6 +148,10 @@ class SpeedEstimationSystem:
         self._seeds: list[int] = []
         self._selection: SelectionResult | None = None
         self._degradation = DegradationPolicy(store, config.degradation)
+        # Lazy: the district process pool (shared CSR arrays + workers)
+        # and the warm-started incremental re-selector.
+        self._district_pool = None
+        self._reselector = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -271,11 +281,14 @@ class SpeedEstimationSystem:
             elif method == "lazy":
                 result = lazy_greedy_select(self._objective, budget)
             elif method == "partition":
-                result = partition_greedy_select(
-                    self._objective,
-                    budget,
-                    num_partitions=self._config.num_partitions,
-                )
+                if self._config.use_parallel_partitions:
+                    result = self.district_pool().select(budget)
+                else:
+                    result = partition_greedy_select(
+                        self._objective,
+                        budget,
+                        num_partitions=self._config.num_partitions,
+                    )
             elif method == "random":
                 result = random_select(self._objective, budget, seed=random_seed)
             elif method == "top-degree":
@@ -292,6 +305,65 @@ class SpeedEstimationSystem:
         self._selection = result
         self._seeds = list(result.seeds)
         return self.seeds
+
+    def district_pool(self):
+        """The lazily created district process pool (parallel configs).
+
+        Created on first use and reused for every subsequent selection
+        and Step-1 round; call :meth:`close` (or use the system as a
+        context manager) to release the workers and the shared-memory
+        segments.
+        """
+        if not self._config.use_parallel_partitions:
+            raise ConfigError(
+                "district_pool requires use_parallel_partitions=True"
+            )
+        if self._district_pool is None:
+            from repro.seeds.parallel import DistrictPool
+
+            self._district_pool = DistrictPool(
+                self._objective,
+                num_partitions=self._config.num_partitions,
+                num_workers=self._config.num_partition_workers,
+            )
+            if isinstance(self._inference, TrendPropagationInference):
+                self._inference.set_vote_accumulator(
+                    self._district_pool.vote_accumulator
+                )
+        return self._district_pool
+
+    def reselect_seeds(self, budget: int) -> list[int]:
+        """Re-select seeds with the warm-started incremental CELF.
+
+        The first call pays a full empty-set scan (identical cost to
+        ``select_seeds(method="lazy")``); later calls re-evaluate only
+        candidates whose fidelity rows were invalidated since — zero on
+        a stable network. The returned sequence is always identical to
+        a cold lazy selection, so switching a system to incremental
+        re-selection never changes its seeds.
+        """
+        if self._reselector is None:
+            from repro.seeds.reselect import IncrementalCelfSelector
+
+            self._reselector = IncrementalCelfSelector(self._objective)
+        result = self._reselector.select(budget)
+        self._selection = result
+        self._seeds = list(result.seeds)
+        return self.seeds
+
+    def close(self) -> None:
+        """Release round-serving resources (the district pool)."""
+        if self._district_pool is not None:
+            if isinstance(self._inference, TrendPropagationInference):
+                self._inference.set_vote_accumulator(None)
+            self._district_pool.close()
+            self._district_pool = None
+
+    def __enter__(self) -> "SpeedEstimationSystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def estimate(
         self, interval: int, seed_speeds: dict[int, float]

@@ -68,9 +68,8 @@ class AdaptiveBudgetScheduler:
         if drift_threshold <= 0:
             raise CrowdsourcingError("drift_threshold must be positive")
         self._full_seeds = tuple(full_seeds)
-        count = max(1, round(len(full_seeds) * light_fraction))
-        stride = max(1, len(full_seeds) // count)
-        self._light_seeds = tuple(full_seeds[::stride][:count])
+        self._light_fraction = light_fraction
+        self._light_seeds = self._pick_light_seeds(self._full_seeds)
         self._max_light_rounds = max_light_rounds
         self._drift_threshold = drift_threshold
         self._baseline: dict[int, float] | None = None
@@ -86,6 +85,17 @@ class AdaptiveBudgetScheduler:
         #: changed, 0 before any round.
         self.plan_stable_rounds = 0
         self._last_seed_key: frozenset[int] | None = None
+        #: Seed-set refreshes fed in via :meth:`update_seeds`, and how
+        #: many consecutive refreshes (including the latest) returned
+        #: the same set — the warmth signal incremental re-selection
+        #: earns on a stable network.
+        self.seed_refreshes = 0
+        self.stable_refreshes = 0
+
+    def _pick_light_seeds(self, full_seeds: tuple[int, ...]) -> tuple[int, ...]:
+        count = max(1, round(len(full_seeds) * self._light_fraction))
+        stride = max(1, len(full_seeds) // count)
+        return tuple(full_seeds[::stride][:count])
 
     @property
     def full_seeds(self) -> tuple[int, ...]:
@@ -94,6 +104,37 @@ class AdaptiveBudgetScheduler:
     @property
     def light_seeds(self) -> tuple[int, ...]:
         return self._light_seeds
+
+    def update_seeds(self, full_seeds: list[int]) -> bool:
+        """Adopt a re-selected seed set; warmth survives an unchanged one.
+
+        Incremental re-selection (:class:`~repro.seeds.reselect.
+        IncrementalCelfSelector`) usually returns the identical set on a
+        stable network; in that case the baseline, drift state and plan
+        warmth all stay valid and nothing resets. A changed set swaps
+        the full and sentinel seeds and forces a bootstrap full round.
+        Returns True when the set actually changed.
+        """
+        if not full_seeds:
+            raise CrowdsourcingError("scheduler needs a non-empty seed set")
+        recorder = get_recorder()
+        self.seed_refreshes += 1
+        changed = frozenset(full_seeds) != frozenset(self._full_seeds)
+        if not changed:
+            self.stable_refreshes += 1
+            recorder.count("scheduler.seed_refresh", changed="false")
+            recorder.gauge("scheduler.stable_refreshes", self.stable_refreshes)
+            return False
+        recorder.count("scheduler.seed_refresh", changed="true")
+        self.stable_refreshes = 0
+        recorder.gauge("scheduler.stable_refreshes", 0)
+        self._full_seeds = tuple(full_seeds)
+        self._light_seeds = self._pick_light_seeds(self._full_seeds)
+        # The old baseline describes the old seed set; start over.
+        self._baseline = None
+        self._light_rounds_since_full = 0
+        self._drift_pending = False
+        return True
 
     def plan_round(self) -> RoundPlan:
         """Decide this interval's query set."""

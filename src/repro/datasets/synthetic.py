@@ -26,6 +26,7 @@ from repro.roadnet.generators import (
     grid_city,
     ring_radial_city,
     sized_grid,
+    sized_metropolis,
 )
 from repro.roadnet.network import RoadNetwork
 from repro.traffic.events import CongestionEvent
@@ -166,6 +167,28 @@ def synthetic_metropolis() -> TrafficDataset:
 def scaled_dataset(num_roads_target: int, history_days: int = 10) -> TrafficDataset:
     """A grid dataset sized for scalability sweeps (F3/F8)."""
     network = sized_grid(num_roads_target)
+    return build_dataset(
+        network.name,
+        network,
+        history_days=history_days,
+        test_days=1,
+        seed=num_roads_target,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def metropolitan_dataset(
+    num_roads_target: int = 50_000, history_days: int = 5
+) -> TrafficDataset:
+    """A metropolitan-scale district-city dataset (F8 at 50k+ roads).
+
+    Districts are stitched 12×12 grids (:func:`sized_metropolis`), so
+    the correlation graph has the sparse cross-district structure the
+    partitioned selection/inference layers exploit. History is kept
+    short (simulation dominates build time at this scale); one test day
+    is plenty for a latency benchmark.
+    """
+    network = sized_metropolis(num_roads_target)
     return build_dataset(
         network.name,
         network,

@@ -176,6 +176,14 @@ def mine_correlation_graph(
     trends = store.trend_matrix().astype(np.float64)
     num_intervals = trends.shape[0]
     column = {road: i for i, road in enumerate(road_ids)}
+    # The matmul identity P(t_u == t_v) = (1 + E[t_u * t_v]) / 2 holds
+    # only for strictly ±1 trends: a 0 (flat/missing) entry contributes
+    # 0 to the product and silently counts as *half* an agreement. When
+    # any zeros are present, fall back to per-pair masking: an interval
+    # is valid only when both trends are nonzero, and agreement is the
+    # fraction of valid intervals with the same sign.
+    has_zeros = bool(np.any(trends == 0.0))
+    nonzero = None if not has_zeros else (trends != 0.0)
 
     edges: list[CorrelationEdge] = []
     for road_id in road_ids:
@@ -187,9 +195,18 @@ def mine_correlation_graph(
         if not candidates:
             continue
         cols = np.array([column[c] for c in candidates])
-        # agreement = P(t_u == t_v) = (1 + E[t_u * t_v]) / 2 for ±1 trends.
-        products = trends[:, cols].T @ trends[:, column[road_id]]
-        agreements = (1.0 + products / num_intervals) / 2.0
+        if not has_zeros:
+            # agreement = P(t_u == t_v) = (1 + E[t_u * t_v]) / 2 for ±1 trends.
+            products = trends[:, cols].T @ trends[:, column[road_id]]
+            agreements = (1.0 + products / num_intervals) / 2.0
+        else:
+            u_col = trends[:, column[road_id]]
+            valid = nonzero[:, cols] & nonzero[:, column[road_id]][:, None]
+            valid_counts = valid.sum(axis=0)
+            same_sign = ((trends[:, cols] == u_col[:, None]) & valid).sum(axis=0)
+            # A pair with no valid interval has no evidence: agreement 0,
+            # which min_agreement >= 0.5 always rejects.
+            agreements = same_sign / np.maximum(valid_counts, 1)
         for candidate, agreement in zip(candidates, agreements):
             if agreement >= min_agreement:
                 edges.append(CorrelationEdge(road_id, candidate, float(agreement)))

@@ -369,6 +369,7 @@ class FidelityCacheService:
         self._hits = 0
         self._misses = 0
         self._listeners: list = []
+        self._row_listeners: list = []
 
     # -- bookkeeping ----------------------------------------------------
     def _entry(self, graph: CorrelationGraph) -> _GraphEntry:
@@ -402,6 +403,18 @@ class FidelityCacheService:
         """
         self._listeners.append(listener)
 
+    def add_row_invalidation_listener(self, listener) -> None:
+        """Call ``listener(graph, roads)`` on row-level invalidations.
+
+        ``roads`` is the sorted tuple of source roads whose cached
+        influence rows were dropped, or ``None`` for a whole-graph
+        invalidation (which also fires these listeners — a coarse
+        invalidation must never look *narrower* than a fine one).
+        Incremental CELF re-selection registers here to learn which
+        candidates' cached gains are dirty.
+        """
+        self._row_listeners.append(listener)
+
     def invalidate(self, graph: CorrelationGraph | None = None) -> None:
         """Drop cached rows for ``graph`` (or everything)."""
         if graph is None:
@@ -410,6 +423,40 @@ class FidelityCacheService:
             self._graphs.pop(graph, None)
         for listener in list(self._listeners):
             listener(graph)
+        for listener in list(self._row_listeners):
+            listener(graph, None)
+
+    def invalidate_rows(self, graph: CorrelationGraph, roads) -> None:
+        """Drop the cached influence rows of specific source roads.
+
+        Narrower than :meth:`invalidate`: only the dense rows, sparse
+        maps and stacked matrices derived from the given source roads
+        are dropped; every other road's cache survives. Row listeners
+        receive the sorted road tuple so dependents (incremental CELF)
+        can mark exactly those candidates dirty. Roads with nothing
+        cached are fine to name — invalidation is idempotent.
+        """
+        dropped = tuple(sorted(set(roads)))
+        if not dropped:
+            return
+        entry = self._graphs.get(graph)
+        if entry is not None:
+            road_set = set(dropped)
+            for per_key in entry.rows.values():
+                for road in dropped:
+                    per_key.pop(road, None)
+            for per_key in entry.maps.values():
+                for road in dropped:
+                    per_key.pop(road, None)
+            stale = [
+                stacked_key
+                for stacked_key in entry.stacked
+                if road_set.intersection(stacked_key[1])
+            ]
+            for stacked_key in stale:
+                del entry.stacked[stacked_key]
+        for listener in list(self._row_listeners):
+            listener(graph, dropped)
 
     def csr(self, graph: CorrelationGraph) -> CSRFidelityGraph:
         """The (cached) CSR export of ``graph``."""

@@ -225,6 +225,126 @@ def composite_city(
     return network
 
 
+def metropolitan_city(
+    districts_x: int = 10,
+    districts_y: int = 10,
+    district_rows: int = 12,
+    district_cols: int = 12,
+    block_m: float = 400.0,
+    arterial_every: int = 4,
+    stitch_every: int = 4,
+    name: str = "metropolitan-city",
+) -> RoadNetwork:
+    """A metropolitan area: a super-grid of districts stitched by arterials.
+
+    Each of the ``districts_x × districts_y`` districts is a
+    ``district_rows × district_cols`` grid neighbourhood (local streets
+    with an arterial hierarchy, as in :func:`grid_city`). Adjacent
+    districts are joined by two-way arterial links at every
+    ``stitch_every``-th boundary intersection, so the network is one
+    connected component whose cross-district connectivity is much
+    sparser than its intra-district connectivity — the structure the
+    district-partitioned selection and inference layers exploit.
+
+    The default parameters produce ~53k directed segments; generators
+    stay deterministic, so benchmarks at metropolitan scale (F8) see
+    identical topology on every run.
+    """
+    if districts_x < 1 or districts_y < 1:
+        raise ValueError("need at least one district in each direction")
+    if district_rows < 2 or district_cols < 2:
+        raise ValueError("districts need at least a 2x2 grid")
+    if arterial_every < 1 or stitch_every < 1:
+        raise ValueError("arterial_every and stitch_every must be >= 1")
+
+    network = RoadNetwork(name=name)
+    nodes_per_district = district_rows * district_cols
+    # A one-block gap between districts keeps the stitch links visible
+    # in the geometry (and strictly longer than local streets).
+    span_x = (district_cols + 1) * block_m
+    span_y = (district_rows + 1) * block_m
+
+    def node_id(dx: int, dy: int, r: int, c: int) -> int:
+        return (dy * districts_x + dx) * nodes_per_district + r * district_cols + c
+
+    for dy in range(districts_y):
+        for dx in range(districts_x):
+            origin_x = dx * span_x
+            origin_y = dy * span_y
+            for r in range(district_rows):
+                for c in range(district_cols):
+                    network.add_intersection(
+                        node_id(dx, dy, r, c),
+                        Point(origin_x + c * block_m, origin_y + r * block_m),
+                    )
+
+    road_id = 0
+    for dy in range(districts_y):
+        for dx in range(districts_x):
+            district = f"D{dx}.{dy}"
+            for r in range(district_rows):
+                for c in range(district_cols):
+                    node = node_id(dx, dy, r, c)
+                    if c + 1 < district_cols:
+                        road_class = "arterial" if r % arterial_every == 0 else "local"
+                        road_id = _add_two_way(
+                            network, road_id, node, node_id(dx, dy, r, c + 1),
+                            road_class, name=f"{district}-EW-{r}",
+                        )
+                    if r + 1 < district_rows:
+                        road_class = "arterial" if c % arterial_every == 0 else "local"
+                        road_id = _add_two_way(
+                            network, road_id, node, node_id(dx, dy, r + 1, c),
+                            road_class, name=f"{district}-NS-{c}",
+                        )
+
+    # Stitch adjacent districts with arterial links.
+    for dy in range(districts_y):
+        for dx in range(districts_x):
+            if dx + 1 < districts_x:  # east neighbour
+                for r in range(0, district_rows, stitch_every):
+                    road_id = _add_two_way(
+                        network,
+                        road_id,
+                        node_id(dx, dy, r, district_cols - 1),
+                        node_id(dx + 1, dy, r, 0),
+                        "arterial",
+                        name=f"Stitch-E-{dx}.{dy}-{r}",
+                    )
+            if dy + 1 < districts_y:  # north neighbour
+                for c in range(0, district_cols, stitch_every):
+                    road_id = _add_two_way(
+                        network,
+                        road_id,
+                        node_id(dx, dy, district_rows - 1, c),
+                        node_id(dx, dy + 1, 0, c),
+                        "arterial",
+                        name=f"Stitch-N-{dx}.{dy}-{c}",
+                    )
+    network.validate()
+    return network
+
+
+def sized_metropolis(num_roads_target: int, name: str | None = None) -> RoadNetwork:
+    """A metropolitan city with roughly ``num_roads_target`` segments.
+
+    Districts are fixed 12×12 grids (528 directed segments each); the
+    district super-grid is sized to reach the target, growing x then y.
+    Used by the metropolitan scalability benchmark (F8).
+    """
+    if num_roads_target < 528:
+        raise ValueError("target too small for a single 12x12 district")
+    per_district = 2 * (12 * 11 * 2)  # 528 directed segments per district
+    districts = -(-num_roads_target // per_district)  # ceil; stitches add more
+    districts_y = max(1, math.isqrt(districts))
+    districts_x = -(-districts // districts_y)
+    return metropolitan_city(
+        districts_x=districts_x,
+        districts_y=districts_y,
+        name=name or f"metro-{districts_x}x{districts_y}",
+    )
+
+
 def sized_grid(num_roads_target: int, name: str | None = None) -> RoadNetwork:
     """A grid city sized to have roughly ``num_roads_target`` segments.
 

@@ -13,7 +13,12 @@ from repro.seeds.costaware import (
     default_road_costs,
     selection_cost,
 )
-from repro.seeds.greedy import SelectionResult, greedy_select, validate_budget
+from repro.seeds.greedy import (
+    SelectionResult,
+    greedy_select,
+    validate_budget,
+    validate_candidates,
+)
 from repro.seeds.hardness import (
     SeedSelectionHardnessInstance,
     covers_all_elements,
@@ -27,16 +32,20 @@ from repro.seeds.objective import (
     CoverageState,
     SeedSelectionObjective,
 )
+from repro.seeds.parallel import DistrictPool, parallel_partition_select
 from repro.seeds.partition import (
     allocate_budget,
     partition_graph,
     partition_greedy_select,
 )
+from repro.seeds.reselect import IncrementalCelfSelector
 
 __all__ = [
     "CoverageState",
     "DEFAULT_CLASS_COSTS",
+    "DistrictPool",
     "INFLUENCE_TRANSFORMS",
+    "IncrementalCelfSelector",
     "cost_aware_select",
     "default_road_costs",
     "selection_cost",
@@ -52,10 +61,12 @@ __all__ = [
     "make_objective",
     "min_seed_budget",
     "min_set_cover_size",
+    "parallel_partition_select",
     "partition_graph",
     "partition_greedy_select",
     "random_select",
     "set_cover_to_seed_selection",
     "top_degree_select",
     "validate_budget",
+    "validate_candidates",
 ]

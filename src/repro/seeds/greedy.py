@@ -65,6 +65,57 @@ def validate_budget(objective: SeedSelectionObjective, budget: int) -> None:
         )
 
 
+def validate_candidates(
+    objective: SeedSelectionObjective,
+    budget: int,
+    candidates: list[int] | None,
+) -> list[int]:
+    """Validate an explicit candidate pool and return it as a list.
+
+    An invalid pool used to surface as a raw ``KeyError`` deep inside the
+    objective (unknown road id) or silently double-count marginal gains
+    (duplicate id seeded twice into the CELF heap). Both are caller bugs,
+    so they are rejected up front with a typed :class:`SelectionError`
+    naming the offending ids. ``None`` means "all roads" and is returned
+    as the objective's own road list.
+    """
+    if candidates is None:
+        pool = objective.road_ids
+    else:
+        pool = list(candidates)
+        if not pool:
+            get_recorder().count("seeds.candidates_rejected", reason="empty")
+            raise SelectionError(
+                f"candidate pool is empty (budget K={budget}, "
+                f"{objective.num_roads} roads in the correlation graph)"
+            )
+        seen: set[int] = set()
+        duplicates: set[int] = set()
+        for road in pool:
+            if road in seen:
+                duplicates.add(road)
+            seen.add(road)
+        if duplicates:
+            get_recorder().count("seeds.candidates_rejected", reason="duplicate")
+            raise SelectionError(
+                f"candidate pool contains duplicate road ids: "
+                f"{sorted(duplicates)[:10]}"
+            )
+        index = objective.index
+        unknown = sorted(road for road in seen if road not in index)
+        if unknown:
+            get_recorder().count("seeds.candidates_rejected", reason="unknown")
+            raise SelectionError(
+                f"candidate pool references roads absent from the "
+                f"correlation graph: {unknown[:10]}"
+            )
+    if len(pool) < budget:
+        raise SelectionError(
+            f"candidate pool of {len(pool)} cannot fill budget {budget}"
+        )
+    return pool
+
+
 def greedy_select(
     objective: SeedSelectionObjective,
     budget: int,
@@ -72,11 +123,7 @@ def greedy_select(
 ) -> SelectionResult:
     """Plain greedy: exact best marginal gain at every step."""
     validate_budget(objective, budget)
-    pool = list(candidates) if candidates is not None else objective.road_ids
-    if len(pool) < budget:
-        raise SelectionError(
-            f"candidate pool of {len(pool)} cannot fill budget {budget}"
-        )
+    pool = validate_candidates(objective, budget, candidates)
 
     recorder = get_recorder()
     clock = get_clock()

@@ -16,7 +16,7 @@ import heapq
 
 from repro.core.clock import get_clock
 from repro.obs import get_recorder
-from repro.seeds.greedy import SelectionResult, validate_budget
+from repro.seeds.greedy import SelectionResult, validate_budget, validate_candidates
 from repro.seeds.objective import SeedSelectionObjective
 
 
@@ -27,16 +27,8 @@ def lazy_greedy_select(
 ) -> SelectionResult:
     """CELF: greedy with lazy marginal-gain re-evaluation."""
     validate_budget(objective, budget)
-    pool = list(candidates) if candidates is not None else objective.road_ids
-    if len(pool) < budget:
-        from repro.core.errors import SelectionError
+    pool = validate_candidates(objective, budget, candidates)
 
-        raise SelectionError(
-            f"candidate pool of {len(pool)} cannot fill budget {budget}"
-        )
-
-    recorder = get_recorder()
-    clock = get_clock()
     state = objective.new_state()
     evaluations = 0
 
@@ -47,7 +39,29 @@ def lazy_greedy_select(
         gain = state.gain(candidate)
         evaluations += 1
         heapq.heappush(heap, (-gain, candidate, 0))
+    return run_celf(objective, budget, heap, state, evaluations)
 
+
+def run_celf(
+    objective: SeedSelectionObjective,
+    budget: int,
+    heap: list[tuple[float, int, int]],
+    state,
+    evaluations: int,
+    method: str = "lazy-greedy",
+) -> SelectionResult:
+    """The CELF pop/re-evaluate loop over a pre-seeded bound heap.
+
+    ``heap`` holds ``(-gain, road, 0)`` empty-set bounds — heap *order*
+    (entries are totally ordered, road id breaking gain ties) fully
+    determines the pick sequence, so any construction of the same bound
+    set (cold scan or a warm-started cache) yields the identical seed
+    sequence. ``evaluations`` counts the gain queries already spent
+    building the heap; the incremental re-selection path passes the
+    number of *dirty* candidates it actually recomputed.
+    """
+    recorder = get_recorder()
+    clock = get_clock()
     seeds: list[int] = []
     gains: list[float] = []
     values: list[float] = []
@@ -83,7 +97,7 @@ def lazy_greedy_select(
             "seeds.lazy.heap_hit_rate", heap_hits / (heap_hits + heap_misses)
         )
     return SelectionResult(
-        method="lazy-greedy",
+        method=method,
         seeds=tuple(seeds),
         gains=tuple(gains),
         values=tuple(values),

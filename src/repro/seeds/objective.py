@@ -234,6 +234,23 @@ class SeedSelectionObjective:
             self._map_memo[road] = mapping
         return mapping
 
+    def evict_rows(self, roads: Iterable[int] | None = None) -> None:
+        """Drop memoized influence rows/maps (all, or specific sources).
+
+        The memos are reference views over the shared service cache;
+        when the service invalidates rows (see
+        :meth:`~repro.history.fidelity.FidelityCacheService.
+        invalidate_rows`) the corresponding memo entries must go too,
+        or the objective would keep serving the dropped rows forever.
+        """
+        if roads is None:
+            self._row_memo.clear()
+            self._map_memo.clear()
+            return
+        for road in roads:
+            self._row_memo.pop(road, None)
+            self._map_memo.pop(road, None)
+
     def clone_with_weights(
         self, road_weights: dict[int, float]
     ) -> "SeedSelectionObjective":

@@ -117,10 +117,24 @@ class TrendPropagationInference:
         self._prior_weight = prior_weight
         self._service = fidelity_service or get_fidelity_service()
         self._use_kernel = use_kernel
+        self._vote_accumulator = None
 
     @property
     def fidelity_service(self) -> FidelityCacheService:
         return self._service
+
+    def set_vote_accumulator(self, accumulator) -> None:
+        """Install a district-parallel vote backend (or None to clear).
+
+        ``accumulator(graph, seeds, signs)`` must return the CSR-ordered
+        vote vector and its nonzero count — the contract of
+        :meth:`repro.seeds.parallel.DistrictPool.vote_accumulator`. Used
+        only on the kernel path and only when the instance's road order
+        matches the CSR order (the metropolitan pipeline case); partial
+        sums may differ from the serial matmul by float re-association
+        (≤ 1e-9), which the differential tests pin.
+        """
+        self._vote_accumulator = accumulator
 
     def infer(self, instance: TrendInstance) -> TrendPosterior:
         """Posterior P(RISE) per road from prior + seed votes."""
@@ -192,17 +206,33 @@ class TrendPropagationInference:
         seeds = self._vote_seeds(graph, instance, index)
         if not seeds:
             return 0
+        signs = np.fromiter(
+            (float(int(instance.evidence[s])) for s in seeds),
+            dtype=np.float64,
+            count=len(seeds),
+        )
+        # The district pool computes rows with an unbounded hop budget,
+        # so the parallel backend only serves the max_hops=None case.
+        if self._vote_accumulator is not None and self._max_hops is None:
+            votes_csr, nonzeros = self._vote_accumulator(graph, seeds, signs)
+            csr = self._service.csr(graph)
+            if csr.index is index:
+                log_odds += votes_csr
+            else:
+                gather = np.fromiter(
+                    (index.get(road, -1) for road in csr.road_ids),
+                    dtype=np.int64,
+                    count=csr.num_roads,
+                )
+                valid = gather >= 0
+                log_odds[gather[valid]] += votes_csr[valid]
+            return int(nonzeros)
         matrix = self._service.rows(
             graph,
             seeds,
             min_fidelity=self._min_fidelity,
             max_hops=self._max_hops,
             transform="logodds",
-        )
-        signs = np.fromiter(
-            (float(int(instance.evidence[s])) for s in seeds),
-            dtype=np.float64,
-            count=len(seeds),
         )
         votes_csr = signs @ matrix
         csr = self._service.csr(graph)

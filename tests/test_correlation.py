@@ -156,3 +156,120 @@ class TestMining:
             mine_correlation_graph(net, store, max_hops=0)
         with pytest.raises(DataError):
             mine_correlation_graph(net, store, min_agreement=0.4)
+
+
+class _StubStore:
+    """Just enough store surface for mining: ids + a crafted trend matrix."""
+
+    def __init__(self, road_ids, trends):
+        self.road_ids = list(road_ids)
+        self._trends = np.asarray(trends)
+
+    def trend_matrix(self):
+        return self._trends
+
+
+def _line_network(num_roads):
+    from repro.roadnet.geometry import Point
+    from repro.roadnet.network import RoadNetwork
+
+    net = RoadNetwork()
+    for node in range(num_roads + 1):
+        net.add_intersection(node, Point(100.0 * node, 0))
+    for road in range(num_roads):
+        net.add_segment(road, road, road + 1)
+    return net
+
+
+class TestZeroTrendMasking:
+    """Zero (flat/missing) trends must not bias agreement.
+
+    The matmul identity P(t_u == t_v) = (1 + E[t_u t_v]) / 2 silently
+    counts every interval where either trend is 0 as *half* an
+    agreement. The masked path scores only intervals where both trends
+    are nonzero; these tests pin the corrected values.
+    """
+
+    def test_zero_trends_excluded_from_agreement(self):
+        # Roads agree on every interval where both have a trend (3/3),
+        # but road 0 is flat for the remaining five intervals. The old
+        # biased identity yielded (1 + 3/8) / 2 = 0.6875; the corrected
+        # agreement is 1.0.
+        trends = np.array(
+            [
+                [1, 1], [1, 1], [1, 1],
+                [0, 1], [0, 1], [0, 1], [0, 1], [0, 1],
+            ],
+            dtype=np.int8,
+        )
+        store = _StubStore([0, 1], trends)
+        graph = mine_correlation_graph(
+            _line_network(2), store, max_hops=1, min_agreement=0.5
+        )
+        assert graph.agreement(0, 1) == pytest.approx(1.0)
+        assert graph.agreement(0, 1) != pytest.approx(0.6875)
+
+    def test_disagreement_not_diluted_by_zeros(self):
+        # Valid intervals split 1 agree / 3 disagree -> 0.25, below any
+        # admissible threshold; the biased identity got
+        # (1 + (1 - 3)/8) / 2 = 0.375 from the same data.
+        trends = np.array(
+            [
+                [1, 1], [1, -1], [1, -1], [-1, 1],
+                [0, 1], [0, -1], [0, 1], [0, -1],
+            ],
+            dtype=np.int8,
+        )
+        store = _StubStore([0, 1], trends)
+        graph = mine_correlation_graph(
+            _line_network(2), store, max_hops=1, min_agreement=0.5
+        )
+        assert graph.agreement(0, 1) is None
+
+    def test_pair_with_no_valid_intervals_rejected(self):
+        trends = np.array([[0, 1], [0, -1], [0, 1]], dtype=np.int8)
+        store = _StubStore([0, 1], trends)
+        graph = mine_correlation_graph(
+            _line_network(2), store, max_hops=1, min_agreement=0.5
+        )
+        assert graph.num_edges == 0
+
+    def test_masked_path_matches_identity_on_pm1_pairs(self):
+        # A zero anywhere in the matrix routes *all* pairs through the
+        # masked path; pairs whose own columns are strictly +-1 must
+        # still score exactly what the fast identity gives them.
+        rng = np.random.default_rng(4)
+        base = rng.choice([-1, 1], size=96).astype(np.int8)
+        partner = base.copy()
+        partner[:20] *= -1  # disagree on exactly 20/96 intervals
+        trends = np.stack([base, partner, base], axis=1)
+        zeroed = trends.copy()
+        zeroed[:, 2] = 0  # only road 2's column has zeros
+        fast = mine_correlation_graph(
+            _line_network(3),
+            _StubStore([0, 1, 2], trends),
+            max_hops=1,
+            min_agreement=0.5,
+        )
+        masked = mine_correlation_graph(
+            _line_network(3),
+            _StubStore([0, 1, 2], zeroed),
+            max_hops=1,
+            min_agreement=0.5,
+        )
+        assert fast.agreement(0, 1) == pytest.approx(76 / 96)
+        assert masked.agreement(0, 1) == pytest.approx(76 / 96)
+
+    def test_all_pm1_history_keeps_fast_path_results(self, small_dataset):
+        # The workhorse dataset has no zero trends; re-mining must give
+        # byte-identical agreements to the committed graph (fast path).
+        remined = mine_correlation_graph(
+            small_dataset.network, small_dataset.store
+        )
+        original = {
+            (e.road_u, e.road_v): e.agreement
+            for e in small_dataset.graph.edges()
+        }
+        assert {
+            (e.road_u, e.road_v): e.agreement for e in remined.edges()
+        } == original

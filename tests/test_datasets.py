@@ -10,7 +10,11 @@ from repro.datasets.splits import (
     off_peak_intervals,
     rush_hour_intervals,
 )
-from repro.datasets.synthetic import build_dataset, scaled_dataset
+from repro.datasets.synthetic import (
+    build_dataset,
+    metropolitan_dataset,
+    scaled_dataset,
+)
 
 
 class TestBuildDataset:
@@ -63,6 +67,15 @@ class TestBuildDataset:
         b = scaled_dataset(60, history_days=2)
         assert a is b
         assert a.network.num_segments >= 60
+
+    def test_metropolitan_dataset_cached_and_sized(self):
+        # Smallest metro (one 12x12 district) keeps tier-1 fast; the
+        # full 50k+ configuration runs in the F8 benchmark instead.
+        a = metropolitan_dataset(528, history_days=2)
+        b = metropolitan_dataset(528, history_days=2)
+        assert a is b
+        assert a.network.num_segments >= 528
+        assert a.history.matrix.shape[1] == a.network.num_segments
 
 
 class TestSplits:

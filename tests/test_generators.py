@@ -5,8 +5,10 @@ import pytest
 from repro.roadnet.generators import (
     composite_city,
     grid_city,
+    metropolitan_city,
     ring_radial_city,
     sized_grid,
+    sized_metropolis,
 )
 
 
@@ -121,3 +123,73 @@ class TestSizedGrid:
     def test_too_small_rejected(self):
         with pytest.raises(ValueError):
             sized_grid(4)
+
+
+class TestMetropolitanCity:
+    def test_small_metro_counts(self):
+        # 2x2 districts of 4x4 grids: 4 * (2 * 2 * (4*3)) = 192 local
+        # segments plus the stitch arterials between adjacent districts.
+        net = metropolitan_city(
+            districts_x=2, districts_y=2, district_rows=4, district_cols=4
+        )
+        assert net.num_intersections == 4 * 16
+        per_district = 2 * 2 * (4 * 3)
+        assert net.num_segments > 4 * per_district
+        stitches = net.num_segments - 4 * per_district
+        assert stitches % 2 == 0  # stitch links are two-way pairs
+
+    def test_single_connected_component(self):
+        net = metropolitan_city(
+            districts_x=3, districts_y=2, district_rows=4, district_cols=4
+        )
+        # Undirected BFS over shared intersections must reach every road.
+        roads = net.road_ids()
+        seen = {roads[0]}
+        frontier = [roads[0]]
+        while frontier:
+            road = frontier.pop()
+            seg = net.segment(road)
+            for node in (seg.start_node, seg.end_node):
+                for nxt in net.outgoing(node) + net.incoming(node):
+                    if nxt.road_id not in seen:
+                        seen.add(nxt.road_id)
+                        frontier.append(nxt.road_id)
+        assert len(seen) == len(roads)
+
+    def test_stitch_arterials_present_and_named(self):
+        net = metropolitan_city(
+            districts_x=2, districts_y=2, district_rows=4, district_cols=4
+        )
+        stitch_names = {
+            s.name for s in net.segments() if s.name.startswith("Stitch-")
+        }
+        assert any(name.startswith("Stitch-E-") for name in stitch_names)
+        assert any(name.startswith("Stitch-N-") for name in stitch_names)
+        assert all(
+            s.road_class == "arterial"
+            for s in net.segments()
+            if s.name.startswith("Stitch-")
+        )
+
+    def test_deterministic(self):
+        kwargs = dict(districts_x=2, districts_y=3, district_rows=4, district_cols=5)
+        a, b = metropolitan_city(**kwargs), metropolitan_city(**kwargs)
+        assert a.road_ids() == b.road_ids()
+        assert [s.name for s in a.segments()] == [s.name for s in b.segments()]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            metropolitan_city(districts_x=0)
+        with pytest.raises(ValueError):
+            metropolitan_city(district_rows=1)
+
+
+class TestSizedMetropolis:
+    @pytest.mark.parametrize("target", [528, 2000, 5000])
+    def test_meets_target(self, target):
+        net = sized_metropolis(target)
+        assert net.num_segments >= target
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            sized_metropolis(100)

@@ -272,3 +272,51 @@ class TestEndToEnd:
         assert savings > 0.25  # meaningful budget reduction
         # Accuracy cost stays modest.
         assert np.mean(adaptive_err) < np.mean(full_err) * 1.25
+
+
+class TestSeedRefreshWarmth:
+    """update_seeds: warmth survives an unchanged re-selected set."""
+
+    def _warmed(self):
+        scheduler = AdaptiveBudgetScheduler(SEEDS, max_light_rounds=3)
+        plan = scheduler.plan_round()  # bootstrap full round
+        scheduler.record_round(plan, neutral(plan.seeds))
+        return scheduler
+
+    def test_unchanged_set_preserves_warmth(self):
+        scheduler = self._warmed()
+        changed = scheduler.update_seeds(list(reversed(SEEDS)))  # same set
+        assert changed is False
+        assert scheduler.seed_refreshes == 1
+        assert scheduler.stable_refreshes == 1
+        # Baseline survived: the next round stays light, not bootstrap.
+        plan = scheduler.plan_round()
+        assert not plan.is_full
+        assert plan.reason == "calm"
+
+    def test_stable_refreshes_accumulate(self):
+        scheduler = self._warmed()
+        for _ in range(3):
+            scheduler.update_seeds(SEEDS)
+        assert scheduler.stable_refreshes == 3
+        assert scheduler.seed_refreshes == 3
+
+    def test_changed_set_resets_warmth(self):
+        scheduler = self._warmed()
+        scheduler.update_seeds(SEEDS)
+        assert scheduler.stable_refreshes == 1
+        new_seeds = SEEDS[:-1] + [999]
+        changed = scheduler.update_seeds(new_seeds)
+        assert changed is True
+        assert scheduler.stable_refreshes == 0
+        assert scheduler.full_seeds == tuple(new_seeds)
+        assert set(scheduler.light_seeds) <= set(new_seeds)
+        # Old baseline is gone: the next round bootstraps full.
+        plan = scheduler.plan_round()
+        assert plan.is_full
+        assert plan.reason == "bootstrap"
+
+    def test_empty_refresh_rejected(self):
+        scheduler = self._warmed()
+        with pytest.raises(CrowdsourcingError):
+            scheduler.update_seeds([])

@@ -170,6 +170,172 @@ class TestPartition:
             partition_graph(objective, 0)
 
 
+class TestCandidateValidation:
+    """Typed rejection of bad candidate pools (was a raw KeyError /
+    silent double-count before the validation sweep)."""
+
+    def test_unknown_id_rejected(self, objective):
+        bogus = max(objective.road_ids) + 1000
+        pool = objective.road_ids[:5] + [bogus]
+        with pytest.raises(SelectionError, match="absent from"):
+            lazy_greedy_select(objective, 2, candidates=pool)
+        with pytest.raises(SelectionError, match="absent from"):
+            greedy_select(objective, 2, candidates=pool)
+
+    def test_duplicate_id_rejected(self, objective):
+        first = objective.road_ids[0]
+        pool = [first, first] + objective.road_ids[1:5]
+        with pytest.raises(SelectionError, match="duplicate"):
+            lazy_greedy_select(objective, 2, candidates=pool)
+        with pytest.raises(SelectionError, match="duplicate"):
+            greedy_select(objective, 2, candidates=pool)
+
+    def test_empty_pool_rejected(self, objective):
+        with pytest.raises(SelectionError, match="empty"):
+            lazy_greedy_select(objective, 1, candidates=[])
+        with pytest.raises(SelectionError, match="empty"):
+            greedy_select(objective, 1, candidates=[])
+
+    def test_error_is_value_error(self, objective):
+        """SelectionError doubles as ValueError for stdlib-only callers."""
+        with pytest.raises(ValueError):
+            lazy_greedy_select(objective, 1, candidates=[-99])
+
+    def test_valid_pool_unaffected(self, objective):
+        pool = objective.road_ids[:10]
+        result = lazy_greedy_select(objective, 3, candidates=pool)
+        assert set(result.seeds) <= set(pool)
+
+
+def _reference_partition_graph(objective, num_partitions):
+    """The pre-deque BFS (list.pop(0)) as a byte-exact reference."""
+    graph = objective.graph
+    roads = graph.road_ids
+    target = -(-len(roads) // num_partitions)
+    unassigned = set(roads)
+    partitions = []
+    while unassigned:
+        start = min(unassigned)
+        chunk = []
+        queue = [start]
+        unassigned.discard(start)
+        while queue and len(chunk) < target:
+            road = queue.pop(0)
+            chunk.append(road)
+            for neighbour in graph.neighbour_ids(road):
+                if neighbour in unassigned:
+                    unassigned.discard(neighbour)
+                    queue.append(neighbour)
+        unassigned.update(queue)
+        partitions.append(sorted(chunk))
+    return partitions
+
+
+class TestPartitionGraphDequeRegression:
+    """The deque BFS must partition byte-identically to the quadratic
+    list.pop(0) original on the existing fixtures."""
+
+    def test_identical_partitions_small_dataset(self, objective):
+        for num_partitions in (1, 2, 4, 7, 16):
+            assert partition_graph(objective, num_partitions) == (
+                _reference_partition_graph(objective, num_partitions)
+            )
+
+    def test_identical_partitions_tiny_dataset(self, tiny_dataset):
+        objective = SeedSelectionObjective(tiny_dataset.graph)
+        for num_partitions in (1, 2, 3, 5):
+            assert partition_graph(objective, num_partitions) == (
+                _reference_partition_graph(objective, num_partitions)
+            )
+
+
+def _objective_for(graph):
+    return SeedSelectionObjective(graph, min_fidelity=0.01)
+
+
+def _star_graph(n=9):
+    """Hub 0 with n-1 leaves — one BFS grab takes nearly everything."""
+    edges = [CorrelationEdge(0, leaf, 0.9) for leaf in range(1, n)]
+    return CorrelationGraph(list(range(n)), edges)
+
+
+def _disconnected_graph(n=8):
+    """No edges at all: every road is its own component."""
+    return CorrelationGraph(list(range(n)), [])
+
+
+def _chain_pairs_graph(pairs=4):
+    """Disjoint 2-road components — singleton/tiny chunk territory."""
+    edges = [
+        CorrelationEdge(2 * i, 2 * i + 1, 0.8) for i in range(pairs)
+    ]
+    return CorrelationGraph(list(range(2 * pairs)), edges)
+
+
+class TestPartitionAdversarial:
+    """Property coverage for allocate_budget + partition_greedy_select
+    on adversarial graph shapes (satellite task)."""
+
+    @pytest.mark.parametrize(
+        "graph_factory", [_star_graph, _disconnected_graph, _chain_pairs_graph]
+    )
+    @pytest.mark.parametrize("num_partitions", [1, 2, 3, 8])
+    def test_partitions_disjoint_cover(self, graph_factory, num_partitions):
+        objective = _objective_for(graph_factory())
+        partitions = partition_graph(objective, num_partitions)
+        flat = [road for chunk in partitions for road in chunk]
+        assert sorted(flat) == objective.road_ids
+        assert len(flat) == len(set(flat))
+        assert all(chunk for chunk in partitions)
+
+    @pytest.mark.parametrize(
+        "graph_factory", [_star_graph, _disconnected_graph, _chain_pairs_graph]
+    )
+    @pytest.mark.parametrize("num_partitions", [1, 3, 8])
+    def test_shares_sum_and_cap(self, graph_factory, num_partitions):
+        objective = _objective_for(graph_factory())
+        partitions = partition_graph(objective, num_partitions)
+        total = sum(len(chunk) for chunk in partitions)
+        for budget in range(1, total + 1):
+            shares = allocate_budget(partitions, budget)
+            assert sum(shares) == budget
+            assert all(
+                0 <= share <= len(chunk)
+                for share, chunk in zip(shares, partitions)
+            )
+
+    @pytest.mark.parametrize(
+        "graph_factory", [_star_graph, _disconnected_graph, _chain_pairs_graph]
+    )
+    def test_budget_equals_total_roads(self, graph_factory):
+        objective = _objective_for(graph_factory())
+        budget = objective.num_roads
+        result = partition_greedy_select(objective, budget, num_partitions=3)
+        # Every road selected exactly once, in some order.
+        assert sorted(result.seeds) == objective.road_ids
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_allocation_properties_random(self, data):
+        sizes = data.draw(
+            st.lists(st.integers(min_value=1, max_value=9), min_size=1,
+                     max_size=6)
+        )
+        partitions = []
+        next_road = 0
+        for size in sizes:
+            partitions.append(list(range(next_road, next_road + size)))
+            next_road += size
+        total = sum(sizes)
+        budget = data.draw(st.integers(min_value=1, max_value=total))
+        shares = allocate_budget(partitions, budget)
+        assert sum(shares) == budget
+        assert all(
+            0 <= share <= len(chunk)
+            for share, chunk in zip(shares, partitions)
+        )
+
+
 class TestSelectionBaselines:
     def test_random_deterministic_and_valid(self, objective):
         a = random_select(objective, 6, seed=3)
