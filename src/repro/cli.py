@@ -9,6 +9,7 @@ reproduction without writing code::
     repro-traffic route --from 0 --to 143      # plan on estimated speeds
     repro-traffic serve --rounds 8 --check     # snapshot publish/serve loop
     repro-traffic serve --slo --explain 17     # SLO burn-rate alerts + explain
+    repro-traffic stream --days 14 --check     # incremental ingest/re-mine loop
     repro-traffic obs record --out run.jsonl   # flight-record some rounds
     repro-traffic obs report run.jsonl         # round-by-round telemetry
     repro-traffic obs top metrics.json         # one-shot ops dashboard
@@ -143,6 +144,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-out", default=None,
                        help="dump the final metrics registry "
                        "(.prom -> Prometheus text, otherwise JSON)")
+
+    stream = commands.add_parser(
+        "stream",
+        help="drive the streaming ingest loop: rolling window, "
+        "incremental re-mining and delta-scoped cache eviction",
+    )
+    stream.add_argument("--days", type=int, default=14,
+                        help="simulated days streamed after the warmup window")
+    stream.add_argument("--window", type=int, default=7,
+                        help="rolling-history window in days")
+    stream.add_argument("--budget", type=int, default=None)
+    stream.add_argument("--serve-rounds", type=int, default=2,
+                        help="estimation rounds served per streamed day")
+    stream.add_argument("--sim-seed", type=int, default=123,
+                        help="traffic simulation seed for the streamed days")
+    stream.add_argument("--check", action="store_true",
+                        help="exit non-zero on any wholesale cache "
+                        "invalidation or incremental/batch mining mismatch")
+    stream.add_argument("--metrics-out", default=None,
+                        help="dump the final metrics registry "
+                        "(.prom -> Prometheus text, otherwise JSON)")
 
     obs = commands.add_parser(
         "obs", help="pipeline telemetry: record and inspect flight logs"
@@ -731,6 +753,154 @@ def _render_explanation(explanation) -> str:
     return "\n".join(lines)
 
 
+def cmd_stream(
+    dataset: TrafficDataset,
+    days: int,
+    window: int,
+    budget: int | None,
+    serve_rounds: int,
+    sim_seed: int,
+    check: bool,
+    metrics_out: str | None = None,
+) -> tuple[str, int]:
+    """Drive the incremental streaming loop for ``days`` simulated days.
+
+    Warms a rolling window, binds the estimation system to it, then
+    ingests one fresh day at a time: each ingest re-mines the co-trend
+    statistics incrementally, flows the resulting edge delta through
+    the cache stack (dropping only provably affected fidelity rows and
+    plans) and serves estimation rounds from the live system. Returns
+    ``(output, exit_code)``; with ``--check`` the exit code is non-zero
+    if any wholesale cache invalidation happened or the incremental
+    graph ever diverged from a batch re-mine of the same window.
+    """
+    if days < 1:
+        raise SystemExit("error: --days must be >= 1")
+    if window < 1:
+        raise SystemExit("error: --window must be >= 1")
+    if serve_rounds < 0:
+        raise SystemExit("error: --serve-rounds must be >= 0")
+    from repro.core.errors import DataError
+    from repro.core.field import SpeedField
+    from repro.history.online import RollingHistory
+    from repro.obs import recording, to_json, to_prometheus_text
+
+    total_days = window + days
+    field, _ = dataset.simulator.simulate(0, total_days, seed=sim_seed)
+    per_day = dataset.grid.intervals_per_day
+    day_fields = [
+        SpeedField(
+            field.matrix[d * per_day : (d + 1) * per_day],
+            field.road_ids,
+            d * per_day,
+        )
+        for d in range(total_days)
+    ]
+
+    lines = [
+        f"Streaming {days} days through a {window}-day rolling window "
+        f"on {dataset.name} ({dataset.network.num_segments} roads)"
+    ]
+    mismatches: list[str] = []
+    rows = []
+    with recording() as rec:
+        rolling = RollingHistory(
+            dataset.network, dataset.grid, window_days=window,
+            remine_every_days=1,
+        )
+        for day in day_fields[:window]:
+            rolling.ingest_day(day)
+        system = SpeedEstimationSystem.from_parts(
+            dataset.network, rolling.store, rolling.graph
+        ).bind_rolling(rolling)
+        k = _default_budget(dataset, budget)
+        system.reselect_seeds(k)
+
+        def counter(name, **labels):
+            return rec.registry.counter(name, **labels).value
+
+        for day_index in range(window, total_days):
+            day = day_fields[day_index]
+            dropped_before = counter("fidelity.invalidations", scope="rows")
+            evicted_before = counter("plan.rows_evicted")
+            compiles_before = counter("plan.cache", hit="false")
+            rolling.ingest_day(day)
+            try:
+                rolling.verify_incremental()
+            except DataError as exc:
+                mismatches.append(f"day {day_index}: {exc}")
+            delta = rolling.last_delta
+            seeds = system.reselect_seeds(k)
+            errors: list[float] = []
+            for r in range(serve_rounds):
+                offset = (r + 1) * per_day // (serve_rounds + 1)
+                interval = day.intervals.start + offset
+                crowd = {road: day.speed(road, interval) for road in seeds}
+                estimates = system.estimate(interval, crowd)
+                truth = day.speeds_at(interval)
+                errors.extend(
+                    abs(est.speed_kmh - truth[road])
+                    for road, est in estimates.items()
+                    if road not in crowd
+                )
+            rows.append([
+                day_index,
+                "-" if delta is None else (
+                    f"+{len(delta.added)}/-{len(delta.removed)}"
+                    f"/~{len(delta.reweighted)}"
+                ),
+                int(counter("fidelity.invalidations", scope="rows")
+                    - dropped_before),
+                int(counter("plan.rows_evicted") - evicted_before),
+                int(counter("plan.cache", hit="false") - compiles_before),
+                fmt(sum(errors) / len(errors)) if errors else "-",
+            ])
+
+        wholesale = counter("fidelity.invalidations", scope="graph")
+        flushes = counter("plan.cache_flushes")
+        hits = counter("plan.cache", hit="true")
+        misses = counter("plan.cache", hit="false")
+        if metrics_out is not None:
+            payload = (
+                to_prometheus_text(rec.registry)
+                if metrics_out.endswith(".prom")
+                else to_json(rec.registry)
+            )
+            with open(metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+
+    lines.append(
+        format_table(
+            ["day", "delta(+/-/~)", "rows dropped", "plans evicted",
+             "compiles", "mae km/h"],
+            rows,
+            title="Per-day streaming telemetry",
+        )
+    )
+    total = hits + misses
+    lines.append(
+        f"Re-mines: {rolling.mining_epoch}  wholesale invalidations: "
+        f"{int(wholesale)}  plan flushes: {int(flushes)}  plan cache hit "
+        f"rate: {100.0 * hits / total if total else 0.0:.1f}%"
+    )
+    if metrics_out is not None:
+        lines.append(f"Final metrics registry -> {metrics_out}")
+    failures = list(mismatches)
+    if wholesale > 0:
+        failures.append(f"{int(wholesale)} wholesale fidelity invalidation(s)")
+    if flushes > 0:
+        failures.append(f"{int(flushes)} plan cache flush(es)")
+    if check:
+        if failures:
+            lines.append("STREAM CHECK FAILED: " + "; ".join(failures))
+        else:
+            lines.append(
+                "stream check ok: incremental mining matched batch on every "
+                "window, no wholesale cache invalidations"
+            )
+    return "\n".join(lines), 1 if (check and failures) else 0
+
+
 def cmd_obs_report(recording_path: str) -> str:
     from repro.core.errors import DataError
     from repro.obs import report_file
@@ -808,6 +978,19 @@ def main(argv: Sequence[str] | None = None) -> int:
             slo_check=args.slo_check,
             expect_page=args.expect_page,
             explain=args.explain,
+            metrics_out=args.metrics_out,
+        )
+        print(output)
+        return code
+    elif args.command == "stream":
+        output, code = cmd_stream(
+            dataset,
+            args.days,
+            args.window,
+            args.budget,
+            args.serve_rounds,
+            args.sim_seed,
+            args.check,
             metrics_out=args.metrics_out,
         )
         print(output)

@@ -27,6 +27,11 @@ class PipelineConfig:
     interval_minutes: int = 15
     correlation_max_hops: int = 2
     correlation_min_agreement: float = 0.6
+    #: Support guard for mining over histories with zero (flat/missing)
+    #: trends: candidate pairs whose valid intervals cover less than
+    #: this fraction of the window are rejected regardless of their
+    #: agreement (see mine_correlation_graph).
+    correlation_min_valid_fraction: float = 0.1
     selection_method: str = "lazy"
     inference_method: str = "propagation"
     num_partitions: int = 8
@@ -69,6 +74,8 @@ class PipelineConfig:
             raise ConfigError("correlation_max_hops must be >= 1")
         if not 0.5 <= self.correlation_min_agreement <= 1.0:
             raise ConfigError("correlation_min_agreement must be in [0.5, 1]")
+        if not 0.0 <= self.correlation_min_valid_fraction <= 1.0:
+            raise ConfigError("correlation_min_valid_fraction must be in [0, 1]")
         if self.num_partitions < 1:
             raise ConfigError("num_partitions must be >= 1")
         if self.num_partition_workers < 0:

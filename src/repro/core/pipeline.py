@@ -180,6 +180,7 @@ class SpeedEstimationSystem:
                 store,
                 max_hops=config.correlation_max_hops,
                 min_agreement=config.correlation_min_agreement,
+                min_valid_fraction=config.correlation_min_valid_fraction,
             )
             return cls(network, store, graph, config)
 
@@ -350,6 +351,45 @@ class SpeedEstimationSystem:
         self._selection = result
         self._seeds = list(result.seeds)
         return self.seeds
+
+    def apply_graph_delta(self, delta) -> tuple[int, ...]:
+        """Refresh caches selectively after an in-place graph change.
+
+        Call right after a :class:`~repro.history.incremental.GraphDelta`
+        was applied to this system's correlation graph (the streaming
+        path — :meth:`bind_rolling` wires it automatically). The
+        fidelity service drops only provably affected influence rows
+        (see :meth:`~repro.history.fidelity.FidelityCacheService.
+        apply_graph_delta`), which cascades through the registered row
+        listeners: compiled plans over dropped seeds, influence
+        indexes, CELF gains and objective memos. Everything else keeps
+        serving warm. Returns the dropped source roads.
+        """
+        if delta.is_empty:
+            return ()
+        dropped = self._fidelity.apply_graph_delta(self._graph, delta)
+        if self._district_pool is not None:
+            # The pool's shared-memory CSR arrays bake in the old edge
+            # weights; release it and rebuild lazily on next use.
+            self.close()
+        return dropped
+
+    def bind_rolling(self, rolling) -> "SpeedEstimationSystem":
+        """Wire a :class:`~repro.history.online.RollingHistory` to this
+        system: every incremental re-mine flows its delta into
+        :meth:`apply_graph_delta`.
+
+        The rolling history must serve the **same graph object** this
+        system was built from (build via ``from_parts(network,
+        rolling.store, rolling.graph)``); deltas for other graphs are
+        ignored.
+        """
+        def _on_delta(graph, delta):
+            if graph is self._graph:
+                self.apply_graph_delta(delta)
+
+        rolling.add_delta_listener(_on_delta)
+        return self
 
     def close(self) -> None:
         """Release round-serving resources (the district pool)."""

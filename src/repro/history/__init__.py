@@ -15,6 +15,11 @@ from repro.history.fidelity import (
     propagate_fidelity_scalar,
     set_fidelity_service,
 )
+from repro.history.incremental import (
+    GraphDelta,
+    IncrementalCoTrendStats,
+    diff_edges,
+)
 from repro.history.online import RollingHistory
 from repro.history.persistence import (
     load_field,
@@ -32,7 +37,9 @@ __all__ = [
     "CorrelationEdge",
     "CorrelationGraph",
     "FidelityCacheService",
+    "GraphDelta",
     "HistoricalSpeedStore",
+    "IncrementalCoTrendStats",
     "MINUTES_PER_DAY",
     "RollingHistory",
     "TimeGrid",

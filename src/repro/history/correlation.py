@@ -14,7 +14,17 @@ candidate pair we compute the **trend agreement probability**::
 
 over the training history, and keep edges with ``p >= min_agreement``.
 Agreement below 0.5 would mean *anti*-correlation; the default threshold
-0.6 keeps only usefully informative edges.
+0.6 keeps only usefully informative edges. When trends carry zeros
+(flat/missing intervals), agreement is computed over the *valid*
+intervals only, and ``min_valid_fraction`` additionally rejects pairs
+whose evidence covers too little of the window — a pair sharing one
+valid interval would otherwise score a perfect 1.0 from a single
+coin-flip of evidence.
+
+For deployments that re-mine continuously, see
+:mod:`repro.history.incremental`: :meth:`CorrelationGraph.apply_delta`
+applies an edge-level diff in place, so long-lived caches keyed by
+graph identity survive a re-mine.
 """
 
 from __future__ import annotations
@@ -149,6 +159,57 @@ class CorrelationGraph:
         components.sort(key=len, reverse=True)
         return components
 
+    def apply_delta(self, delta) -> None:
+        """Apply an edge-level diff **in place**, preserving identity.
+
+        ``delta`` is a :class:`repro.history.incremental.GraphDelta`
+        (duck-typed: ``added`` / ``reweighted`` iterate
+        :class:`CorrelationEdge`, ``removed`` iterates road-id pairs).
+        Mutating the existing object — rather than building a fresh
+        graph — is what lets weakref-keyed caches (the fidelity
+        service, and everything attached to it) keep every row that no
+        changed edge touches. The road set never changes: deltas only
+        add, drop or re-weight edges between known roads.
+        """
+        touched: set[int] = set()
+        for road_u, road_v in delta.removed:
+            key = self._key(road_u, road_v)
+            if key not in self._weights:
+                raise DataError(f"cannot remove absent correlation edge {key}")
+            del self._weights[key]
+            for road in key:
+                self._adjacency[road] = [
+                    e
+                    for e in self._adjacency[road]
+                    if self._key(e.road_u, e.road_v) != key
+                ]
+            touched.update(key)
+        for edge in delta.added:
+            if edge.road_u not in self._adjacency or edge.road_v not in self._adjacency:
+                raise DataError(
+                    f"edge ({edge.road_u}, {edge.road_v}) references unknown road"
+                )
+            key = self._key(edge.road_u, edge.road_v)
+            if key in self._weights:
+                raise DataError(f"cannot add duplicate correlation edge {key}")
+            self._weights[key] = edge.agreement
+            self._adjacency[edge.road_u].append(edge)
+            self._adjacency[edge.road_v].append(edge)
+            touched.update(key)
+        for edge in delta.reweighted:
+            key = self._key(edge.road_u, edge.road_v)
+            if key not in self._weights:
+                raise DataError(f"cannot reweight absent correlation edge {key}")
+            self._weights[key] = edge.agreement
+            for road in key:
+                self._adjacency[road] = [
+                    edge if self._key(e.road_u, e.road_v) == key else e
+                    for e in self._adjacency[road]
+                ]
+            touched.update(key)
+        for road in touched:
+            self._adjacency[road].sort(key=lambda e: (-e.agreement, e.road_u, e.road_v))
+
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return f"CorrelationGraph(roads={self.num_roads}, edges={self.num_edges})"
 
@@ -158,19 +219,29 @@ def mine_correlation_graph(
     store: HistoricalSpeedStore,
     max_hops: int = 2,
     min_agreement: float = 0.6,
+    min_valid_fraction: float = 0.1,
 ) -> CorrelationGraph:
     """Mine the correlation graph from history.
 
     ``max_hops`` bounds the candidate neighbourhood in road adjacency;
     ``min_agreement`` is the edge-keeping threshold on trend-agreement
-    probability. Complexity is O(roads × candidates × intervals) with
-    the inner product vectorised.
+    probability. When the history carries zero (flat/missing) trends,
+    ``min_valid_fraction`` is the support guard: a pair whose valid
+    (both-nonzero) intervals cover less than that fraction of the
+    window is rejected outright — with one shared valid interval a pair
+    scores agreement 0 or 1, so sparse histories would otherwise grow
+    spurious perfect edges. Complexity is O(roads × candidates ×
+    intervals) with the inner product vectorised.
     """
     if max_hops < 1:
         raise DataError(f"max_hops must be >= 1, got {max_hops}")
     if not 0.5 <= min_agreement <= 1.0:
         raise DataError(
             f"min_agreement should be in [0.5, 1], got {min_agreement}"
+        )
+    if not 0.0 <= min_valid_fraction <= 1.0:
+        raise DataError(
+            f"min_valid_fraction should be in [0, 1], got {min_valid_fraction}"
         )
     road_ids = store.road_ids
     trends = store.trend_matrix().astype(np.float64)
@@ -199,6 +270,7 @@ def mine_correlation_graph(
             # agreement = P(t_u == t_v) = (1 + E[t_u * t_v]) / 2 for ±1 trends.
             products = trends[:, cols].T @ trends[:, column[road_id]]
             agreements = (1.0 + products / num_intervals) / 2.0
+            supported = np.ones(len(candidates), dtype=bool)
         else:
             u_col = trends[:, column[road_id]]
             valid = nonzero[:, cols] & nonzero[:, column[road_id]][:, None]
@@ -207,7 +279,10 @@ def mine_correlation_graph(
             # A pair with no valid interval has no evidence: agreement 0,
             # which min_agreement >= 0.5 always rejects.
             agreements = same_sign / np.maximum(valid_counts, 1)
-        for candidate, agreement in zip(candidates, agreements):
-            if agreement >= min_agreement:
+            supported = valid_counts >= min_valid_fraction * num_intervals
+        for candidate, agreement, has_support in zip(
+            candidates, agreements, supported
+        ):
+            if has_support and agreement >= min_agreement:
                 edges.append(CorrelationEdge(road_id, candidate, float(agreement)))
     return CorrelationGraph(road_ids, edges)

@@ -323,6 +323,23 @@ def _transform_row(
 # ----------------------------------------------------------------------
 # The shared cache service
 # ----------------------------------------------------------------------
+class WeakRowListener:
+    """A row-invalidation listener that does not pin its owner.
+
+    The process-default service outlives any one consumer; registering
+    a bound method directly would keep every consumer ever built alive
+    through the listener list. Dead wrappers become no-ops.
+    """
+
+    def __init__(self, method) -> None:
+        self._ref = weakref.WeakMethod(method)
+
+    def __call__(self, graph, roads) -> None:
+        method = self._ref()
+        if method is not None:
+            method(graph, roads)
+
+
 @dataclass(frozen=True)
 class CacheStats:
     """Cumulative row/map cache accounting of a service."""
@@ -421,6 +438,7 @@ class FidelityCacheService:
             self._graphs = weakref.WeakKeyDictionary()
         else:
             self._graphs.pop(graph, None)
+        get_recorder().count("fidelity.invalidations", scope="graph")
         for listener in list(self._listeners):
             listener(graph)
         for listener in list(self._row_listeners):
@@ -455,8 +473,57 @@ class FidelityCacheService:
             ]
             for stacked_key in stale:
                 del entry.stacked[stacked_key]
+        get_recorder().count("fidelity.invalidations", len(dropped), scope="rows")
         for listener in list(self._row_listeners):
             listener(graph, dropped)
+
+    def apply_graph_delta(self, graph: CorrelationGraph, delta) -> tuple[int, ...]:
+        """Selective invalidation after ``delta`` was applied to ``graph``.
+
+        Call right after :meth:`~repro.history.correlation.
+        CorrelationGraph.apply_delta` mutated ``graph`` in place. A
+        cached best-fidelity row can only change if some changed edge
+        lies on one of its (new or old) best paths, and any such path's
+        prefix up to the *first* changed edge is an all-old-edges path
+        whose running product — never below the row's floor — makes the
+        old row nonzero at that edge's endpoint. So rows (and maps)
+        with zero support on every touched endpoint are provably
+        unaffected and survive; the rest are dropped through
+        :meth:`invalidate_rows`, which also tells row listeners
+        (compiled plans, CELF gains, influence memos) exactly which
+        sources went stale. Touched endpoints are always dropped — their
+        own incident edges changed. Returns the sorted dropped sources.
+        """
+        touched = set(delta.touched_roads())
+        if not touched:
+            return ()
+        affected = set(touched)
+        entry = self._graphs.get(graph)
+        if entry is not None:
+            # CSR row positions follow the graph's sorted road-id order;
+            # recompute directly so a previously dropped CSR (entry.csr
+            # is None after an earlier delta) never forces a full flush.
+            order = {road: i for i, road in enumerate(graph.road_ids)}
+            positions = np.array(
+                sorted(order[r] for r in touched if r in order), dtype=np.int64
+            )
+            for per_key in entry.rows.values():
+                for source, row in per_key.items():
+                    if source in affected:
+                        continue
+                    if positions.size and bool(np.any(row[positions] != 0.0)):
+                        affected.add(source)
+            for per_key in entry.maps.values():
+                for source, mapping in per_key.items():
+                    if source in affected:
+                        continue
+                    if any(road in mapping for road in touched):
+                        affected.add(source)
+            # The CSR arrays bake in the old edge weights; rebuild lazily.
+            entry.csr = None
+        dropped = tuple(sorted(affected))
+        self.invalidate_rows(graph, dropped)
+        return dropped
 
     def csr(self, graph: CorrelationGraph) -> CSRFidelityGraph:
         """The (cached) CSR export of ``graph``."""

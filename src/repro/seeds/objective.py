@@ -52,7 +52,11 @@ import numpy as np
 
 from repro.core.errors import SelectionError
 from repro.history.correlation import CorrelationGraph
-from repro.history.fidelity import FidelityCacheService, get_fidelity_service
+from repro.history.fidelity import (
+    FidelityCacheService,
+    WeakRowListener,
+    get_fidelity_service,
+)
 
 #: Supported influence transforms (see module docstring).
 INFLUENCE_TRANSFORMS = ("variance", "fidelity")
@@ -170,6 +174,17 @@ class SeedSelectionObjective:
         # second copy) so the CELF inner loop skips service bookkeeping.
         self._row_memo: dict[int, np.ndarray] = {}
         self._map_memo: dict[int, Mapping[int, float]] = {}
+        # Keep the memos honest without requiring a re-selector to be
+        # bound: when the service drops rows (streaming graph deltas,
+        # targeted evictions), the matching memo entries go too.
+        self._service.add_row_invalidation_listener(
+            WeakRowListener(self._on_rows_invalidated)
+        )
+
+    def _on_rows_invalidated(self, graph, roads) -> None:
+        if graph is not None and graph is not self._graph:
+            return
+        self.evict_rows(roads)
 
     @property
     def graph(self) -> CorrelationGraph:

@@ -16,7 +16,11 @@ from repro.core.types import SpeedEstimate, Trend
 from repro.history.correlation import CorrelationGraph
 from repro.history.store import HistoricalSpeedStore
 from repro.obs import get_recorder
-from repro.history.fidelity import FidelityCacheService, get_fidelity_service
+from repro.history.fidelity import (
+    FidelityCacheService,
+    WeakRowListener,
+    get_fidelity_service,
+)
 from repro.roadnet.network import RoadNetwork
 from repro.speed.hlm import HierarchicalLinearModel, HlmParams
 from repro.speed.plan import IntervalPlanCache, IntervalPlanner
@@ -72,6 +76,13 @@ class TwoStepEstimator:
         # `is not None`, not truthiness: an empty cache has len() == 0.
         self._plans = plan_cache if plan_cache is not None else IntervalPlanCache()
         self._planner: IntervalPlanner | None = None
+        # Row invalidations (incremental re-mining, targeted evictions)
+        # must also drop the influence indexes and compiled structures
+        # derived from the dropped rows, or a later compile would serve
+        # stale regressions even after the plan cache evicted cleanly.
+        self._fidelity.add_row_invalidation_listener(
+            WeakRowListener(self._on_rows_invalidated)
+        )
 
     @property
     def trend_model(self) -> TrendModel:
@@ -303,6 +314,26 @@ class TwoStepEstimator:
     # ------------------------------------------------------------------
     # Influence caching
     # ------------------------------------------------------------------
+    def _on_rows_invalidated(self, graph, roads) -> None:
+        """Drop derived state built from invalidated fidelity rows."""
+        if graph is not None and graph is not self._graph:
+            return
+        if roads is None:
+            self._influence_cache.clear()
+            if self._planner is not None:
+                self._planner.evict_structures(None)
+            self._trend_model.refresh_edges()
+            return
+        road_set = set(roads)
+        stale = [key for key in self._influence_cache if key & road_set]
+        for key in stale:
+            del self._influence_cache[key]
+        if self._planner is not None:
+            self._planner.evict_structures(road_set)
+        # In-place graph deltas invalidate the model's baked edge
+        # potentials too (cheap: one pass over the edge list).
+        self._trend_model.refresh_edges()
+
     def _fidelity_map(self, seed: int):
         """Per-seed fidelity map from the shared cross-stage cache."""
         return self._fidelity.fidelity_map(

@@ -274,6 +274,26 @@ class IntervalPlanner:
     def index(self) -> dict[int, int]:
         return self._index
 
+    def evict_structures(self, roads: set[int] | None = None) -> None:
+        """Forget compiled seed structures touching ``roads`` (or all).
+
+        Structures live in a weak-value cache, so normally they die
+        with the plans referencing them — but a caller holding a plan
+        outside the :class:`IntervalPlanCache` would keep its structure
+        alive past a row invalidation, and a later :meth:`compile` for
+        the same seed set must not resurrect the stale coefficients.
+        """
+        if roads is None:
+            stale = list(self._structures.keys())
+        else:
+            stale = [
+                seeds
+                for seeds in self._structures.keys()
+                if roads.intersection(seeds)
+            ]
+        for seeds in stale:
+            self._structures.pop(seeds, None)
+
     def compile(
         self,
         seeds: tuple[int, ...],
@@ -382,12 +402,21 @@ class IntervalPlanner:
 
 @dataclass(frozen=True)
 class PlanCacheStats:
-    """Cumulative accounting of an :class:`IntervalPlanCache`."""
+    """Cumulative accounting of an :class:`IntervalPlanCache`.
+
+    ``evictions`` counts LRU capacity evictions; ``row_evictions``
+    plans dropped because their seed rows were invalidated;
+    ``flushes`` whole-cache invalidations (each counts every plan it
+    dropped). A healthy streaming deployment shows ``row_evictions``
+    growing with graph churn and ``flushes`` stuck at 0.
+    """
 
     hits: int
     misses: int
     evictions: int
     size: int
+    row_evictions: int = 0
+    flushes: int = 0
 
     @property
     def total(self) -> int:
@@ -411,6 +440,8 @@ class IntervalPlanCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._row_evictions = 0
+        self._flushes = 0
 
     @property
     def maxsize(self) -> int:
@@ -425,6 +456,8 @@ class IntervalPlanCache:
             misses=self._misses,
             evictions=self._evictions,
             size=len(self._plans),
+            row_evictions=self._row_evictions,
+            flushes=self._flushes,
         )
 
     def get_or_build(
@@ -456,9 +489,49 @@ class IntervalPlanCache:
         fidelity invalidation must drop them all.
         """
         del graph
+        if self._plans:
+            self._flushes += 1
+            get_recorder().count("plan.cache_flushes", len(self._plans))
         self._plans.clear()
 
+    def invalidate_rows(self, graph: object | None, roads) -> None:
+        """Drop exactly the plans whose seed rows were invalidated.
+
+        The row-level counterpart of :meth:`invalidate`, with the
+        :meth:`~repro.history.fidelity.FidelityCacheService.
+        add_row_invalidation_listener` signature: a plan's coefficient
+        blocks are regressions over its seeds' fidelity rows, so a plan
+        survives only if none of its seeds are in ``roads``. ``roads``
+        of ``None`` means a whole-graph invalidation — everything goes.
+        """
+        del graph
+        if roads is None:
+            self.invalidate()
+            return
+        road_set = set(roads)
+        stale = [
+            key
+            for key, plan in self._plans.items()
+            if road_set.intersection(plan.seeds)
+        ]
+        for key in stale:
+            del self._plans[key]
+        if stale:
+            self._row_evictions += len(stale)
+            get_recorder().count("plan.rows_evicted", len(stale))
+
     def attach(self, fidelity_service) -> "IntervalPlanCache":
-        """Invalidate this cache whenever ``fidelity_service`` is."""
+        """Invalidate this cache whenever ``fidelity_service`` is.
+
+        Registers both listener granularities: whole-graph
+        invalidations flush everything, and row invalidations (the
+        streaming path — see :meth:`~repro.history.fidelity.
+        FidelityCacheService.apply_graph_delta`) evict only plans
+        whose seeds lost their rows. Registering only the coarse
+        listener would let ``invalidate_rows`` drop fidelity rows
+        while compiled plans keep serving coefficients regressed from
+        them.
+        """
         fidelity_service.add_invalidation_listener(self.invalidate)
+        fidelity_service.add_row_invalidation_listener(self.invalidate_rows)
         return self

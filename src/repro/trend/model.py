@@ -173,6 +173,21 @@ class TrendModel:
         """Keep potentials strictly inside (0, 1) for numerical safety."""
         return min(1.0 - eps, max(eps, p))
 
+    def refresh_edges(self) -> None:
+        """Re-read edge potentials from the bound graph.
+
+        Incremental re-mining mutates the graph **in place** (see
+        :meth:`~repro.history.correlation.CorrelationGraph.apply_delta`)
+        while this model's edge tuple is a baked copy; deployments that
+        ingest days must call this (the estimator's row-invalidation
+        hook does) so BP/Gibbs instances see the new weights. The road
+        set of a delta never changes, so the index stays valid.
+        """
+        self._edges = tuple(
+            (self._index[e.road_u], self._index[e.road_v], self._clip(e.agreement))
+            for e in self._graph.edges()
+        )
+
     def _bucket_prior(self, bucket: int) -> np.ndarray:
         cached = self._prior_cache.get(bucket)
         if cached is None:

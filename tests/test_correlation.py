@@ -260,6 +260,72 @@ class TestZeroTrendMasking:
         assert fast.agreement(0, 1) == pytest.approx(76 / 96)
         assert masked.agreement(0, 1) == pytest.approx(76 / 96)
 
+    def test_sparse_support_rejected_by_default(self):
+        # One shared valid interval out of 20 scores a perfect 1.0 —
+        # pure coin-flip evidence. The default min_valid_fraction=0.1
+        # (here: needs >= 2 valid intervals) must reject it.
+        trends = np.zeros((20, 2), dtype=np.int8)
+        trends[:, 1] = 1
+        trends[0, 0] = 1  # the single both-nonzero interval agrees
+        store = _StubStore([0, 1], trends)
+        graph = mine_correlation_graph(
+            _line_network(2), store, max_hops=1, min_agreement=0.5
+        )
+        assert graph.num_edges == 0
+
+    def test_sparse_support_kept_when_guard_disabled(self):
+        # min_valid_fraction=0.0 restores the old keep-anything
+        # behaviour: the same single-interval pair scores 1.0.
+        trends = np.zeros((20, 2), dtype=np.int8)
+        trends[:, 1] = 1
+        trends[0, 0] = 1
+        store = _StubStore([0, 1], trends)
+        graph = mine_correlation_graph(
+            _line_network(2),
+            store,
+            max_hops=1,
+            min_agreement=0.5,
+            min_valid_fraction=0.0,
+        )
+        assert graph.agreement(0, 1) == pytest.approx(1.0)
+
+    def test_support_at_threshold_kept(self):
+        # Exactly min_valid_fraction * intervals valid intervals is
+        # enough (>=, not >): 2 valid of 20 at the default 0.1 passes.
+        trends = np.zeros((20, 2), dtype=np.int8)
+        trends[:, 1] = 1
+        trends[0, 0] = 1
+        trends[1, 0] = 1
+        store = _StubStore([0, 1], trends)
+        graph = mine_correlation_graph(
+            _line_network(2), store, max_hops=1, min_agreement=0.5
+        )
+        assert graph.agreement(0, 1) == pytest.approx(1.0)
+
+    def test_min_valid_fraction_validation(self):
+        trends = np.array([[1, 1], [1, 1]], dtype=np.int8)
+        store = _StubStore([0, 1], trends)
+        for bad in (-0.1, 1.5):
+            with pytest.raises(DataError, match="min_valid_fraction"):
+                mine_correlation_graph(
+                    _line_network(2), store, min_valid_fraction=bad
+                )
+
+    def test_guard_ignores_dense_pairs(self):
+        # A well-evidenced pair in the same (zero-bearing) matrix keeps
+        # its edge; the guard only prunes sparse-support pairs.
+        rng = np.random.default_rng(11)
+        base = rng.choice([-1, 1], size=40).astype(np.int8)
+        trends = np.stack([base, base, np.zeros(40, dtype=np.int8)], axis=1)
+        trends[0, 2] = 1  # single valid interval against roads 0/1
+        store = _StubStore([0, 1, 2], trends)
+        graph = mine_correlation_graph(
+            _line_network(3), store, max_hops=2, min_agreement=0.5
+        )
+        assert graph.agreement(0, 1) == pytest.approx(1.0)
+        assert graph.agreement(0, 2) is None
+        assert graph.agreement(1, 2) is None
+
     def test_all_pm1_history_keeps_fast_path_results(self, small_dataset):
         # The workhorse dataset has no zero trends; re-mining must give
         # byte-identical agreements to the committed graph (fast path).

@@ -112,6 +112,25 @@ class TestMiningCadence:
         )
         rolling.ingest_day(days[0])
         first_graph = rolling.graph
+        assert rolling.mining_epoch == 1
+        rolling.ingest_day(days[1])
+        rolling.ingest_day(days[2])
+        assert rolling.mining_epoch == 1  # not yet due
+        rolling.ingest_day(days[3])
+        assert rolling.mining_epoch == 2  # 3 days elapsed
+        # Incremental mining patches the same graph object in place.
+        assert rolling.graph is first_graph
+        rolling.verify_incremental()
+
+    def test_remine_rate_limited_batch_mode(self, small_network, day_fields):
+        """Batch mode keeps the historical fresh-object-per-remine shape."""
+        grid, days = day_fields
+        rolling = RollingHistory(
+            small_network, grid, window_days=10, remine_every_days=3,
+            incremental=False,
+        )
+        rolling.ingest_day(days[0])
+        first_graph = rolling.graph
         rolling.ingest_day(days[1])
         rolling.ingest_day(days[2])
         assert rolling.graph is first_graph  # not yet due
@@ -124,11 +143,26 @@ class TestMiningCadence:
             small_network, grid, window_days=10, remine_every_days=99
         )
         rolling.ingest_day(days[0])
-        stale = rolling.graph
+        stale_epoch = rolling.mining_epoch
         rolling.ingest_day(days[1])
         fresh = rolling.force_remine()
-        assert fresh is not stale
+        assert rolling.mining_epoch == stale_epoch + 1
         assert rolling.graph is fresh
+        rolling.verify_incremental()
+
+    def test_first_day_unknown_roads_rejected(self, small_network, day_fields):
+        """Day one is validated against the network, not just day two+."""
+        grid, days = day_fields
+        rolling = RollingHistory(small_network, grid)
+        bogus_ids = list(days[0].road_ids)
+        bogus_ids[-1] = 999_999
+        bogus = SpeedField(days[0].matrix, tuple(bogus_ids), 0)
+        with pytest.raises(DataError, match="not in the network"):
+            rolling.ingest_day(bogus)
+        # The rejected day must not have been retained.
+        assert rolling.num_days == 0
+        rolling.ingest_day(days[0])
+        assert rolling.num_days == 1
 
     def test_rolling_feeds_estimator(self, small_network, day_fields):
         """The rolling artefacts plug straight into the pipeline."""

@@ -416,3 +416,132 @@ class TestPosteriorArrays:
         assert vec.estimate_interval(interval, forward) == vec.estimate_interval(
             interval, backward
         )
+
+
+class TestGraphDeltaEviction:
+    """Regression: delta-driven row invalidation must evict stale plans.
+
+    ``IntervalPlanCache.attach`` historically registered only the
+    whole-graph listener, so ``invalidate_rows`` dropped fidelity rows
+    while compiled plans kept serving coefficients derived from the
+    pre-delta graph. The cache now evicts exactly the plans whose seed
+    rows dropped, and a warm estimator afterwards matches a cold one
+    built from the mutated graph bit for bit.
+    """
+
+    def _build(self, dataset):
+        from repro.history.correlation import CorrelationGraph
+
+        # A private, mutable copy of the session graph.
+        graph = CorrelationGraph(dataset.graph.road_ids, list(dataset.graph.edges()))
+        params = HlmParams()
+        hlm = HierarchicalLinearModel.fit(
+            dataset.store, dataset.network, graph, params
+        )
+        fidelity = FidelityCacheService()
+        cache = IntervalPlanCache(maxsize=8).attach(fidelity)
+        est = TwoStepEstimator(
+            dataset.network,
+            dataset.store,
+            graph,
+            hlm=hlm,
+            hlm_params=params,
+            fidelity_service=fidelity,
+            plan_cache=cache,
+        )
+        return graph, hlm, params, fidelity, cache, est
+
+    def _delta_around(self, graph, road):
+        from repro.history.correlation import CorrelationEdge
+        from repro.history.incremental import GraphDelta
+
+        edge = graph.neighbours(road)[0]
+        new_weight = 0.93 if abs(edge.agreement - 0.93) > 1e-9 else 0.88
+        return GraphDelta(
+            added=(),
+            removed=(),
+            reweighted=(CorrelationEdge(edge.road_u, edge.road_v, new_weight),),
+        )
+
+    def test_row_invalidation_evicts_stale_plan(self, small_dataset):
+        from repro.seeds.lazy import lazy_greedy_select
+        from repro.seeds.objective import SeedSelectionObjective
+        from repro.seeds.reselect import IncrementalCelfSelector
+
+        graph, hlm, params, fidelity, cache, est = self._build(small_dataset)
+        objective = SeedSelectionObjective(graph, fidelity_service=fidelity)
+        selector = IncrementalCelfSelector(objective)
+        seeds = list(selector.select(6).seeds)
+        interval = small_dataset.test_day_intervals()[0]
+        speeds = seed_speeds_for(small_dataset, seeds, interval)
+        warm_before = est.estimate_interval(interval, speeds)
+        assert cache.stats().size == 1
+
+        delta = self._delta_around(graph, seeds[0])
+        graph.apply_delta(delta)
+        dropped = fidelity.apply_graph_delta(graph, delta)
+        assert seeds[0] in dropped
+
+        stats = cache.stats()
+        assert stats.row_evictions == 1  # the stale plan is gone...
+        assert stats.flushes == 0  # ...without a wholesale flush
+        assert stats.size == 0
+
+        # Re-selection through the warm CELF selector matches a cold run
+        # against the mutated graph.
+        warm_sel = selector.select(6)
+        cold_sel = lazy_greedy_select(
+            SeedSelectionObjective(graph, fidelity_service=FidelityCacheService()), 6
+        )
+        assert warm_sel.seeds == cold_sel.seeds
+        assert warm_sel.gains == cold_sel.gains
+
+        # And serving through the warm estimator is bit-identical to a
+        # cold compile from the mutated graph.
+        new_seeds = list(warm_sel.seeds)
+        new_speeds = seed_speeds_for(small_dataset, new_seeds, interval)
+        warm = est.estimate_interval(interval, new_speeds)
+        cold_est = TwoStepEstimator(
+            small_dataset.network,
+            small_dataset.store,
+            graph,
+            hlm=hlm,
+            hlm_params=params,
+            fidelity_service=FidelityCacheService(),
+            plan_cache=IntervalPlanCache(maxsize=8),
+        )
+        cold = cold_est.estimate_interval(interval, new_speeds)
+        assert set(warm) == set(cold)
+        for road in warm:
+            assert warm[road].speed_kmh == cold[road].speed_kmh
+        # Sanity: the delta actually moved at least one estimate, so the
+        # pre-delta plan really was stale.
+        assert any(
+            warm_before[r].speed_kmh != warm[r].speed_kmh for r in warm
+        ) or new_seeds != seeds
+
+    def test_untouched_plans_survive_delta(self, small_dataset):
+        graph, hlm, params, fidelity, cache, est = self._build(small_dataset)
+        roads = list(graph.road_ids)
+        interval = small_dataset.test_day_intervals()[0]
+        set_a = roads[:4]
+        set_b = roads[-4:]
+        est.estimate_interval(
+            interval, seed_speeds_for(small_dataset, set_a, interval)
+        )
+        est.estimate_interval(
+            interval, seed_speeds_for(small_dataset, set_b, interval)
+        )
+        assert cache.stats().size == 2
+
+        delta = self._delta_around(graph, set_a[0])
+        graph.apply_delta(delta)
+        dropped = set(fidelity.apply_graph_delta(graph, delta))
+
+        survivors = [
+            s for s in (set_a, set_b) if not dropped.intersection(s)
+        ]
+        stats = cache.stats()
+        assert stats.flushes == 0
+        assert stats.size == len(survivors)
+        assert stats.row_evictions == 2 - len(survivors)
