@@ -11,11 +11,18 @@ gate.
 Usage::
 
     python benchmarks/bench_gate.py BASELINE.json CURRENT.json \
-        [--threshold 2.0] [--min-seconds 0.001]
+        [--threshold 2.0] [--min-seconds 0.001] \
+        [--require bench.f8_metro_plan_]
 
 ``--min-seconds`` skips series whose baseline is below the floor:
 micro-timings in the tens of microseconds jitter far more than 2x on
 shared CI runners and would make the gate flaky rather than protective.
+
+``--require PREFIX`` (repeatable) makes coverage explicit: the gate
+fails when the *current* snapshot has no ``*_seconds`` gauge whose
+family starts with the prefix. Present-in-both matching silently drops
+a benchmark that stopped emitting its gauges; a required prefix turns
+that silence into a failure.
 """
 
 from __future__ import annotations
@@ -72,6 +79,19 @@ def compare(
     return regressions, compared
 
 
+def missing_required(
+    current: dict[tuple[str, tuple[tuple[str, str], ...]], float],
+    required: list[str],
+) -> list[str]:
+    """Required family prefixes with no ``*_seconds`` gauge in ``current``."""
+    families = {family for family, _ in current}
+    return [
+        prefix
+        for prefix in required
+        if not any(family.startswith(prefix) for family in families)
+    ]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=Path, help="committed bench_timings.json")
@@ -88,12 +108,30 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_MIN_SECONDS,
         help="ignore series with a baseline below this floor (default %(default)s)",
     )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help=(
+            "fail unless the current snapshot has a *_seconds gauge "
+            "family starting with PREFIX (repeatable)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.threshold <= 1.0:
         parser.error("--threshold must be > 1.0")
 
     baseline = load_timing_gauges(args.baseline)
     current = load_timing_gauges(args.current)
+    missing = missing_required(current, args.require)
+    if missing:
+        for prefix in missing:
+            print(
+                f"bench gate: required gauge family {prefix}* missing "
+                "from the current snapshot"
+            )
+        return 1
     regressions, compared = compare(
         baseline, current, threshold=args.threshold, min_seconds=args.min_seconds
     )

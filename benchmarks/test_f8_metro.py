@@ -200,3 +200,272 @@ def test_f8_metro_parallel_vs_serial_differential(metro):
     assert parallel.gains == serial.gains
     assert parallel.evaluations == serial.evaluations
     _gauge("differential_evaluations", parallel.evaluations, budget=budget)
+
+
+# ---------------------------------------------------------------------------
+# Sharded Step-2 plan compilation (repro.speed.shardplan)
+# ---------------------------------------------------------------------------
+PLAN_BUDGET_PCT = 0.5
+XL_TARGET = 110_000
+XL_DISTRICTS = 128
+
+
+def _copy_graph(graph):
+    """A private, mutable clone so delta tests never pollute fixtures."""
+    from repro.history.correlation import CorrelationGraph
+
+    return CorrelationGraph(list(graph.road_ids), list(graph.edges()))
+
+
+def _district_compile_seconds(trace_path):
+    """Per-district ``speed.plan.compile`` compile times from a trace.
+
+    Pool-compiled shards carry the worker-measured time as the
+    ``compile_s`` span attr (the parent span only times unpacking);
+    in-process compiles are the span duration itself.
+    """
+    import json
+
+    durations = []
+    for line in trace_path.read_text().splitlines():
+        event = json.loads(line)
+        if (
+            event.get("type") == "span"
+            and event.get("name") == "speed.plan.compile"
+            and "district" in event.get("attrs", {})
+        ):
+            durations.append(
+                float(event["attrs"].get("compile_s", event["dur_s"]))
+            )
+    return durations
+
+
+def test_f8_metro_sharded_plan_compile(metro, report, tmp_path):
+    """Sharded Step-2: bitwise-equal cold compile, district-scoped delta.
+
+    Three timings feed the bench gate: the cold sharded compile (one
+    structure per district across the compile pool), the post-delta
+    recompile (stale districts only), and the warm serve latency. The
+    sharded estimates are asserted bitwise equal to the monolithic
+    plan's, and the delta recompile is asserted to touch a small
+    fraction of the districts.
+    """
+    from repro.history.incremental import GraphDelta
+    from repro.history.correlation import CorrelationEdge
+    from repro.obs import FlightRecorder, set_recorder
+
+    num_roads = metro.network.num_segments
+    budget = max(1, round(num_roads * PLAN_BUDGET_PCT / 100.0))
+    graph = _copy_graph(metro.graph)
+    config = dict(
+        selection_method="partition",
+        num_partitions=NUM_DISTRICTS,
+    )
+
+    mono = SpeedEstimationSystem.from_parts(
+        metro.network, metro.store, graph, PipelineConfig(**config)
+    )
+    seeds = mono.select_seeds(budget)
+    intervals = metro.test_day_intervals(stride=24)
+    rounds = [
+        (i, {r: metro.test.speed(r, i) for r in seeds}) for i in intervals[:4]
+    ]
+    start = time.perf_counter()
+    mono_first = mono.estimate(*rounds[0])
+    mono_cold_s = time.perf_counter() - start
+
+    trace = tmp_path / "sharded_trace.jsonl"
+    rec = FlightRecorder(path=trace)
+    previous = set_recorder(rec)
+    try:
+        with SpeedEstimationSystem.from_parts(
+            metro.network,
+            metro.store,
+            graph,
+            PipelineConfig(
+                **config,
+                use_sharded_plan=True,
+                plan_shards=NUM_DISTRICTS,
+                num_partition_workers=2,
+            ),
+        ) as sharded:
+            assert sharded.select_seeds(budget) == seeds
+            start = time.perf_counter()
+            sharded_first = sharded.estimate(*rounds[0])
+            sharded_cold_s = time.perf_counter() - start
+            assert all(
+                mono_first[r] == sharded_first[r] for r in mono_first
+            ), "sharded cold round must be bitwise equal to monolithic"
+
+            start = time.perf_counter()
+            for interval, seed_speeds in rounds[1:]:
+                sharded.estimate(interval, seed_speeds)
+            serve_warm_s = (time.perf_counter() - start) / max(
+                1, len(rounds) - 1
+            )
+
+            # A delta around one seed: reweight one incident edge, then
+            # recompile. Only districts that seed's influence touches
+            # may recompile.
+            compiles_before = sum(
+                series.value
+                for _, series in rec.registry.series("plan.shard_compiles")
+            )
+            edge = graph.neighbours(seeds[0])[0]
+            delta = GraphDelta(
+                added=(),
+                removed=(),
+                reweighted=(
+                    CorrelationEdge(edge.road_u, edge.road_v, 0.93),
+                ),
+            )
+            graph.apply_delta(delta)
+            sharded.apply_graph_delta(delta)
+            start = time.perf_counter()
+            sharded.estimate(*rounds[0])
+            delta_recompile_s = time.perf_counter() - start
+            recompiled = (
+                sum(
+                    series.value
+                    for _, series in rec.registry.series("plan.shard_compiles")
+                )
+                - compiles_before
+            )
+    finally:
+        set_recorder(previous)
+
+    district_s = _district_compile_seconds(trace)
+    assert len(district_s) >= NUM_DISTRICTS
+    for name, value in (
+        ("compile_mono_seconds", mono_cold_s),
+        ("compile_sharded_seconds", sharded_cold_s),
+        ("delta_recompile_seconds", delta_recompile_s),
+        ("serve_warm_seconds", serve_warm_s),
+    ):
+        _gauge(f"plan_{name}", value, roads=num_roads, budget=budget)
+    report(
+        "f8_metro_sharded_plan",
+        format_table(
+            [
+                "roads",
+                "K",
+                "districts",
+                "cold mono s",
+                "cold sharded s",
+                "delta recompile s",
+                "districts recompiled",
+                "serve warm s",
+            ],
+            [
+                [
+                    num_roads,
+                    budget,
+                    NUM_DISTRICTS,
+                    fmt(mono_cold_s, 1),
+                    fmt(sharded_cold_s, 1),
+                    fmt(delta_recompile_s, 2),
+                    int(recompiled),
+                    fmt(serve_warm_s, 2),
+                ]
+            ],
+            title=(
+                "F8 (metro): sharded Step-2 plan compile "
+                f"({NUM_DISTRICTS} districts, 2 workers, bitwise-checked)"
+            ),
+        ),
+    )
+    assert sharded_cold_s < ROUND_BUDGET_S
+    # Locality: a one-edge delta recompiles a fraction of the city.
+    assert 0 < recompiled <= NUM_DISTRICTS // 2
+    assert delta_recompile_s < sharded_cold_s
+
+
+def test_f8_metro_xl_sharded_cold_round(report, tmp_path):
+    """Cold Step-2 at 100k+ roads: sharded compile per district, <900 s.
+
+    The acceptance bar for metropolitan cold rounds: a 110k-road city,
+    128 districts, K = 0.5%, compile-and-serve inside the round budget,
+    with the per-district compile profile reported from the
+    ``speed.plan.compile`` spans.
+    """
+    from repro.datasets.synthetic import metropolitan_dataset
+    from repro.obs import FlightRecorder, set_recorder
+
+    xl = metropolitan_dataset(XL_TARGET)
+    num_roads = xl.network.num_segments
+    assert num_roads >= 100_000
+    budget = max(1, round(num_roads * PLAN_BUDGET_PCT / 100.0))
+
+    trace = tmp_path / "xl_trace.jsonl"
+    rec = FlightRecorder(path=trace)
+    previous = set_recorder(rec)
+    try:
+        with SpeedEstimationSystem.from_parts(
+            xl.network,
+            xl.store,
+            xl.graph,
+            PipelineConfig(
+                selection_method="partition",
+                num_partitions=XL_DISTRICTS,
+                use_parallel_partitions=True,
+                num_partition_workers=2,
+                use_sharded_plan=True,
+                plan_shards=XL_DISTRICTS,
+            ),
+        ) as system:
+            start = time.perf_counter()
+            seeds = system.select_seeds(budget)
+            select_s = time.perf_counter() - start
+            interval = xl.test_day_intervals()[0]
+            speeds = {r: xl.test.speed(r, interval) for r in seeds}
+            start = time.perf_counter()
+            system.estimate(interval, speeds)
+            cold_s = time.perf_counter() - start
+            start = time.perf_counter()
+            system.estimate(interval + 1, speeds)
+            warm_s = time.perf_counter() - start
+    finally:
+        set_recorder(previous)
+
+    district_s = sorted(_district_compile_seconds(trace))
+    assert len(district_s) >= XL_DISTRICTS
+    median_s = district_s[len(district_s) // 2]
+    for name, value in (
+        ("xl_cold_seconds", cold_s),
+        ("xl_warm_seconds", warm_s),
+        ("xl_select_seconds", select_s),
+        ("xl_district_compile_median_seconds", median_s),
+        ("xl_district_compile_max_seconds", district_s[-1]),
+    ):
+        _gauge(f"plan_{name}", value, roads=num_roads, budget=budget)
+    report(
+        "f8_metro_xl_sharded",
+        format_table(
+            [
+                "roads",
+                "K",
+                "districts",
+                "select s",
+                "cold compile+serve s",
+                "warm s",
+                "district compile ms (min/med/max)",
+            ],
+            [
+                [
+                    num_roads,
+                    budget,
+                    XL_DISTRICTS,
+                    fmt(select_s, 1),
+                    fmt(cold_s, 1),
+                    fmt(warm_s, 2),
+                    f"{district_s[0] * 1e3:.2f}/{median_s * 1e3:.2f}"
+                    f"/{district_s[-1] * 1e3:.2f}",
+                ]
+            ],
+            title=(
+                "F8 (metro XL): 100k+ road cold round, sharded Step-2 "
+                f"({XL_DISTRICTS} districts, district-parallel selection)"
+            ),
+        ),
+    )
+    assert select_s + cold_s < ROUND_BUDGET_S

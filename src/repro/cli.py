@@ -95,6 +95,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="number of sample roads to print")
     estimate.add_argument("--map", action="store_true", dest="show_map",
                           help="print an ASCII congestion map")
+    estimate.add_argument(
+        "--sharded-plan", action="store_true",
+        help="compile the Step-2 interval plan per district "
+             "(bitwise identical to the monolithic plan)")
+    estimate.add_argument(
+        "--plan-shards", type=int, default=0, metavar="D",
+        help="district count for --sharded-plan (0 = num_partitions)")
+    estimate.add_argument(
+        "--plan-workers", type=int, default=0, metavar="N",
+        help="plan-compile pool workers (0 = one per CPU, 1 = in-process)")
 
     route = commands.add_parser(
         "route", help="plan a route on estimated speeds"
@@ -144,6 +154,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-out", default=None,
                        help="dump the final metrics registry "
                        "(.prom -> Prometheus text, otherwise JSON)")
+    serve.add_argument(
+        "--sharded-plan", action="store_true",
+        help="serve Step-2 through district-sharded interval plans "
+             "(bitwise identical; graph deltas recompile per district)")
+    serve.add_argument(
+        "--plan-shards", type=int, default=0, metavar="D",
+        help="district count for --sharded-plan (0 = num_partitions)")
+    serve.add_argument(
+        "--plan-workers", type=int, default=0, metavar="N",
+        help="plan-compile pool workers (0 = one per CPU, 1 = in-process)")
 
     stream = commands.add_parser(
         "stream",
@@ -225,6 +245,23 @@ def _fitted_system(
     )
 
 
+def _plan_config(
+    sharded_plan: bool, plan_shards: int, plan_workers: int = 0
+) -> PipelineConfig | None:
+    """The pipeline config for the --sharded-plan family of flags."""
+    if not sharded_plan:
+        if plan_shards or plan_workers:
+            raise SystemExit(
+                "error: --plan-shards/--plan-workers require --sharded-plan"
+            )
+        return None
+    return PipelineConfig(
+        use_sharded_plan=True,
+        plan_shards=plan_shards,
+        num_partition_workers=plan_workers,
+    )
+
+
 def cmd_info(dataset: TrafficDataset) -> str:
     info = dataset.describe()
     rows = [[key, str(value)] for key, value in info.items()]
@@ -288,16 +325,21 @@ def cmd_estimate(
     hour: float,
     show: int,
     show_map: bool = False,
+    sharded_plan: bool = False,
+    plan_shards: int = 0,
+    plan_workers: int = 0,
 ) -> str:
     if not 0.0 <= hour < 24.0:
         raise SystemExit("error: --hour must be in [0, 24)")
-    system = _fitted_system(dataset)
-    k = _default_budget(dataset, budget)
-    seeds = system.select_seeds(k)
-    interval = dataset.grid.interval_at(dataset.first_test_day, hour)
-    truth = dataset.test.speeds_at(interval)
-    crowd = {r: truth[r] for r in seeds}
-    estimates = system.estimate(interval, crowd)
+    with _fitted_system(
+        dataset, _plan_config(sharded_plan, plan_shards, plan_workers)
+    ) as system:
+        k = _default_budget(dataset, budget)
+        seeds = system.select_seeds(k)
+        interval = dataset.grid.interval_at(dataset.first_test_day, hour)
+        truth = dataset.test.speeds_at(interval)
+        crowd = {r: truth[r] for r in seeds}
+        estimates = system.estimate(interval, crowd)
 
     rows = []
     errors = []
@@ -467,6 +509,9 @@ def cmd_serve(
     expect_page: str | None = None,
     explain: int | None = None,
     metrics_out: str | None = None,
+    sharded_plan: bool = False,
+    plan_shards: int = 0,
+    plan_workers: int = 0,
 ) -> tuple[str, int]:
     """Drive the publisher/store serving loop and sweep readers.
 
@@ -509,7 +554,9 @@ def cmd_serve(
     slo_check = slo_check or expect_page is not None
     slo = slo or slo_check
 
-    system = _fitted_system(dataset)
+    system = _fitted_system(
+        dataset, _plan_config(sharded_plan, plan_shards, plan_workers)
+    )
     k = _default_budget(dataset, budget)
     system.select_seeds(k)
     pool = WorkerPool.sample(
@@ -623,6 +670,7 @@ def cmd_serve(
                 handle.write(text)
         explanation = store.explain(explain) if explain is not None else None
         slo_statuses = engine.statuses() if engine is not None else None
+    system.close()  # releases the plan-compile pool when sharded
     answered = sum(
         n for s, n in status_totals.items()
         if s in ("fresh", "stale", "baseline")
@@ -957,7 +1005,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
     elif args.command == "estimate":
         output = cmd_estimate(
-            dataset, args.budget, args.hour, args.show, args.show_map
+            dataset,
+            args.budget,
+            args.hour,
+            args.show,
+            args.show_map,
+            sharded_plan=args.sharded_plan,
+            plan_shards=args.plan_shards,
+            plan_workers=args.plan_workers,
         )
     elif args.command == "route":
         output = cmd_route(
@@ -979,6 +1034,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             expect_page=args.expect_page,
             explain=args.explain,
             metrics_out=args.metrics_out,
+            sharded_plan=args.sharded_plan,
+            plan_shards=args.plan_shards,
+            plan_workers=args.plan_workers,
         )
         print(output)
         return code

@@ -56,6 +56,16 @@ class PipelineConfig:
     #: Worker count for the partition pool; 0 means "one per CPU, capped
     #: at the partition count".
     num_partition_workers: int = 0
+    #: Compile Step-2 interval plans per district (repro.speed.shardplan)
+    #: instead of one monolithic structure: district shards are compiled
+    #: independently (across the plan-compile process pool when
+    #: num_partition_workers != 1), evaluated per district and stitched
+    #: in district order — bitwise identical to the monolithic plan —
+    #: and graph deltas recompile only the affected districts' shards.
+    use_sharded_plan: bool = False
+    #: District count for sharded plan compilation; 0 means "follow
+    #: num_partitions".
+    plan_shards: int = 0
     hlm: HlmParams = field(default_factory=HlmParams)
     degradation: DegradationParams = field(default_factory=DegradationParams)
 
@@ -82,3 +92,10 @@ class PipelineConfig:
             raise ConfigError("num_partition_workers must be >= 0 (0 = auto)")
         if self.plan_cache_size < 1:
             raise ConfigError("plan_cache_size must be >= 1")
+        if self.plan_shards < 0:
+            raise ConfigError("plan_shards must be >= 0 (0 = num_partitions)")
+        if self.use_sharded_plan and not self.use_interval_plan:
+            raise ConfigError(
+                "use_sharded_plan requires use_interval_plan (sharding "
+                "compiles the interval-plan structures per district)"
+            )

@@ -23,6 +23,7 @@ Typical use::
 
 from __future__ import annotations
 
+import os
 from collections.abc import Mapping
 from typing import Iterator, Sequence
 
@@ -138,6 +139,9 @@ class SpeedEstimationSystem:
             fidelity_service=self._fidelity,
             plan_cache=self._plan_cache,
             use_plan=config.use_interval_plan,
+            planner_factory=(
+                self._make_sharded_planner if config.use_sharded_plan else None
+            ),
         )
         self._objective = SeedSelectionObjective(
             graph,
@@ -148,9 +152,11 @@ class SpeedEstimationSystem:
         self._seeds: list[int] = []
         self._selection: SelectionResult | None = None
         self._degradation = DegradationPolicy(store, config.degradation)
-        # Lazy: the district process pool (shared CSR arrays + workers)
-        # and the warm-started incremental re-selector.
+        # Lazy: the district process pool (shared CSR arrays + workers),
+        # the plan-compile pool and the warm-started incremental
+        # re-selector.
         self._district_pool = None
+        self._plan_pool = None
         self._reselector = None
 
     # ------------------------------------------------------------------
@@ -333,6 +339,29 @@ class SpeedEstimationSystem:
                 )
         return self._district_pool
 
+    def _make_sharded_planner(self, store, network, hlm, road_ids):
+        """Planner factory for ``use_sharded_plan`` (estimator calls it).
+
+        Districts come from the same deterministic
+        :func:`~repro.seeds.partition.partition_graph` the selection
+        path uses (``plan_shards`` districts, defaulting to
+        ``num_partitions``). With ``num_partition_workers != 1`` the
+        district compiles run across a :class:`~repro.speed.shardplan.
+        PlanCompilePool` owned by this system; exactly one worker keeps
+        compilation in-process through the identical sharded code path.
+        """
+        from repro.seeds.partition import partition_graph
+        from repro.speed.shardplan import PlanCompilePool, ShardedIntervalPlanner
+
+        shards = self._config.plan_shards or self._config.num_partitions
+        partitions = partition_graph(self._objective, shards)
+        workers = self._config.num_partition_workers or (os.cpu_count() or 1)
+        if workers != 1 and self._plan_pool is None:
+            self._plan_pool = PlanCompilePool(hlm, store, num_workers=workers)
+        return ShardedIntervalPlanner(
+            store, network, hlm, road_ids, partitions, pool=self._plan_pool
+        )
+
     def reselect_seeds(self, budget: int) -> list[int]:
         """Re-select seeds with the warm-started incremental CELF.
 
@@ -369,9 +398,12 @@ class SpeedEstimationSystem:
             return ()
         dropped = self._fidelity.apply_graph_delta(self._graph, delta)
         if self._district_pool is not None:
-            # The pool's shared-memory CSR arrays bake in the old edge
-            # weights; release it and rebuild lazily on next use.
-            self.close()
+            # The district pool's shared-memory CSR arrays bake in the
+            # old edge weights; release it and rebuild lazily on next
+            # use. The plan-compile pool survives: its shared arrays are
+            # the centred *history* matrix, which a graph delta never
+            # touches — only the influence maps fed per compile change.
+            self._close_district_pool()
         return dropped
 
     def bind_rolling(self, rolling) -> "SpeedEstimationSystem":
@@ -391,13 +423,19 @@ class SpeedEstimationSystem:
         rolling.add_delta_listener(_on_delta)
         return self
 
-    def close(self) -> None:
-        """Release round-serving resources (the district pool)."""
+    def _close_district_pool(self) -> None:
         if self._district_pool is not None:
             if isinstance(self._inference, TrendPropagationInference):
                 self._inference.set_vote_accumulator(None)
             self._district_pool.close()
             self._district_pool = None
+
+    def close(self) -> None:
+        """Release round-serving resources (district + plan pools)."""
+        self._close_district_pool()
+        if self._plan_pool is not None:
+            self._plan_pool.close()
+            self._plan_pool = None
 
     def __enter__(self) -> "SpeedEstimationSystem":
         return self

@@ -41,6 +41,7 @@ from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from multiprocessing import get_context, shared_memory
+from typing import Mapping
 
 import numpy as np
 
@@ -56,7 +57,12 @@ from repro.seeds.lazy import lazy_greedy_select
 from repro.seeds.objective import CoverageState, SeedSelectionObjective
 from repro.seeds.partition import allocate_budget, partition_graph
 
-__all__ = ["DistrictPool", "parallel_partition_select"]
+__all__ = [
+    "DistrictPool",
+    "SharedArrayExport",
+    "attach_shared_array",
+    "parallel_partition_select",
+]
 
 
 # ----------------------------------------------------------------------
@@ -71,28 +77,23 @@ class _ArraySpec:
     dtype: str
 
 
-class _SharedGraphExport:
-    """The CSR fidelity arrays + road ids + weights, published once.
+class SharedArrayExport:
+    """Named read-only numpy arrays published once to shared memory.
 
+    The generic half of the worker plumbing: any pool that ships large
+    read-only arrays to spawn workers (district selection here, sharded
+    plan compilation in :mod:`repro.speed.shardplan`) publishes them
+    through one of these and hands ``specs`` to the pool initializer.
     Owns the shared-memory segments: :meth:`close` both closes and
     unlinks them (workers keep their own mappings alive until exit).
     """
 
-    _FIELDS = ("indptr", "indices", "data", "road_ids", "weights")
-
-    def __init__(self, csr: CSRFidelityGraph, weights: np.ndarray) -> None:
-        arrays = {
-            "indptr": csr.indptr,
-            "indices": csr.indices,
-            "data": csr.data,
-            "road_ids": np.asarray(csr.road_ids, dtype=np.int64),
-            "weights": np.asarray(weights, dtype=np.float64),
-        }
+    def __init__(self, arrays: Mapping[str, np.ndarray]) -> None:
         self._segments: list[shared_memory.SharedMemory] = []
         self.specs: dict[str, _ArraySpec] = {}
         try:
-            for field in self._FIELDS:
-                array = np.ascontiguousarray(arrays[field])
+            for field, source in arrays.items():
+                array = np.ascontiguousarray(source)
                 segment = shared_memory.SharedMemory(
                     create=True, size=max(1, array.nbytes)
                 )
@@ -118,6 +119,21 @@ class _SharedGraphExport:
         self._segments = []
 
 
+class _SharedGraphExport(SharedArrayExport):
+    """The CSR fidelity arrays + road ids + weights, published once."""
+
+    def __init__(self, csr: CSRFidelityGraph, weights: np.ndarray) -> None:
+        super().__init__(
+            {
+                "indptr": csr.indptr,
+                "indices": csr.indices,
+                "data": csr.data,
+                "road_ids": np.asarray(csr.road_ids, dtype=np.int64),
+                "weights": np.asarray(weights, dtype=np.float64),
+            }
+        )
+
+
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
@@ -139,6 +155,16 @@ def _attach(spec: _ArraySpec) -> np.ndarray:
     )
     array.setflags(write=False)
     return array
+
+
+def attach_shared_array(spec: _ArraySpec) -> np.ndarray:
+    """Worker-side attach to one exported array (read-only view).
+
+    Public alias of the internal attach helper so other pools (the
+    plan-compile pool in :mod:`repro.speed.shardplan`) can reuse the
+    segment bookkeeping without reaching into module privates.
+    """
+    return _attach(spec)
 
 
 def _init_worker(

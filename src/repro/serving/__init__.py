@@ -35,6 +35,7 @@ from repro.serving.snapshot import (
     EstimateSnapshot,
     RecoveryResult,
     RoundProvenance,
+    SnapshotRowCache,
     StageTiming,
     load_snapshot,
     recover_latest,
@@ -87,6 +88,7 @@ __all__ = [
     "ServedEstimate",
     "StageTiming",
     "SnapshotPublisher",
+    "SnapshotRowCache",
     "StageFailed",
     "StagePolicy",
     "StageTimeout",

@@ -37,6 +37,7 @@ from repro.serving.snapshot import (
     EstimateSnapshot,
     RecoveryResult,
     RoundProvenance,
+    SnapshotRowCache,
     StageTiming,
     recover_latest,
     save_snapshot,
@@ -136,6 +137,10 @@ class SnapshotPublisher:
         self._injector = injector
         self._round_index = -1
         self._next_version = 0
+        # Body rows for roads whose values did not move since the last
+        # round are reused at snapshot assembly; the checksum still
+        # covers the full body (see SnapshotRowCache).
+        self._row_cache = SnapshotRowCache()
 
     # ------------------------------------------------------------------
     # Accessors
@@ -310,6 +315,7 @@ class SnapshotPublisher:
             substituted=result.substituted,
             degraded=result.report_degraded,
             provenance=provenance,
+            row_cache=self._row_cache,
         )
 
         persisted: Path | None = None

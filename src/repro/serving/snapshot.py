@@ -131,6 +131,73 @@ def _checksum(body: dict) -> str:
     return hashlib.sha256(_canonical(body).encode("utf-8")).hexdigest()
 
 
+def _body_row(est: SpeedEstimate, band: SpeedBand) -> list:
+    return [
+        est.speed_kmh,
+        int(est.trend),
+        est.trend_probability,
+        1 if est.is_seed else 0,
+        1 if est.degraded else 0,
+        band.lower_kmh,
+        band.upper_kmh,
+        band.std_kmh,
+        band.confidence,
+    ]
+
+
+class SnapshotRowCache:
+    """Reuses per-road body rows across consecutive snapshot builds.
+
+    Between rounds most roads' estimates do not change (on a large
+    network a round moves a handful of districts), yet every
+    :meth:`EstimateSnapshot.build` re-assembled all ``num_roads`` body
+    rows from scratch. The publisher keeps one of these caches across
+    rounds and hands it to ``build``: a road whose value fields
+    (estimate and band, minus the identity/interval fields) are
+    unchanged reuses the previous round's row list; districts the round
+    did not touch therefore contribute zero row construction.
+
+    Integrity is untouched: the checksum is still computed over the
+    *complete* assembled body, and :meth:`EstimateSnapshot.verify`
+    always rebuilds the body independently without any cache — a wrong
+    reuse would surface as a checksum mismatch, not silent corruption.
+    """
+
+    def __init__(self) -> None:
+        self._rows: dict[int, tuple[tuple, list]] = {}
+        self._reused = 0
+
+    @property
+    def size(self) -> int:
+        return len(self._rows)
+
+    def row(self, road: int, est: SpeedEstimate, band: SpeedBand) -> list:
+        """The body row for ``road``, reused when values are unchanged."""
+        key = (
+            est.speed_kmh,
+            int(est.trend),
+            est.trend_probability,
+            est.is_seed,
+            est.degraded,
+            band.lower_kmh,
+            band.upper_kmh,
+            band.std_kmh,
+            band.confidence,
+        )
+        cached = self._rows.get(road)
+        if cached is not None and cached[0] == key:
+            self._reused += 1
+            return cached[1]
+        row = _body_row(est, band)
+        self._rows[road] = (key, row)
+        return row
+
+    def take_reused(self) -> int:
+        """Rows reused since the last call (drained for metrics)."""
+        reused, self._reused = self._reused, 0
+        return reused
+
+
 @dataclass(frozen=True)
 class EstimateSnapshot:
     """One published interval's estimates, versioned and checksummed."""
@@ -159,8 +226,16 @@ class EstimateSnapshot:
         substituted: Mapping[int, str] | None = None,
         degraded: bool = False,
         provenance: RoundProvenance | None = None,
+        row_cache: "SnapshotRowCache | None" = None,
     ) -> "EstimateSnapshot":
-        """Assemble a snapshot, computing its content checksum."""
+        """Assemble a snapshot, computing its content checksum.
+
+        With ``row_cache``, body rows for roads whose values are
+        unchanged since the cache's previous build are reused instead
+        of re-assembled (reuse is reported through the
+        ``serving.snapshot_rows_reused`` counter); the checksum still
+        covers the complete body either way.
+        """
         if version < 0:
             raise ServingError(f"snapshot version must be >= 0, got {version}")
         if not estimates:
@@ -182,7 +257,13 @@ class EstimateSnapshot:
             checksum="",
             provenance=provenance,
         )
-        object.__setattr__(snapshot, "checksum", _checksum(snapshot._body()))
+        object.__setattr__(
+            snapshot, "checksum", _checksum(snapshot._body(row_cache))
+        )
+        if row_cache is not None:
+            get_recorder().count(
+                "serving.snapshot_rows_reused", row_cache.take_reused()
+            )
         return snapshot
 
     @property
@@ -192,21 +273,14 @@ class EstimateSnapshot:
     # ------------------------------------------------------------------
     # Content identity
     # ------------------------------------------------------------------
-    def _body(self) -> dict:
+    def _body(self, row_cache: "SnapshotRowCache | None" = None) -> dict:
         roads = {}
-        for road, est in self.estimates.items():
-            band = self.bands[road]
-            roads[str(road)] = [
-                est.speed_kmh,
-                int(est.trend),
-                est.trend_probability,
-                1 if est.is_seed else 0,
-                1 if est.degraded else 0,
-                band.lower_kmh,
-                band.upper_kmh,
-                band.std_kmh,
-                band.confidence,
-            ]
+        if row_cache is not None:
+            for road, est in self.estimates.items():
+                roads[str(road)] = row_cache.row(road, est, self.bands[road])
+        else:
+            for road, est in self.estimates.items():
+                roads[str(road)] = _body_row(est, self.bands[road])
         return {
             "format": SNAPSHOT_FORMAT,
             "version": self.version,

@@ -29,6 +29,12 @@ from repro.speed.hlm import (
     RoadRegression,
     SeedRegression,
 )
+from repro.speed.shardplan import (
+    PlanCompilePool,
+    PlanShard,
+    ShardedIntervalPlan,
+    ShardedIntervalPlanner,
+)
 
 __all__ = [
     "DegradationParams",
@@ -43,8 +49,12 @@ __all__ = [
     "IntervalPlanner",
     "PlanCacheStats",
     "JointSeedRegression",
+    "PlanCompilePool",
+    "PlanShard",
     "RoadRegression",
     "SeedRegression",
+    "ShardedIntervalPlan",
+    "ShardedIntervalPlanner",
     "SpeedBand",
     "TwoStepEstimator",
     "UncertaintyModel",

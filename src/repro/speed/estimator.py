@@ -57,6 +57,7 @@ class TwoStepEstimator:
         fidelity_service: FidelityCacheService | None = None,
         plan_cache: IntervalPlanCache | None = None,
         use_plan: bool = True,
+        planner_factory=None,
     ) -> None:
         self._network = network
         self._store = store
@@ -75,6 +76,10 @@ class TwoStepEstimator:
         self._use_plan = use_plan
         # `is not None`, not truthiness: an empty cache has len() == 0.
         self._plans = plan_cache if plan_cache is not None else IntervalPlanCache()
+        # Pluggable planner construction: the pipeline passes a factory
+        # building a district-sharded planner (repro.speed.shardplan)
+        # when use_sharded_plan is on; None keeps the monolithic one.
+        self._planner_factory = planner_factory
         self._planner: IntervalPlanner | None = None
         # Row invalidations (incremental re-mining, targeted evictions)
         # must also drop the influence indexes and compiled structures
@@ -296,10 +301,25 @@ class TwoStepEstimator:
 
     def _compile_plan(self, seeds: tuple[int, ...], bucket: int):
         if self._planner is None:
-            self._planner = IntervalPlanner(
-                self._store, self._network, self._hlm, self._graph.road_ids
-            )
+            if self._planner_factory is not None:
+                self._planner = self._planner_factory(
+                    self._store, self._network, self._hlm, self._graph.road_ids
+                )
+            else:
+                self._planner = IntervalPlanner(
+                    self._store, self._network, self._hlm, self._graph.road_ids
+                )
         influence_by_road = self._influence_index(frozenset(seeds))
+        if getattr(self._planner, "sharded", False):
+            # Sharded planners refresh stale district shards lazily; the
+            # provider re-reads the influence index *after* a delta has
+            # dropped the memoised one, so refreshes see fresh rows.
+            return self._planner.compile(
+                seeds,
+                bucket,
+                influence_by_road,
+                influence_provider=lambda: self._influence_index(frozenset(seeds)),
+            )
         return self._planner.compile(seeds, bucket, influence_by_road)
 
     def influence_index(

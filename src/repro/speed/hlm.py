@@ -180,6 +180,40 @@ class JointSeedRegression:
         self._column = {road: i for i, road in enumerate(store.road_ids)}
         self._cache: dict[tuple[int, tuple[int, ...]], RoadRegression] = {}
 
+    @classmethod
+    def from_arrays(
+        cls,
+        centred: np.ndarray,
+        road_ids: tuple[int, ...],
+        params: HlmParams,
+    ) -> "JointSeedRegression":
+        """Rebuild a regression from its pre-centred deviation matrix.
+
+        The worker-side constructor for district-sharded plan
+        compilation (:mod:`repro.speed.shardplan`): the parent exports
+        ``centred`` (its ``deviation_matrix() - 1.0``, bit-identical
+        through shared memory) and the store's column order, so every
+        fit a worker produces is bitwise equal to the parent's —
+        identical C-contiguous inputs through the same BLAS/LAPACK
+        calls.
+        """
+        self = cls.__new__(cls)
+        self._params = params
+        self._centred = centred
+        self._norms = (centred * centred).sum(axis=0)
+        self._column = {road: i for i, road in enumerate(road_ids)}
+        self._cache = {}
+        return self
+
+    @property
+    def params(self) -> HlmParams:
+        return self._params
+
+    @property
+    def centred(self) -> np.ndarray:
+        """The centred history matrix (``deviation_matrix() - 1.0``)."""
+        return self._centred
+
     def for_road(
         self, road: int, influence: dict[int, float]
     ) -> RoadRegression | None:

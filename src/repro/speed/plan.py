@@ -55,7 +55,7 @@ from repro.core.types import Trend
 from repro.history.store import HistoricalSpeedStore
 from repro.obs import get_recorder
 from repro.roadnet.network import RoadNetwork
-from repro.speed.hlm import HierarchicalLinearModel
+from repro.speed.hlm import HierarchicalLinearModel, HlmParams, JointSeedRegression
 
 
 class _SeedStructure:
@@ -146,6 +146,62 @@ class _SeedStructure:
         self._last_resid = resid
         self._last_regressed = regressed
         return regressed, "full"
+
+
+def compile_seed_structure(
+    regression: JointSeedRegression,
+    params: HlmParams,
+    seeds: tuple[int, ...],
+    road_ids: tuple[int, ...],
+    influence_by_road: Mapping[int, Mapping[int, float]],
+) -> _SeedStructure:
+    """Compile the padded regression block for ``road_ids``.
+
+    ``road_ids`` may be any slice of the network (the whole city for the
+    monolithic planner, one district for a shard); ``seeds`` is always
+    the *global* seed tuple, so the padded width and the seed-index
+    positions are identical regardless of how the rows are sliced —
+    the property that makes a district-sharded evaluation bitwise equal
+    to the monolithic one. Row indices (including ``rows_by_seed``) are
+    local to ``road_ids``.
+    """
+    n = len(road_ids)
+    num_seeds = len(seeds)
+    width = max(1, min(params.max_seeds_per_road, num_seeds))
+    seed_pos = {seed: k for k, seed in enumerate(seeds)}
+    coef = np.zeros((n, width))
+    # Padding entries point at the sentinel residual slot, which the
+    # evaluator pins to 0, so padded columns never contribute.
+    seed_idx = np.full((n, width), num_seeds, dtype=np.int64)
+    reg_weight = np.zeros(n)
+    has_reg = np.zeros(n, dtype=bool)
+    rows_by_seed: list[list[int]] = [[] for _ in seeds]
+    seed_set = set(seeds)
+    empty: dict[int, float] = {}
+    for i, road in enumerate(road_ids):
+        if road in seed_set:
+            # Seed estimates are observation pass-throughs; skipping
+            # them here matches the scalar path, which never fits a
+            # regression for a seed road.
+            continue
+        fitted = regression.for_road(road, influence_by_road.get(road, empty))
+        if fitted is None:
+            continue
+        has_reg[i] = True
+        reg_weight[i] = fitted.weight
+        for j, seed in enumerate(fitted.seeds):
+            coef[i, j] = fitted.coefficients[j]
+            position = seed_pos[seed]
+            seed_idx[i, j] = position
+            rows_by_seed[position].append(i)
+    return _SeedStructure(
+        seeds=seeds,
+        coef=coef,
+        seed_idx=seed_idx,
+        reg_weight=reg_weight,
+        has_reg=has_reg,
+        rows_by_seed=[np.array(rows, dtype=np.int64) for rows in rows_by_seed],
+    )
 
 
 class IntervalPlan:
@@ -265,6 +321,14 @@ class IntervalPlanner:
         self._structures: "weakref.WeakValueDictionary[tuple[int, ...], _SeedStructure]" = (
             weakref.WeakValueDictionary()
         )
+        # Inverted index for evict_structures: seed road -> the structure
+        # keys (seed tuples) that contain it. Entries are added on
+        # compile and pruned on evict; keys whose structures were
+        # garbage-collected out of the weak cache are filtered (and
+        # lazily dropped) at eviction time, so the index is always a
+        # superset of the live keys and eviction sets match a linear
+        # scan exactly.
+        self._keys_by_seed: dict[int, set[tuple[int, ...]]] = {}
 
     @property
     def road_ids(self) -> tuple[int, ...]:
@@ -274,6 +338,19 @@ class IntervalPlanner:
     def index(self) -> dict[int, int]:
         return self._index
 
+    def _register_structure_key(self, seeds: tuple[int, ...]) -> None:
+        for seed in seeds:
+            self._keys_by_seed.setdefault(seed, set()).add(seeds)
+
+    def _forget_structure_key(self, seeds: tuple[int, ...]) -> None:
+        for seed in seeds:
+            keys = self._keys_by_seed.get(seed)
+            if keys is None:
+                continue
+            keys.discard(seeds)
+            if not keys:
+                del self._keys_by_seed[seed]
+
     def evict_structures(self, roads: set[int] | None = None) -> None:
         """Forget compiled seed structures touching ``roads`` (or all).
 
@@ -282,15 +359,23 @@ class IntervalPlanner:
         outside the :class:`IntervalPlanCache` would keep its structure
         alive past a row invalidation, and a later :meth:`compile` for
         the same seed set must not resurrect the stale coefficients.
+
+        Touched keys come from the seed->keys inverted index, so the
+        cost is proportional to the structures actually touching
+        ``roads``, not cached-structures x seeds.
         """
         if roads is None:
             stale = list(self._structures.keys())
+            self._keys_by_seed.clear()
         else:
-            stale = [
-                seeds
-                for seeds in self._structures.keys()
-                if roads.intersection(seeds)
-            ]
+            candidates: set[tuple[int, ...]] = set()
+            for road in roads:
+                keys = self._keys_by_seed.get(road)
+                if keys:
+                    candidates |= keys
+            stale = [seeds for seeds in candidates if seeds in self._structures]
+            for seeds in candidates:
+                self._forget_structure_key(seeds)
         for seeds in stale:
             self._structures.pop(seeds, None)
 
@@ -318,24 +403,8 @@ class IntervalPlanner:
             if structure is None:
                 structure = self._compile_structure(seeds, influence_by_road)
                 self._structures[seeds] = structure
-            hierarchy = self._hlm.hierarchy
-            if params.use_trend and params.hierarchical:
-                prior_rise = hierarchy.conditional_mean_row(bucket, Trend.RISE)[
-                    self._columns
-                ]
-                prior_fall = hierarchy.conditional_mean_row(bucket, Trend.FALL)[
-                    self._columns
-                ]
-            else:
-                prior_rise = np.full(
-                    len(self._road_ids), hierarchy.global_mean(Trend.RISE)
-                )
-                prior_fall = np.full(
-                    len(self._road_ids), hierarchy.global_mean(Trend.FALL)
-                )
-            historical = self._store.bucket_mean_row(bucket)[self._columns]
-            for array in (prior_rise, prior_fall, historical):
-                array.setflags(write=False)
+                self._register_structure_key(seeds)
+            prior_rise, prior_fall, historical = self._bucket_overlays(bucket)
             return IntervalPlan(
                 road_ids=self._road_ids,
                 index=self._index,
@@ -350,53 +419,42 @@ class IntervalPlanner:
                 use_trend=params.use_trend,
             )
 
+    def _bucket_overlays(
+        self, bucket: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The bucket-dependent plan overlays (priors + historical means)."""
+        params = self._hlm.params
+        hierarchy = self._hlm.hierarchy
+        if params.use_trend and params.hierarchical:
+            prior_rise = hierarchy.conditional_mean_row(bucket, Trend.RISE)[
+                self._columns
+            ]
+            prior_fall = hierarchy.conditional_mean_row(bucket, Trend.FALL)[
+                self._columns
+            ]
+        else:
+            prior_rise = np.full(
+                len(self._road_ids), hierarchy.global_mean(Trend.RISE)
+            )
+            prior_fall = np.full(
+                len(self._road_ids), hierarchy.global_mean(Trend.FALL)
+            )
+        historical = self._store.bucket_mean_row(bucket)[self._columns]
+        for array in (prior_rise, prior_fall, historical):
+            array.setflags(write=False)
+        return prior_rise, prior_fall, historical
+
     def _compile_structure(
         self,
         seeds: tuple[int, ...],
         influence_by_road: Mapping[int, Mapping[int, float]],
     ) -> _SeedStructure:
-        params = self._hlm.params
-        regression = self._hlm.regression
-        n = len(self._road_ids)
-        num_seeds = len(seeds)
-        width = max(1, min(params.max_seeds_per_road, num_seeds))
-        seed_pos = {seed: k for k, seed in enumerate(seeds)}
-        coef = np.zeros((n, width))
-        # Padding entries point at the sentinel residual slot, which the
-        # evaluator pins to 0, so padded columns never contribute.
-        seed_idx = np.full((n, width), num_seeds, dtype=np.int64)
-        reg_weight = np.zeros(n)
-        has_reg = np.zeros(n, dtype=bool)
-        rows_by_seed: list[list[int]] = [[] for _ in seeds]
-        seed_set = set(seeds)
-        empty: dict[int, float] = {}
-        for i, road in enumerate(self._road_ids):
-            if road in seed_set:
-                # Seed estimates are observation pass-throughs; skipping
-                # them here matches the scalar path, which never fits a
-                # regression for a seed road.
-                continue
-            fitted = regression.for_road(
-                road, influence_by_road.get(road, empty)
-            )
-            if fitted is None:
-                continue
-            has_reg[i] = True
-            reg_weight[i] = fitted.weight
-            for j, seed in enumerate(fitted.seeds):
-                coef[i, j] = fitted.coefficients[j]
-                position = seed_pos[seed]
-                seed_idx[i, j] = position
-                rows_by_seed[position].append(i)
-        return _SeedStructure(
-            seeds=seeds,
-            coef=coef,
-            seed_idx=seed_idx,
-            reg_weight=reg_weight,
-            has_reg=has_reg,
-            rows_by_seed=[
-                np.array(rows, dtype=np.int64) for rows in rows_by_seed
-            ],
+        return compile_seed_structure(
+            self._hlm.regression,
+            self._hlm.params,
+            seeds,
+            self._road_ids,
+            influence_by_road,
         )
 
 
@@ -407,7 +465,10 @@ class PlanCacheStats:
     ``evictions`` counts LRU capacity evictions; ``row_evictions``
     plans dropped because their seed rows were invalidated;
     ``flushes`` whole-cache invalidations (each counts every plan it
-    dropped). A healthy streaming deployment shows ``row_evictions``
+    dropped); ``shard_evictions`` district shards marked stale inside
+    sharded plans that stayed cached (see
+    :class:`~repro.speed.shardplan.ShardedIntervalPlan`). A healthy
+    streaming deployment shows ``row_evictions``/``shard_evictions``
     growing with graph churn and ``flushes`` stuck at 0.
     """
 
@@ -417,6 +478,7 @@ class PlanCacheStats:
     size: int
     row_evictions: int = 0
     flushes: int = 0
+    shard_evictions: int = 0
 
     @property
     def total(self) -> int:
@@ -442,6 +504,7 @@ class IntervalPlanCache:
         self._evictions = 0
         self._row_evictions = 0
         self._flushes = 0
+        self._shard_evictions = 0
 
     @property
     def maxsize(self) -> int:
@@ -458,6 +521,7 @@ class IntervalPlanCache:
             size=len(self._plans),
             row_evictions=self._row_evictions,
             flushes=self._flushes,
+            shard_evictions=self._shard_evictions,
         )
 
     def get_or_build(
@@ -509,16 +573,26 @@ class IntervalPlanCache:
             self.invalidate()
             return
         road_set = set(roads)
-        stale = [
-            key
-            for key, plan in self._plans.items()
-            if road_set.intersection(plan.seeds)
-        ]
+        stale = []
+        shards_marked = 0
+        for key, plan in self._plans.items():
+            if not road_set.intersection(plan.seeds):
+                continue
+            mark = getattr(plan, "mark_rows_stale", None)
+            if mark is not None:
+                # District-sharded plans stay cached: only the shards
+                # whose regressions touched the dropped rows are marked
+                # stale and recompiled lazily at the next evaluation.
+                shards_marked += mark(road_set)
+            else:
+                stale.append(key)
         for key in stale:
             del self._plans[key]
         if stale:
             self._row_evictions += len(stale)
             get_recorder().count("plan.rows_evicted", len(stale))
+        if shards_marked:
+            self._shard_evictions += shards_marked
 
     def attach(self, fidelity_service) -> "IntervalPlanCache":
         """Invalidate this cache whenever ``fidelity_service`` is.

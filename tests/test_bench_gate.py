@@ -127,3 +127,66 @@ class TestMain:
         base = write(tmp_path, "base.json", BASE)
         with pytest.raises(SystemExit):
             main([str(base), str(base), "--threshold", "1.0"])
+
+
+class TestRequiredFamilies:
+    def test_missing_required_prefix_fails(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", BASE)
+        current = write(tmp_path, "current.json", BASE)
+        assert (
+            main(
+                [str(base), str(current), "--require", "bench.f8_metro_plan_"]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "bench.f8_metro_plan_" in out and "missing" in out
+
+    def test_present_required_prefix_passes(self, tmp_path, capsys):
+        payload = json.loads(json.dumps(BASE))
+        payload["bench.f8_metro_plan_compile_sharded_seconds"] = {
+            "kind": "gauge",
+            "series": [{"labels": {"roads": "53000"}, "value": 12.0}],
+        }
+        base = write(tmp_path, "base.json", payload)
+        current = write(tmp_path, "current.json", payload)
+        assert (
+            main(
+                [str(base), str(current), "--require", "bench.f8_metro_plan_"]
+            )
+            == 0
+        )
+
+    def test_required_prefix_must_be_a_seconds_gauge(self, tmp_path):
+        """A counter or non-timing gauge does not satisfy the prefix."""
+        payload = json.loads(json.dumps(BASE))
+        payload["bench.f8_metro_plan_compiles"] = {
+            "kind": "counter",
+            "series": [{"labels": {}, "value": 64.0}],
+        }
+        base = write(tmp_path, "base.json", payload)
+        current = write(tmp_path, "current.json", payload)
+        assert (
+            main(
+                [str(base), str(current), "--require", "bench.f8_metro_plan_"]
+            )
+            == 1
+        )
+
+    def test_multiple_requires_all_checked(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", BASE)
+        current = write(tmp_path, "current.json", BASE)
+        code = main(
+            [
+                str(base),
+                str(current),
+                "--require",
+                "bench.kernel_vs_scalar_",
+                "--require",
+                "bench.f8_metro_plan_",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "bench.f8_metro_plan_" in out
+        assert "bench.kernel_vs_scalar_" not in out

@@ -70,6 +70,21 @@ class TestParser:
         assert args.explain is None
         assert args.metrics_out is None
 
+    def test_sharded_plan_options(self):
+        args = build_parser().parse_args(
+            [
+                "estimate", "--sharded-plan",
+                "--plan-shards", "4", "--plan-workers", "1",
+            ]
+        )
+        assert args.sharded_plan is True
+        assert args.plan_shards == 4
+        assert args.plan_workers == 1
+        serve = build_parser().parse_args(["serve", "--sharded-plan"])
+        assert serve.sharded_plan is True
+        assert serve.plan_shards == 0
+        assert serve.plan_workers == 0
+
     def test_obs_top_source(self):
         args = build_parser().parse_args(["obs", "top", "metrics.json"])
         assert args.obs_command == "top"
@@ -115,6 +130,23 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Planned ETA" in out
         assert "ETA error" in out
+
+    def test_estimate_sharded_plan(self, capsys):
+        assert main(
+            [
+                "--city", "tianjin", "estimate", "--budget", "8",
+                "--show", "4", "--sharded-plan",
+                "--plan-shards", "4", "--plan-workers", "1",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "MAE" in out
+
+    def test_plan_shards_requires_sharded_plan(self):
+        with pytest.raises(SystemExit, match="sharded-plan"):
+            main(
+                ["--city", "tianjin", "estimate", "--plan-shards", "4"]
+            )
 
     def test_bad_budget(self):
         with pytest.raises(SystemExit, match="budget"):

@@ -190,6 +190,15 @@ class TestSizedMetropolis:
         net = sized_metropolis(target)
         assert net.num_segments >= target
 
+    def test_scales_past_100k_roads(self):
+        """The XL cold-round benchmark's scale: 100k+ roads, validated."""
+        net = sized_metropolis(110_000)
+        assert net.num_segments >= 110_000
+        net.validate()
+        # The super-grid stays near-square so cross-district stitches
+        # (and the partitioner's BFS frontiers) don't degenerate.
+        assert net.num_segments < 130_000
+
     def test_too_small_rejected(self):
         with pytest.raises(ValueError):
             sized_metropolis(100)

@@ -545,3 +545,80 @@ class TestGraphDeltaEviction:
         assert stats.flushes == 0
         assert stats.size == len(survivors)
         assert stats.row_evictions == 2 - len(survivors)
+
+
+class TestEvictionIndexPinning:
+    """The seed->keys inverted index must evict *exactly* the set a
+    linear scan over every cached structure would."""
+
+    def _planner(self, pair):
+        from repro.speed.plan import IntervalPlanner
+
+        dataset, vec, _ = pair
+        return dataset, IntervalPlanner(
+            dataset.store,
+            dataset.network,
+            vec.hlm,
+            list(dataset.graph.road_ids),
+        )
+
+    def _compile(self, planner, roads, seeds):
+        seeds = tuple(seeds)
+        influence = {roads[0]: {seeds[0]: 0.9}}
+        return planner.compile(seeds, 0, influence)
+
+    def test_indexed_eviction_matches_linear_scan(self, pair):
+        dataset, planner = self._planner(pair)
+        roads = list(dataset.graph.road_ids)
+        seed_sets = [
+            tuple(roads[:4]),
+            tuple(roads[2:6]),  # overlaps the first
+            tuple(roads[50:54]),
+            tuple(roads[100:103]),
+        ]
+        drops = [
+            set(),
+            {roads[3]},              # hits two overlapping sets
+            {roads[2], roads[101]},  # hits sets in different regions
+            {roads[110]},            # no structure uses this road
+            {roads[0], roads[50], roads[100]},  # hits three sets
+            {-1, 10**9},             # roads the planner never saw
+        ]
+        for drop in drops:
+            plans = [self._compile(planner, roads, s) for s in seed_sets]
+            live = set(planner._structures.keys())
+            assert live == set(seed_sets)
+            expected = {k for k in live if set(k) & drop}  # reference scan
+            planner.evict_structures(drop)
+            assert set(planner._structures.keys()) == live - expected
+            del plans
+
+    def test_evict_all_clears_index(self, pair):
+        dataset, planner = self._planner(pair)
+        roads = list(dataset.graph.road_ids)
+        plan = self._compile(planner, roads, roads[:3])
+        assert planner._keys_by_seed
+        planner.evict_structures(None)
+        assert not planner._keys_by_seed
+        assert not list(planner._structures.keys())
+        # Recompiling after a full evict re-registers cleanly.
+        plan = self._compile(planner, roads, roads[:3])
+        assert tuple(roads[:3]) in planner._structures
+        del plan
+
+    def test_garbage_collected_structures_are_pruned(self, pair):
+        import gc
+
+        dataset, planner = self._planner(pair)
+        roads = list(dataset.graph.road_ids)
+        plan = self._compile(planner, roads, roads[:3])
+        del plan
+        gc.collect()
+        assert tuple(roads[:3]) not in planner._structures
+        # Index may still hold the dead key; eviction filters it
+        # without error and prunes it.
+        planner.evict_structures({roads[0]})
+        assert all(
+            tuple(roads[:3]) not in keys
+            for keys in planner._keys_by_seed.values()
+        )

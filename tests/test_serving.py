@@ -631,3 +631,105 @@ class TestSnapshotPublisher:
         )
         assert publisher.recover().snapshot is None
         assert store.latest() is None
+
+
+class TestSnapshotRowReuse:
+    """Value-keyed body-row reuse across builds: same checksums, full
+    integrity, reuse counted."""
+
+    def _parts(self, interval, roads, speed=40.0):
+        estimates, bands = {}, {}
+        for road in roads:
+            estimates[road] = SpeedEstimate(
+                road_id=road, interval=interval, speed_kmh=speed,
+                trend=Trend.RISE, trend_probability=0.8,
+                is_seed=False, degraded=False,
+            )
+            bands[road] = SpeedBand(
+                road_id=road, interval=interval, speed_kmh=speed,
+                lower_kmh=speed - 2.0, upper_kmh=speed + 2.0,
+                std_kmh=1.2, confidence=0.9,
+            )
+        return estimates, bands
+
+    def test_cached_build_checksum_matches_cache_free(self):
+        from repro.serving import SnapshotRowCache
+
+        cache = SnapshotRowCache()
+        est, bands = self._parts(3, (1, 2, 3))
+        with_cache = EstimateSnapshot.build(0, 3, est, bands, row_cache=cache)
+        without = EstimateSnapshot.build(0, 3, est, bands)
+        assert with_cache.checksum == without.checksum
+        assert with_cache.verify()
+
+    def test_unchanged_rows_are_reused_changed_are_not(self):
+        from repro.serving import SnapshotRowCache
+
+        cache = SnapshotRowCache()
+        est, bands = self._parts(3, (1, 2, 3))
+        EstimateSnapshot.build(0, 3, est, bands, row_cache=cache)
+        assert cache.take_reused() == 0  # drained by build's metric path
+
+        # Next interval: road 2 moves, roads 1 and 3 do not.
+        est2, bands2 = self._parts(4, (1, 2, 3))
+        est2[2] = est2[2].replace(speed_kmh=55.0)
+        bands2[2] = SpeedBand(
+            road_id=2, interval=4, speed_kmh=55.0, lower_kmh=53.0,
+            upper_kmh=57.0, std_kmh=1.2, confidence=0.9,
+        )
+        snap = EstimateSnapshot.build(1, 4, est2, bands2, row_cache=cache)
+        fresh = EstimateSnapshot.build(1, 4, est2, bands2)
+        assert snap.checksum == fresh.checksum
+        assert snap.verify()
+        assert EstimateSnapshot.from_json(snap.to_json()).checksum == snap.checksum
+
+    def test_reuse_metric_counts_unchanged_roads(self):
+        from repro.obs import FlightRecorder, set_recorder
+        from repro.serving import SnapshotRowCache
+
+        rec = FlightRecorder()
+        previous = set_recorder(rec)
+        try:
+            cache = SnapshotRowCache()
+            est, bands = self._parts(3, (1, 2, 3))
+            EstimateSnapshot.build(0, 3, est, bands, row_cache=cache)
+            est2, bands2 = self._parts(4, (1, 2, 3))
+            EstimateSnapshot.build(1, 4, est2, bands2, row_cache=cache)
+            counter = rec.registry.counter("serving.snapshot_rows_reused")
+            assert counter.value == 3  # round 1 reused every road's row
+        finally:
+            set_recorder(previous)
+
+    def test_publisher_rounds_reuse_rows(
+        self, served_system, small_dataset, platform, tmp_path
+    ):
+        from repro.obs import FlightRecorder, set_recorder
+
+        rec = FlightRecorder()
+        previous = set_recorder(rec)
+        try:
+            clock = ManualClock()
+            store = EstimateStore(
+                history=small_dataset.store,
+                network=small_dataset.network,
+                clock=clock,
+            )
+            publisher = SnapshotPublisher(
+                served_system,
+                store,
+                UncertaintyModel(served_system.estimator, small_dataset.store),
+                watchdog=default_watchdog(900.0, clock=clock),
+                clock=clock,
+            )
+            interval = small_dataset.test_day_intervals()[0]
+            # Identical round twice: every road's row reuses on round 2.
+            for _ in range(2):
+                report = publisher.publish_round(
+                    interval, small_dataset.test, platform, crowd_seed=0
+                )
+                assert report.published
+            counter = rec.registry.counter("serving.snapshot_rows_reused")
+            assert counter.value == small_dataset.network.num_segments
+            assert store.latest().verify()
+        finally:
+            set_recorder(previous)
